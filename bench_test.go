@@ -1,0 +1,371 @@
+// Package repro_test is the benchmark harness: one benchmark per figure
+// and claim in the paper's evaluation, plus the ablations called out in
+// DESIGN.md §5. Each benchmark builds the relevant network(s), runs the
+// measuring-node campaign, and reports the figures' headline metrics as
+// custom benchmark units (median-ms, std-ms) alongside wall-clock cost.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Regenerate one figure at larger scale with cmd/bcbpt-sim.
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/measure"
+	"repro/internal/p2p"
+)
+
+// benchOpts is the shared scale for benchmark runs: large enough that the
+// paper's orderings are stable, small enough to iterate.
+func benchOpts(seed int64) experiment.Options {
+	return experiment.Options{
+		Nodes:    300,
+		Runs:     40,
+		Seed:     seed,
+		Deadline: 2 * time.Minute,
+	}
+}
+
+// fastBCBPT shortens bootstrap pacing (results are threshold-driven, not
+// pacing-driven).
+func fastBCBPT(dt time.Duration) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Threshold = dt
+	cfg.JoinStagger = 20 * time.Millisecond
+	cfg.DecisionSlack = 500 * time.Millisecond
+	return cfg
+}
+
+// runCampaign builds one network and measures it, reporting distribution
+// metrics on b.
+func runCampaign(b *testing.B, spec experiment.Spec, o experiment.Options) measure.Distribution {
+	b.Helper()
+	built, err := experiment.Build(spec)
+	if err != nil {
+		b.Fatalf("build: %v", err)
+	}
+	res, err := built.Campaign(o.Runs, o.Deadline)
+	if err != nil {
+		b.Fatalf("campaign: %v", err)
+	}
+	return res.Dist
+}
+
+func reportDist(b *testing.B, prefix string, d measure.Distribution) {
+	b.Helper()
+	b.ReportMetric(float64(d.Median())/1e6, prefix+"-p50-ms")
+	b.ReportMetric(float64(d.Std())/1e6, prefix+"-std-ms")
+}
+
+// --- Fig. 3: Bitcoin vs LBC vs BCBPT (dt = 25ms) ---
+
+func BenchmarkFigure3Bitcoin(b *testing.B) {
+	o := benchOpts(1)
+	for i := 0; i < b.N; i++ {
+		d := runCampaign(b, experiment.Spec{
+			Nodes: o.Nodes, Seed: o.Seed, Protocol: experiment.ProtoBitcoin,
+		}, o)
+		reportDist(b, "bitcoin", d)
+	}
+}
+
+func BenchmarkFigure3LBC(b *testing.B) {
+	o := benchOpts(1)
+	for i := 0; i < b.N; i++ {
+		d := runCampaign(b, experiment.Spec{
+			Nodes: o.Nodes, Seed: o.Seed, Protocol: experiment.ProtoLBC,
+		}, o)
+		reportDist(b, "lbc", d)
+	}
+}
+
+func BenchmarkFigure3BCBPT(b *testing.B) {
+	o := benchOpts(1)
+	for i := 0; i < b.N; i++ {
+		d := runCampaign(b, experiment.Spec{
+			Nodes: o.Nodes, Seed: o.Seed, Protocol: experiment.ProtoBCBPT,
+			BCBPT: fastBCBPT(25 * time.Millisecond),
+		}, o)
+		reportDist(b, "bcbpt25", d)
+	}
+}
+
+// --- Fig. 4: BCBPT threshold sweep ---
+
+func benchThreshold(b *testing.B, dt time.Duration) {
+	o := benchOpts(2)
+	for i := 0; i < b.N; i++ {
+		d := runCampaign(b, experiment.Spec{
+			Nodes: o.Nodes, Seed: o.Seed, Protocol: experiment.ProtoBCBPT,
+			BCBPT: fastBCBPT(dt),
+		}, o)
+		reportDist(b, "bcbpt", d)
+	}
+}
+
+func BenchmarkFigure4Threshold30ms(b *testing.B)  { benchThreshold(b, 30*time.Millisecond) }
+func BenchmarkFigure4Threshold50ms(b *testing.B)  { benchThreshold(b, 50*time.Millisecond) }
+func BenchmarkFigure4Threshold100ms(b *testing.B) { benchThreshold(b, 100*time.Millisecond) }
+
+// --- §V.C: Δt spread vs measuring-node connection count ---
+
+func benchVariance(b *testing.B, proto experiment.ProtocolKind, k int) {
+	o := benchOpts(3)
+	o.Runs = 25
+	for i := 0; i < b.N; i++ {
+		d := runCampaign(b, experiment.Spec{
+			Nodes: o.Nodes, Seed: o.Seed, Protocol: proto,
+			BCBPT:                fastBCBPT(25 * time.Millisecond),
+			MeasuringConnections: k,
+		}, o)
+		reportDist(b, "k", d)
+	}
+}
+
+func BenchmarkVarianceVsConnectionsBitcoin8(b *testing.B) {
+	benchVariance(b, experiment.ProtoBitcoin, 8)
+}
+func BenchmarkVarianceVsConnectionsBitcoin32(b *testing.B) {
+	benchVariance(b, experiment.ProtoBitcoin, 32)
+}
+func BenchmarkVarianceVsConnectionsBitcoin64(b *testing.B) {
+	benchVariance(b, experiment.ProtoBitcoin, 64)
+}
+func BenchmarkVarianceVsConnectionsBCBPT8(b *testing.B)  { benchVariance(b, experiment.ProtoBCBPT, 8) }
+func BenchmarkVarianceVsConnectionsBCBPT32(b *testing.B) { benchVariance(b, experiment.ProtoBCBPT, 32) }
+func BenchmarkVarianceVsConnectionsBCBPT64(b *testing.B) { benchVariance(b, experiment.ProtoBCBPT, 64) }
+
+// --- §IV.A: ping-measurement overhead ---
+
+func BenchmarkPingOverhead(b *testing.B) {
+	o := benchOpts(4)
+	for i := 0; i < b.N; i++ {
+		var perNode [2]float64
+		for j, proto := range []experiment.ProtocolKind{experiment.ProtoBitcoin, experiment.ProtoBCBPT} {
+			built, err := experiment.Build(experiment.Spec{
+				Nodes: o.Nodes, Seed: o.Seed, Protocol: proto,
+				BCBPT: fastBCBPT(25 * time.Millisecond),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			msgs, _ := built.Net.Stats().PingTraffic()
+			perNode[j] = float64(msgs) / float64(o.Nodes)
+		}
+		b.ReportMetric(perNode[0], "bitcoin-pings/node")
+		b.ReportMetric(perNode[1], "bcbpt-pings/node")
+	}
+}
+
+// --- §V.C security: eclipse and partition exposure ---
+
+func BenchmarkEclipse(b *testing.B) {
+	o := benchOpts(5)
+	for i := 0; i < b.N; i++ {
+		built, err := experiment.Build(experiment.Spec{
+			Nodes: o.Nodes, Seed: o.Seed, Protocol: experiment.ProtoBCBPT,
+			BCBPT: fastBCBPT(25 * time.Millisecond),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := attack.Eclipse(built.Net, built.BCBPT, built.Measurer.ID(), attack.EclipseSpec{
+			Adversaries:  16,
+			JitterMeters: 5_000,
+			SettleTime:   5 * time.Minute,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Fraction(), "bad-peer-fraction")
+	}
+}
+
+func BenchmarkPartition(b *testing.B) {
+	o := benchOpts(6)
+	for i := 0; i < b.N; i++ {
+		built, err := experiment.Build(experiment.Spec{
+			Nodes: o.Nodes, Seed: o.Seed, Protocol: experiment.ProtoBCBPT,
+			BCBPT: fastBCBPT(25 * time.Millisecond),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := attack.Partition(built.Net, built.BCBPT)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.MinCut), "min-cut-edges")
+		b.ReportMetric(res.MeanCut, "mean-cut-edges")
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationLongLinks sweeps the inter-cluster link budget k.
+// k=0 should partition (lost samples explode); large k converges toward
+// the random baseline's spread.
+func benchLongLinks(b *testing.B, k int) {
+	o := benchOpts(7)
+	o.Runs = 25
+	cfg := fastBCBPT(25 * time.Millisecond)
+	cfg.LongLinks = k
+	for i := 0; i < b.N; i++ {
+		built, err := experiment.Build(experiment.Spec{
+			Nodes: o.Nodes, Seed: o.Seed, Protocol: experiment.ProtoBCBPT, BCBPT: cfg,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := built.Campaign(o.Runs, o.Deadline)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Dist.Median())/1e6, "p50-ms")
+		b.ReportMetric(float64(res.Lost), "lost-samples")
+	}
+}
+
+func BenchmarkAblationLongLinks0(b *testing.B) { benchLongLinks(b, 0) }
+func BenchmarkAblationLongLinks2(b *testing.B) { benchLongLinks(b, 2) }
+func BenchmarkAblationLongLinks8(b *testing.B) { benchLongLinks(b, 8) }
+
+// BenchmarkAblationChurn compares BCBPT Δt with and without churn.
+func BenchmarkAblationChurnOff(b *testing.B) { benchChurn(b, false) }
+func BenchmarkAblationChurnOn(b *testing.B)  { benchChurn(b, true) }
+
+func benchChurn(b *testing.B, on bool) {
+	o := benchOpts(8)
+	o.Runs = 25
+	o.ChurnOn = on
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.ThresholdSweep(o, []time.Duration{25 * time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := fig.Series[0].Dist
+		reportDist(b, "bcbpt", d)
+		b.ReportMetric(float64(fig.Series[0].Lost), "lost-samples")
+	}
+}
+
+// BenchmarkAblationProbeCount sweeps how many pings a joiner spends per
+// candidate: fewer probes = cheaper joins but noisier distance estimates
+// (eq. 1 decided on an unconverged estimator).
+func benchProbeCount(b *testing.B, probes int) {
+	o := benchOpts(9)
+	o.Runs = 25
+	cfg := fastBCBPT(25 * time.Millisecond)
+	cfg.ProbeCount = probes
+	for i := 0; i < b.N; i++ {
+		d := runCampaign(b, experiment.Spec{
+			Nodes: o.Nodes, Seed: o.Seed, Protocol: experiment.ProtoBCBPT, BCBPT: cfg,
+		}, o)
+		reportDist(b, "bcbpt", d)
+	}
+}
+
+func BenchmarkAblationProbeCount1(b *testing.B) { benchProbeCount(b, 1) }
+func BenchmarkAblationProbeCount3(b *testing.B) { benchProbeCount(b, 3) }
+func BenchmarkAblationProbeCount8(b *testing.B) { benchProbeCount(b, 8) }
+
+// --- Extension: double-spend race (the paper's motivating attack) ---
+
+func benchDoubleSpend(b *testing.B, proto experiment.ProtocolKind) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.DoubleSpend(experiment.DoubleSpendSpec{
+			Nodes:    200,
+			Seed:     10,
+			Protocol: proto,
+			BCBPT:    fastBCBPT(25 * time.Millisecond),
+			Offsets:  []time.Duration{150 * time.Millisecond},
+			Trials:   4,
+			Deadline: time.Minute,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Points[0].AttackerShare, "attacker-share")
+		b.ReportMetric(res.Points[0].Success, "attack-success")
+	}
+}
+
+func BenchmarkDoubleSpendBitcoin(b *testing.B) { benchDoubleSpend(b, experiment.ProtoBitcoin) }
+func BenchmarkDoubleSpendBCBPT(b *testing.B)   { benchDoubleSpend(b, experiment.ProtoBCBPT) }
+
+// --- Ablation: INV three-step vs direct-push relay (refs [9],[10]) ---
+
+func benchRelayMode(b *testing.B, mode p2p.RelayMode) {
+	o := benchOpts(11)
+	o.Runs = 25
+	for i := 0; i < b.N; i++ {
+		d := runCampaign(b, experiment.Spec{
+			Nodes: o.Nodes, Seed: o.Seed, Protocol: experiment.ProtoBCBPT,
+			BCBPT: fastBCBPT(25 * time.Millisecond),
+			Relay: mode,
+		}, o)
+		reportDist(b, "relay", d)
+	}
+}
+
+func BenchmarkAblationRelayInv(b *testing.B)    { benchRelayMode(b, p2p.RelayInv) }
+func BenchmarkAblationRelayDirect(b *testing.B) { benchRelayMode(b, p2p.RelayDirect) }
+
+// --- Ablation: message loss resilience ---
+
+func benchLoss(b *testing.B, loss float64) {
+	o := benchOpts(12)
+	o.Runs = 25
+	for i := 0; i < b.N; i++ {
+		built, err := experiment.Build(experiment.Spec{
+			Nodes: o.Nodes, Seed: o.Seed, Protocol: experiment.ProtoBCBPT,
+			BCBPT:    fastBCBPT(25 * time.Millisecond),
+			LossProb: loss,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := built.Campaign(o.Runs, o.Deadline)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Dist.Median())/1e6, "p50-ms")
+		b.ReportMetric(float64(res.Lost), "lost-samples")
+	}
+}
+
+func BenchmarkAblationLoss0(b *testing.B)  { benchLoss(b, 0) }
+func BenchmarkAblationLoss5(b *testing.B)  { benchLoss(b, 0.05) }
+func BenchmarkAblationLoss20(b *testing.B) { benchLoss(b, 0.20) }
+
+// --- Extension: fork rate under mining races (ref [9] metric) ---
+
+func benchForks(b *testing.B, proto experiment.ProtocolKind) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.ForkRace(experiment.ForkSpec{
+			Nodes:         200,
+			Seed:          13,
+			Protocol:      proto,
+			BCBPT:         fastBCBPT(25 * time.Millisecond),
+			Miners:        10,
+			Blocks:        60,
+			BlockInterval: 500 * time.Millisecond,
+			BlockTxs:      50,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ForkRate, "fork-rate")
+		b.ReportMetric(float64(res.Coverage90.Median())/1e6, "cover90-p50-ms")
+	}
+}
+
+func BenchmarkForkRateBitcoin(b *testing.B) { benchForks(b, experiment.ProtoBitcoin) }
+func BenchmarkForkRateBCBPT(b *testing.B)   { benchForks(b, experiment.ProtoBCBPT) }

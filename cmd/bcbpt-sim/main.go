@@ -1,0 +1,283 @@
+// Command bcbpt-sim runs the paper's simulation experiments and prints
+// the regenerated figures.
+//
+// Usage:
+//
+//	bcbpt-sim -experiment figure3 -nodes 5000 -runs 1000
+//	bcbpt-sim -experiment figure4
+//	bcbpt-sim -experiment variance-connections
+//	bcbpt-sim -experiment overhead
+//	bcbpt-sim -experiment eclipse -adversaries 32
+//	bcbpt-sim -experiment partition
+//	bcbpt-sim -experiment crawl
+//
+// The defaults are laptop-scale (1000 nodes, 200 runs); pass -nodes 5000
+// -runs 1000 for the paper's full configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/geo"
+	"repro/internal/measure"
+	"repro/internal/p2p"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		exp         = flag.String("experiment", "figure3", "experiment: figure3|figure4|variance-connections|overhead|eclipse|partition|crawl|doublespend|forks")
+		nodes       = flag.Int("nodes", 1000, "network size (paper: ~5000)")
+		runs        = flag.Int("runs", 200, "measurement injections (paper: ~1000)")
+		seed        = flag.Int64("seed", 1, "root random seed")
+		churnOn     = flag.Bool("churn", false, "enable join/leave churn during measurement")
+		threshold   = flag.Duration("dt", 25*time.Millisecond, "BCBPT latency threshold")
+		adversaries = flag.Int("adversaries", 16, "eclipse: adversarial nodes")
+		deadline    = flag.Duration("deadline", 2*time.Minute, "virtual-time deadline per run")
+		csvPath     = flag.String("csv", "", "write figure CDF data to this CSV file (figure3/figure4 only)")
+	)
+	flag.Parse()
+
+	o := experiment.Options{
+		Nodes:    *nodes,
+		Runs:     *runs,
+		Seed:     *seed,
+		Deadline: *deadline,
+		ChurnOn:  *churnOn,
+	}
+	if err := run(*exp, o, *threshold, *adversaries, *csvPath); err != nil {
+		fmt.Fprintf(os.Stderr, "bcbpt-sim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, o experiment.Options, dt time.Duration, adversaries int, csvPath string) error {
+	start := time.Now()
+	defer func() { fmt.Printf("\n(wall time %v)\n", time.Since(start).Round(time.Millisecond)) }()
+
+	switch exp {
+	case "figure3":
+		fig, err := experiment.Figure3(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fig)
+		if err := writeCSV(csvPath, fig); err != nil {
+			return err
+		}
+	case "figure4":
+		fig, err := experiment.Figure4(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fig)
+		if err := writeCSV(csvPath, fig); err != nil {
+			return err
+		}
+	case "variance-connections":
+		res, err := experiment.VarianceVsConnections(o, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	case "overhead":
+		results, err := experiment.Overhead(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== §IV.A — measurement overhead ==")
+		for _, r := range results {
+			fmt.Println(r)
+		}
+	case "eclipse":
+		return runEclipse(o, dt, adversaries)
+	case "partition":
+		return runPartition(o, dt)
+	case "crawl":
+		return runCrawl(o)
+	case "doublespend":
+		return runDoubleSpend(o, dt)
+	case "forks":
+		return runForks(o, dt)
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+// writeCSV dumps a figure's CDF series to path (no-op when path is "").
+func writeCSV(path string, fig experiment.FigureResult) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	names := make([]string, len(fig.Series))
+	dists := make([]measure.Distribution, len(fig.Series))
+	for i, s := range fig.Series {
+		names[i] = s.Name
+		dists[i] = s.Dist
+	}
+	if err := measure.WriteCDFCSV(f, names, dists, 101); err != nil {
+		return err
+	}
+	fmt.Printf("(CDF data written to %s)\n", path)
+	return nil
+}
+
+// runDoubleSpend races conflicting transactions under each protocol.
+func runDoubleSpend(o experiment.Options, dt time.Duration) error {
+	fmt.Println("== extension — double-spend race (the paper's motivating attack) ==")
+	offsets := []time.Duration{0, 50 * time.Millisecond, 150 * time.Millisecond, 500 * time.Millisecond, time.Second}
+	for _, proto := range []experiment.ProtocolKind{experiment.ProtoBitcoin, experiment.ProtoBCBPT} {
+		cfg := core.DefaultConfig()
+		cfg.Threshold = dt
+		res, err := experiment.DoubleSpend(experiment.DoubleSpendSpec{
+			Nodes:    o.Nodes,
+			Seed:     o.Seed,
+			Protocol: proto,
+			BCBPT:    cfg,
+			Offsets:  offsets,
+			Trials:   5,
+			Deadline: o.Deadline,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	return nil
+}
+
+// runForks races miners under each protocol and reports fork rates.
+func runForks(o experiment.Options, dt time.Duration) error {
+	fmt.Println("== extension — fork rate vs protocol (ref [9] metric) ==")
+	for _, proto := range []experiment.ProtocolKind{experiment.ProtoBitcoin, experiment.ProtoLBC, experiment.ProtoBCBPT} {
+		cfg := core.DefaultConfig()
+		cfg.Threshold = dt
+		res, err := experiment.ForkRace(experiment.ForkSpec{
+			Nodes:         o.Nodes,
+			Seed:          o.Seed,
+			Protocol:      proto,
+			BCBPT:         cfg,
+			Miners:        o.Nodes / 20,
+			Blocks:        150,
+			BlockInterval: time.Second,
+			BlockTxs:      100,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	return nil
+}
+
+// buildBCBPT constructs a BCBPT network for the attack experiments.
+func buildBCBPT(o experiment.Options, dt time.Duration) (*experiment.Built, error) {
+	cfg := core.DefaultConfig()
+	cfg.Threshold = dt
+	return experiment.Build(experiment.Spec{
+		Nodes:    o.Nodes,
+		Seed:     o.Seed,
+		Protocol: experiment.ProtoBCBPT,
+		BCBPT:    cfg,
+	})
+}
+
+func runEclipse(o experiment.Options, dt time.Duration, adversaries int) error {
+	fmt.Printf("== §V.C — eclipse exposure (dt=%v) ==\n", dt)
+	var rows []attack.SweepResult
+	for _, budget := range []int{adversaries / 4, adversaries / 2, adversaries, adversaries * 2} {
+		if budget < 1 {
+			continue
+		}
+		const trials = 3
+		row := attack.SweepResult{Adversaries: budget, Trials: trials}
+		for trial := 0; trial < trials; trial++ {
+			b, err := buildBCBPT(experiment.Options{
+				Nodes: o.Nodes, Seed: o.Seed + int64(trial), Runs: o.Runs, Deadline: o.Deadline,
+			}, dt)
+			if err != nil {
+				return err
+			}
+			victim := b.Measurer.ID()
+			res, err := attack.Eclipse(b.Net, b.BCBPT, victim, attack.EclipseSpec{
+				Adversaries:  budget,
+				JitterMeters: 5_000,
+				SettleTime:   5 * time.Minute,
+			})
+			if err != nil {
+				return err
+			}
+			row.MeanBadFrac += res.Fraction() / trials
+			if res.Eclipsed {
+				row.Eclipses++
+			}
+		}
+		rows = append(rows, row)
+	}
+	fmt.Println(attack.SweepTable(rows))
+	return nil
+}
+
+func runPartition(o experiment.Options, dt time.Duration) error {
+	fmt.Printf("== §V.C — partition exposure by threshold ==\n")
+	fmt.Printf("%10s %10s %10s %10s %10s\n", "dt", "clusters", "minCut", "meanCut", "isolated")
+	for _, th := range []time.Duration{15 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond} {
+		b, err := buildBCBPT(o, th)
+		if err != nil {
+			return err
+		}
+		res, err := attack.Partition(b.Net, b.BCBPT)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%10v %10d %10d %10.1f %10d\n", th, res.Clusters, res.MinCut, res.MeanCut, res.Isolated)
+	}
+	return nil
+}
+
+func runCrawl(o experiment.Options) error {
+	fmt.Println("== crawler — ping/pong RTT census (methodology of refs [5],[12]) ==")
+	pcfg := p2p.DefaultConfig()
+	pcfg.Seed = o.Seed
+	pcfg.Validation = p2p.ValidationNone
+	net, err := p2p.NewNetwork(pcfg)
+	if err != nil {
+		return err
+	}
+	placer := geo.DefaultPlacer()
+	r := net.Streams().Stream("placement")
+	ids := make([]p2p.NodeID, o.Nodes)
+	for i := range ids {
+		ids[i] = net.AddNode(placer.Place(r)).ID()
+	}
+	proto := topology.NewRandom(net, topology.NewDNSSeed(), 0)
+	if err := proto.Bootstrap(ids); err != nil {
+		return err
+	}
+	crawler, err := measure.NewCrawler(net, ids[0])
+	if err != nil {
+		return err
+	}
+	pingsPer := 4
+	res, err := crawler.Crawl(pingsPer, 50*time.Millisecond, 10*time.Minute)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reachable nodes: %d\n", res.Reachable)
+	fmt.Printf("ping/pong observations: %d\n", res.RTTs.N())
+	fmt.Printf("RTT distribution: %s\n", res.RTTs)
+	fmt.Println(measure.ASCIICDF([]string{"rtt"}, []measure.Distribution{res.RTTs}, 11))
+	return nil
+}

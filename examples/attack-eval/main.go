@@ -1,0 +1,71 @@
+// Attack evaluation (the paper's §V.C future work): eclipse exposure as
+// the adversary budget grows, and partition exposure as the threshold
+// shrinks. The paper's worry, quantified: "it would seem possible for an
+// attacker to more easily launch eclipse attacks by concentrating its bad
+// peers within a small cluster."
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/experiment"
+)
+
+func build(seed int64, dt time.Duration) *experiment.Built {
+	cfg := core.DefaultConfig()
+	cfg.Threshold = dt
+	b, err := experiment.Build(experiment.Spec{
+		Nodes:    300,
+		Seed:     seed,
+		Protocol: experiment.ProtoBCBPT,
+		BCBPT:    cfg,
+	})
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	return b
+}
+
+func main() {
+	// Eclipse: sweep the adversary budget against a fixed victim.
+	fmt.Println("== eclipse exposure vs adversary budget (dt=25ms) ==")
+	var rows []attack.SweepResult
+	for _, budget := range []int{4, 8, 16, 32} {
+		const trials = 3
+		row := attack.SweepResult{Adversaries: budget, Trials: trials}
+		for trial := 0; trial < trials; trial++ {
+			b := build(int64(trial)+1, 25*time.Millisecond)
+			res, err := attack.Eclipse(b.Net, b.BCBPT, b.Measurer.ID(), attack.EclipseSpec{
+				Adversaries:  budget,
+				JitterMeters: 5_000,
+				SettleTime:   5 * time.Minute,
+			})
+			if err != nil {
+				log.Fatalf("eclipse: %v", err)
+			}
+			row.MeanBadFrac += res.Fraction() / trials
+			if res.Eclipsed {
+				row.Eclipses++
+			}
+		}
+		rows = append(rows, row)
+	}
+	fmt.Println(attack.SweepTable(rows))
+
+	// Partition: smaller thresholds make smaller clusters with thinner
+	// cuts to the rest of the network.
+	fmt.Println("== partition exposure vs threshold ==")
+	fmt.Printf("%10s %10s %8s %9s %9s\n", "dt", "clusters", "minCut", "meanCut", "isolated")
+	for _, dt := range []time.Duration{15 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond} {
+		b := build(9, dt)
+		res, err := attack.Partition(b.Net, b.BCBPT)
+		if err != nil {
+			log.Fatalf("partition: %v", err)
+		}
+		fmt.Printf("%10v %10d %8d %9.1f %9d\n", dt, res.Clusters, res.MinCut, res.MeanCut, res.Isolated)
+	}
+}

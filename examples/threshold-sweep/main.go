@@ -1,0 +1,45 @@
+// Threshold sweep (Figure 4): BCBPT's Δt distribution at dt ∈ {30, 50,
+// 100}ms, plus a finer sweep showing where the effect saturates. The
+// paper's finding: "less distance threshold performs less variance of
+// delays" because smaller dt bounds each cluster's physical span.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	o := experiment.Options{
+		Nodes:    400,
+		Runs:     60,
+		Seed:     3,
+		Deadline: 2 * time.Minute,
+	}
+
+	// The paper's Fig. 4 set.
+	fig, err := experiment.Figure4(o)
+	if err != nil {
+		log.Fatalf("figure4: %v", err)
+	}
+	fmt.Println(fig)
+
+	// Extension: a finer sweep including the Fig. 3 operating point.
+	fine, err := experiment.ThresholdSweep(o, []time.Duration{
+		15 * time.Millisecond,
+		25 * time.Millisecond,
+		50 * time.Millisecond,
+		200 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatalf("fine sweep: %v", err)
+	}
+	fmt.Println("== extension: finer threshold sweep ==")
+	for _, s := range fine.Series {
+		fmt.Printf("%-14s median=%v std=%v\n",
+			s.Name, s.Dist.Median().Round(time.Millisecond), s.Dist.Std().Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,238 @@
+// Package attack evaluates the security implications the paper raises in
+// §V.C and defers to future work: eclipse attacks ("an attacker [may]
+// more easily launch eclipse attacks by concentrating its bad peers
+// within a small cluster") and partition attacks ("partition attacks seem
+// to have a great potential").
+//
+// Both analyses run against a bootstrapped network + clustering protocol
+// and report structural exposure, not packet-level exploitation:
+//
+//   - Eclipse: the adversary places colluding nodes at the victim's
+//     location; exposure is the fraction of the victim's connections that
+//     end up adversarial, and the probability of total isolation.
+//   - Partition: exposure is the inter-cluster edge cut — the number of
+//     links an adversary must sever to split a cluster from the rest of
+//     the network. Fewer long links (smaller dt, fewer LongLinks) mean a
+//     cheaper partition.
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/p2p"
+)
+
+// EclipseSpec parameterises an eclipse trial.
+type EclipseSpec struct {
+	// Adversaries is how many malicious nodes join near the victim.
+	Adversaries int
+	// JitterMeters spreads adversary placement around the victim
+	// (small: a hosting facility in the same metro).
+	JitterMeters float64
+	// SettleTime is virtual time allowed for the adversarial joins to
+	// complete.
+	SettleTime time.Duration
+}
+
+// EclipseResult reports one eclipse trial.
+type EclipseResult struct {
+	// Victim is the targeted node.
+	Victim p2p.NodeID
+	// VictimCluster is the victim's cluster after the attack.
+	VictimCluster core.ClusterID
+	// ClusterSize is the victim cluster's population (honest + bad).
+	ClusterSize int
+	// AdversariesInCluster counts attackers that penetrated the cluster.
+	AdversariesInCluster int
+	// AdversarialPeers counts the victim's connections to attackers.
+	AdversarialPeers int
+	// TotalPeers is the victim's connection count.
+	TotalPeers int
+	// Eclipsed is true when every victim connection is adversarial.
+	Eclipsed bool
+}
+
+// Fraction returns the adversarial share of the victim's connections.
+func (r EclipseResult) Fraction() float64 {
+	if r.TotalPeers == 0 {
+		return 0
+	}
+	return float64(r.AdversarialPeers) / float64(r.TotalPeers)
+}
+
+// String renders the trial outcome.
+func (r EclipseResult) String() string {
+	return fmt.Sprintf("victim=%d cluster=%d size=%d badInCluster=%d badPeers=%d/%d eclipsed=%v",
+		r.Victim, r.VictimCluster, r.ClusterSize, r.AdversariesInCluster,
+		r.AdversarialPeers, r.TotalPeers, r.Eclipsed)
+}
+
+// Eclipse runs one eclipse trial against a BCBPT network: adversaries
+// join at the victim's coordinates (so their measured RTT to the victim's
+// cluster is minimal) and then victim connectivity is re-examined after
+// the victim is forced to refresh its links (modelling natural connection
+// turnover the attacker can wait for, or induce).
+func Eclipse(net *p2p.Network, proto *core.BCBPT, victim p2p.NodeID, spec EclipseSpec) (EclipseResult, error) {
+	if spec.Adversaries <= 0 {
+		return EclipseResult{}, errors.New("attack: need at least one adversary")
+	}
+	vNode, ok := net.Node(victim)
+	if !ok {
+		return EclipseResult{}, errors.New("attack: unknown victim")
+	}
+	if spec.SettleTime <= 0 {
+		spec.SettleTime = 2 * time.Minute
+	}
+	vLoc := vNode.Location()
+	r := net.Streams().Stream("attack/eclipse")
+
+	bad := make(map[p2p.NodeID]bool, spec.Adversaries)
+	for i := 0; i < spec.Adversaries; i++ {
+		loc := geo.Location{
+			Coord:   jitterCoord(vLoc.Coord, spec.JitterMeters, r.Float64(), r.Float64()),
+			City:    vLoc.City,
+			Country: vLoc.Country,
+			Region:  vLoc.Region,
+		}
+		node := net.AddNode(loc)
+		bad[node.ID()] = true
+		proto.OnJoin(node.ID())
+	}
+	if err := net.RunUntil(net.Now() + spec.SettleTime); err != nil {
+		return EclipseResult{}, err
+	}
+
+	// Connection turnover: the victim's links are dropped one by one and
+	// the protocol refills them from the (now partly adversarial)
+	// cluster. This models the eclipse end-game without packet forgery.
+	prev := net.OnDisconnect
+	net.OnDisconnect = proto.OnDisconnect
+	for _, p := range vNode.Peers() {
+		net.Disconnect(victim, p)
+	}
+	net.OnDisconnect = prev
+
+	res := EclipseResult{Victim: victim}
+	if c, ok := proto.ClusterOf(victim); ok {
+		res.VictimCluster = c
+		members := proto.Clusters()[c]
+		res.ClusterSize = len(members)
+		for _, m := range members {
+			if bad[m] {
+				res.AdversariesInCluster++
+			}
+		}
+	}
+	for _, p := range vNode.Peers() {
+		res.TotalPeers++
+		if bad[p] {
+			res.AdversarialPeers++
+		}
+	}
+	res.Eclipsed = res.TotalPeers > 0 && res.AdversarialPeers == res.TotalPeers
+	return res, nil
+}
+
+// jitterCoord displaces a coordinate by up to radius meters using two
+// uniform draws (kept dependency-free for the attack stream).
+func jitterCoord(c geo.Coord, radius, u1, u2 float64) geo.Coord {
+	if radius <= 0 {
+		return c
+	}
+	// Square jitter is fine here; only the scale matters.
+	dLat := (u1 - 0.5) * 2 * radius / geo.EarthRadiusMeters * 180 / 3.14159265
+	dLon := (u2 - 0.5) * 2 * radius / geo.EarthRadiusMeters * 180 / 3.14159265
+	out := geo.Coord{LatDeg: c.LatDeg + dLat, LonDeg: c.LonDeg + dLon}
+	if !out.Valid() {
+		return c
+	}
+	return out
+}
+
+// PartitionResult reports the structural partition exposure of a network.
+type PartitionResult struct {
+	// Clusters is the cluster count.
+	Clusters int
+	// MinCut is the smallest inter-cluster edge cut over all clusters:
+	// the cheapest cluster for an adversary to sever.
+	MinCut int
+	// MinCutCluster is the cluster achieving MinCut.
+	MinCutCluster core.ClusterID
+	// MeanCut is the average inter-cluster edge count per cluster.
+	MeanCut float64
+	// Isolated counts clusters with zero outgoing links (already
+	// partitioned — a protocol failure).
+	Isolated int
+}
+
+// String renders the analysis.
+func (r PartitionResult) String() string {
+	return fmt.Sprintf("clusters=%d minCut=%d (cluster %d) meanCut=%.1f isolated=%d",
+		r.Clusters, r.MinCut, r.MinCutCluster, r.MeanCut, r.Isolated)
+}
+
+// Partition analyses the inter-cluster cut structure of a BCBPT network.
+func Partition(net *p2p.Network, proto *core.BCBPT) (PartitionResult, error) {
+	clusters := proto.Clusters()
+	if len(clusters) == 0 {
+		return PartitionResult{}, errors.New("attack: no clusters")
+	}
+	cuts := make(map[core.ClusterID]int, len(clusters))
+	for c, members := range clusters {
+		for _, id := range members {
+			node, ok := net.Node(id)
+			if !ok {
+				continue
+			}
+			for _, p := range node.Peers() {
+				if pc, ok := proto.ClusterOf(p); ok && pc != c {
+					cuts[c]++
+				}
+			}
+		}
+	}
+	res := PartitionResult{Clusters: len(clusters), MinCut: 1 << 30}
+	var total int
+	ids := make([]core.ClusterID, 0, len(clusters))
+	for c := range clusters {
+		ids = append(ids, c)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, c := range ids {
+		cut := cuts[c]
+		total += cut
+		if cut == 0 {
+			res.Isolated++
+		}
+		if cut < res.MinCut {
+			res.MinCut = cut
+			res.MinCutCluster = c
+		}
+	}
+	res.MeanCut = float64(total) / float64(len(clusters))
+	return res, nil
+}
+
+// SweepResult is one row of an eclipse budget sweep.
+type SweepResult struct {
+	Adversaries int
+	Trials      int
+	MeanBadFrac float64
+	Eclipses    int
+}
+
+// SweepTable renders sweep rows.
+func SweepTable(rows []SweepResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s %8s %14s %10s\n", "adversaries", "trials", "meanBadFrac", "eclipses")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%12d %8d %14.3f %10d\n", r.Adversaries, r.Trials, r.MeanBadFrac, r.Eclipses)
+	}
+	return b.String()
+}

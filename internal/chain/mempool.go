@@ -1,0 +1,197 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrMempoolConflict is returned when a submitted transaction spends an
+// outpoint already claimed by a different mempool transaction — the
+// double-spend race the paper's propagation-delay argument is about.
+var ErrMempoolConflict = errors.New("chain: conflicts with mempool transaction")
+
+// ErrMempoolFull is returned when the pool is at capacity and the
+// submitted transaction's fee rate does not beat the cheapest resident.
+var ErrMempoolFull = errors.New("chain: mempool full")
+
+// mempoolEntry is a resident transaction with cached admission metadata.
+type mempoolEntry struct {
+	tx      *Tx
+	fee     Amount
+	size    int
+	feeRate float64 // satoshi per byte
+	seq     uint64  // admission order, for deterministic iteration
+}
+
+// Mempool holds validated, unconfirmed transactions, indexed by ID and by
+// claimed outpoint so conflicting spends are rejected in O(inputs).
+type Mempool struct {
+	utxo    *UTXOSet
+	byID    map[Hash]*mempoolEntry
+	claimed map[Outpoint]Hash // outpoint -> tx that spends it
+	maxTxs  int
+	seq     uint64
+}
+
+// NewMempool creates a pool validating against utxo, holding at most
+// maxTxs transactions (0 means a generous default).
+func NewMempool(utxo *UTXOSet, maxTxs int) *Mempool {
+	if maxTxs <= 0 {
+		maxTxs = 50_000
+	}
+	return &Mempool{
+		utxo:    utxo,
+		byID:    make(map[Hash]*mempoolEntry),
+		claimed: make(map[Outpoint]Hash),
+		maxTxs:  maxTxs,
+	}
+}
+
+// Len returns the number of resident transactions.
+func (m *Mempool) Len() int { return len(m.byID) }
+
+// Has reports whether the pool holds id.
+func (m *Mempool) Has(id Hash) bool {
+	_, ok := m.byID[id]
+	return ok
+}
+
+// Get returns the resident transaction, if present.
+func (m *Mempool) Get(id Hash) (*Tx, bool) {
+	e, ok := m.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return e.tx, true
+}
+
+// Conflicts returns the ID of a resident transaction that spends any of
+// tx's inputs, if one exists. This is the double-spend detector.
+func (m *Mempool) Conflicts(tx *Tx) (Hash, bool) {
+	for i := range tx.Inputs {
+		if id, ok := m.claimed[tx.Inputs[i].PrevOut]; ok {
+			return id, true
+		}
+	}
+	return Hash{}, false
+}
+
+// Add validates and admits tx. Admission requires: full UTXO validation,
+// no conflict with resident transactions, and room in the pool (or a fee
+// rate beating the cheapest resident, which is then evicted).
+func (m *Mempool) Add(tx *Tx) error {
+	id := tx.ID()
+	if m.Has(id) {
+		return nil // idempotent: relay will offer duplicates constantly
+	}
+	if err := m.utxo.ValidateTx(tx); err != nil {
+		return err
+	}
+	if conflict, ok := m.Conflicts(tx); ok {
+		return fmt.Errorf("%w: %s", ErrMempoolConflict, conflict)
+	}
+	fee, err := m.utxo.Fee(tx)
+	if err != nil {
+		return err
+	}
+	size := tx.Size()
+	e := &mempoolEntry{tx: tx, fee: fee, size: size, feeRate: float64(fee) / float64(size)}
+	if len(m.byID) >= m.maxTxs {
+		victim := m.cheapest()
+		if victim == nil || victim.feeRate >= e.feeRate {
+			return ErrMempoolFull
+		}
+		m.remove(victim.tx.ID())
+	}
+	m.seq++
+	e.seq = m.seq
+	m.byID[id] = e
+	for i := range tx.Inputs {
+		m.claimed[tx.Inputs[i].PrevOut] = id
+	}
+	return nil
+}
+
+// cheapest returns the lowest-fee-rate entry (ties broken by admission
+// order so eviction is deterministic).
+func (m *Mempool) cheapest() *mempoolEntry {
+	var worst *mempoolEntry
+	for _, e := range m.byID {
+		if worst == nil ||
+			e.feeRate < worst.feeRate ||
+			(e.feeRate == worst.feeRate && e.seq < worst.seq) {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// remove deletes id and releases its claimed outpoints.
+func (m *Mempool) remove(id Hash) {
+	e, ok := m.byID[id]
+	if !ok {
+		return
+	}
+	for i := range e.tx.Inputs {
+		op := e.tx.Inputs[i].PrevOut
+		if m.claimed[op] == id {
+			delete(m.claimed, op)
+		}
+	}
+	delete(m.byID, id)
+}
+
+// Remove deletes a transaction (e.g. once confirmed in a block).
+func (m *Mempool) Remove(id Hash) { m.remove(id) }
+
+// RemoveConfirmed drops every resident transaction included in, or made
+// invalid by, the given block's transactions.
+func (m *Mempool) RemoveConfirmed(txs []*Tx) {
+	for _, tx := range txs {
+		m.remove(tx.ID())
+		// Also drop residents that spend outpoints this block consumed.
+		for i := range tx.Inputs {
+			if id, ok := m.claimed[tx.Inputs[i].PrevOut]; ok {
+				m.remove(id)
+			}
+		}
+	}
+}
+
+// PickForBlock returns up to maxTxs resident transactions ordered by fee
+// rate (highest first), the miner's selection policy.
+func (m *Mempool) PickForBlock(maxTxs int) []*Tx {
+	entries := make([]*mempoolEntry, 0, len(m.byID))
+	for _, e := range m.byID {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].feeRate != entries[j].feeRate {
+			return entries[i].feeRate > entries[j].feeRate
+		}
+		return entries[i].seq < entries[j].seq
+	})
+	if maxTxs > 0 && len(entries) > maxTxs {
+		entries = entries[:maxTxs]
+	}
+	txs := make([]*Tx, len(entries))
+	for i, e := range entries {
+		txs[i] = e.tx
+	}
+	return txs
+}
+
+// IDs returns the resident transaction IDs in admission order.
+func (m *Mempool) IDs() []Hash {
+	entries := make([]*mempoolEntry, 0, len(m.byID))
+	for _, e := range m.byID {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	ids := make([]Hash, len(entries))
+	for i, e := range entries {
+		ids[i] = e.tx.ID()
+	}
+	return ids
+}

@@ -1,0 +1,245 @@
+package chain
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Amount is a quantity of currency in the smallest unit (satoshi).
+type Amount int64
+
+// MaxAmount caps any single output; 21M coins at 1e8 satoshi.
+const MaxAmount Amount = 21_000_000 * 1e8
+
+// Outpoint references one output of a previous transaction.
+type Outpoint struct {
+	TxID  Hash
+	Index uint32
+}
+
+// String implements fmt.Stringer.
+func (o Outpoint) String() string { return fmt.Sprintf("%s:%d", o.TxID, o.Index) }
+
+// TxIn spends a previous output. Sig and PubKey are filled by signing.
+type TxIn struct {
+	PrevOut Outpoint
+	Sig     []byte // compact 64-byte signature over the tx sighash
+	PubKey  []byte // uncompressed public key whose address owns PrevOut
+}
+
+// TxOut assigns value to an address.
+type TxOut struct {
+	Value Amount
+	To    Address
+}
+
+// Tx is a transaction: a signed reassignment of previously unspent
+// outputs. A transaction with no inputs and exactly one output is a
+// coinbase (mining reward) and is only valid inside a block.
+type Tx struct {
+	Version  uint32
+	Inputs   []TxIn
+	Outputs  []TxOut
+	LockTime uint32
+}
+
+// Coinbase builds a mining-reward transaction paying value to addr. The
+// height is mixed into the serialization so coinbases at different heights
+// have distinct IDs.
+func Coinbase(height uint64, value Amount, to Address) *Tx {
+	return &Tx{
+		Version:  1,
+		Inputs:   nil,
+		Outputs:  []TxOut{{Value: value, To: to}},
+		LockTime: uint32(height),
+	}
+}
+
+// IsCoinbase reports whether the transaction is a coinbase.
+func (tx *Tx) IsCoinbase() bool { return len(tx.Inputs) == 0 }
+
+// serialize writes the canonical binary form. If forSigning is true, input
+// signatures and pubkeys are omitted so the digest covers only immutable
+// fields.
+func (tx *Tx) serialize(w *bytes.Buffer, forSigning bool) {
+	var scratch [8]byte
+	putU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		w.Write(scratch[:4])
+	}
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		w.Write(scratch[:8])
+	}
+	putBytes := func(b []byte) {
+		putU32(uint32(len(b)))
+		w.Write(b)
+	}
+
+	putU32(tx.Version)
+	putU32(uint32(len(tx.Inputs)))
+	for i := range tx.Inputs {
+		in := &tx.Inputs[i]
+		w.Write(in.PrevOut.TxID[:])
+		putU32(in.PrevOut.Index)
+		if !forSigning {
+			putBytes(in.Sig)
+			putBytes(in.PubKey)
+		}
+	}
+	putU32(uint32(len(tx.Outputs)))
+	for i := range tx.Outputs {
+		out := &tx.Outputs[i]
+		putU64(uint64(out.Value))
+		w.Write(out.To[:])
+	}
+	putU32(tx.LockTime)
+}
+
+// Bytes returns the full canonical serialization.
+func (tx *Tx) Bytes() []byte {
+	var buf bytes.Buffer
+	tx.serialize(&buf, false)
+	return buf.Bytes()
+}
+
+// Size returns the serialized size in bytes.
+func (tx *Tx) Size() int { return len(tx.Bytes()) }
+
+// ID returns the transaction hash over the full serialization.
+func (tx *Tx) ID() Hash { return DoubleSHA256(tx.Bytes()) }
+
+// SigHash returns the digest every input signs: the serialization with
+// signatures and pubkeys excluded.
+func (tx *Tx) SigHash() Hash {
+	var buf bytes.Buffer
+	tx.serialize(&buf, true)
+	return DoubleSHA256(buf.Bytes())
+}
+
+// SignAllInputs signs every input with the corresponding key. keys[i]
+// must own the output spent by Inputs[i].
+func (tx *Tx) SignAllInputs(keys []*KeyPair) error {
+	if len(keys) != len(tx.Inputs) {
+		return fmt.Errorf("chain: %d keys for %d inputs", len(keys), len(tx.Inputs))
+	}
+	digest := tx.SigHash()
+	for i, k := range keys {
+		sig, err := k.Sign([32]byte(digest))
+		if err != nil {
+			return err
+		}
+		tx.Inputs[i].Sig = sig
+		tx.Inputs[i].PubKey = k.PubKey()
+	}
+	return nil
+}
+
+// DecodeTx parses a canonical serialization produced by Bytes.
+func DecodeTx(data []byte) (*Tx, error) {
+	r := bytes.NewReader(data)
+	var tx Tx
+	var err error
+	u32 := func() uint32 {
+		var v uint32
+		if err == nil {
+			err = binary.Read(r, binary.LittleEndian, &v)
+		}
+		return v
+	}
+	u64 := func() uint64 {
+		var v uint64
+		if err == nil {
+			err = binary.Read(r, binary.LittleEndian, &v)
+		}
+		return v
+	}
+	getBytes := func() []byte {
+		n := u32()
+		if err != nil {
+			return nil
+		}
+		if int(n) > r.Len() {
+			err = errors.New("chain: truncated byte field")
+			return nil
+		}
+		b := make([]byte, n)
+		_, err = r.Read(b)
+		return b
+	}
+
+	tx.Version = u32()
+	nIn := u32()
+	if err != nil {
+		return nil, fmt.Errorf("chain: decode tx header: %w", err)
+	}
+	const maxCount = 1 << 16 // sanity bound against hostile lengths
+	if nIn > maxCount {
+		return nil, fmt.Errorf("chain: input count %d exceeds limit", nIn)
+	}
+	tx.Inputs = make([]TxIn, nIn)
+	for i := range tx.Inputs {
+		in := &tx.Inputs[i]
+		if err == nil {
+			_, err = r.Read(in.PrevOut.TxID[:])
+		}
+		in.PrevOut.Index = u32()
+		in.Sig = getBytes()
+		in.PubKey = getBytes()
+	}
+	nOut := u32()
+	if err != nil {
+		return nil, fmt.Errorf("chain: decode tx inputs: %w", err)
+	}
+	if nOut > maxCount {
+		return nil, fmt.Errorf("chain: output count %d exceeds limit", nOut)
+	}
+	tx.Outputs = make([]TxOut, nOut)
+	for i := range tx.Outputs {
+		out := &tx.Outputs[i]
+		out.Value = Amount(u64())
+		if err == nil {
+			_, err = r.Read(out.To[:])
+		}
+	}
+	tx.LockTime = u32()
+	if err != nil {
+		return nil, fmt.Errorf("chain: decode tx: %w", err)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("chain: %d trailing bytes after tx", r.Len())
+	}
+	return &tx, nil
+}
+
+// CheckWellFormed performs context-free validation: structure and value
+// ranges only (no UTXO lookups, no signature checks).
+func (tx *Tx) CheckWellFormed() error {
+	if len(tx.Outputs) == 0 {
+		return errors.New("chain: tx has no outputs")
+	}
+	var total Amount
+	for i, out := range tx.Outputs {
+		if out.Value <= 0 {
+			return fmt.Errorf("chain: output %d has non-positive value %d", i, out.Value)
+		}
+		if out.Value > MaxAmount {
+			return fmt.Errorf("chain: output %d value %d exceeds max", i, out.Value)
+		}
+		total += out.Value
+		if total > MaxAmount {
+			return errors.New("chain: total output value exceeds max")
+		}
+	}
+	seen := make(map[Outpoint]struct{}, len(tx.Inputs))
+	for i := range tx.Inputs {
+		op := tx.Inputs[i].PrevOut
+		if _, dup := seen[op]; dup {
+			return fmt.Errorf("chain: duplicate input %s (self double-spend)", op)
+		}
+		seen[op] = struct{}{}
+	}
+	return nil
+}

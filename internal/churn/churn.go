@@ -1,0 +1,148 @@
+// Package churn models peer session behaviour: how long nodes stay
+// connected and how often new nodes arrive.
+//
+// The paper's simulator "designed joining and leaving events based on the
+// measurements of peers' session length in the real Bitcoin network"
+// (§V.A, from their refs [5],[12]). Published Bitcoin measurement studies
+// find heavily skewed session lengths — a large population of short-lived
+// peers and a stable core that stays up for days — which a Weibull
+// distribution with shape < 1 captures well. Arrivals are Poisson.
+package churn
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Model generates session lengths and inter-arrival gaps.
+type Model struct {
+	// SessionScale is the Weibull scale (λ) of session length.
+	SessionScale time.Duration
+	// SessionShape is the Weibull shape (k). k < 1 gives the measured
+	// "many short sessions, long tail" behaviour.
+	SessionShape float64
+	// MeanArrival is the mean gap between new-peer arrivals (Poisson
+	// process). Zero disables arrivals.
+	MeanArrival time.Duration
+	// MinSession floors session length so a peer always completes its
+	// handshake before it can leave.
+	MinSession time.Duration
+}
+
+// Default returns the calibration used by the experiments: median session
+// around 15-20 minutes with a tail of multi-hour sessions, matching the
+// session-length CDFs reported by Bitcoin crawler studies of 2015-2016.
+func Default() Model {
+	return Model{
+		SessionScale: 40 * time.Minute,
+		SessionShape: 0.6,
+		MeanArrival:  5 * time.Second,
+		MinSession:   30 * time.Second,
+	}
+}
+
+// Validate reports whether the model is usable.
+func (m Model) Validate() error {
+	if m.SessionScale <= 0 {
+		return fmt.Errorf("churn: SessionScale = %v, must be positive", m.SessionScale)
+	}
+	if m.SessionShape <= 0 {
+		return fmt.Errorf("churn: SessionShape = %g, must be positive", m.SessionShape)
+	}
+	if m.MeanArrival < 0 {
+		return fmt.Errorf("churn: MeanArrival = %v, must be non-negative", m.MeanArrival)
+	}
+	if m.MinSession < 0 {
+		return fmt.Errorf("churn: MinSession = %v, must be non-negative", m.MinSession)
+	}
+	return nil
+}
+
+// SessionLength draws one session duration.
+func (m Model) SessionLength(r *rand.Rand) time.Duration {
+	d := time.Duration(sim.Weibull(r, float64(m.SessionScale), m.SessionShape))
+	if d < m.MinSession {
+		d = m.MinSession
+	}
+	return d
+}
+
+// NextArrival draws the gap until the next peer arrival. Returns 0 if
+// arrivals are disabled.
+func (m Model) NextArrival(r *rand.Rand) time.Duration {
+	if m.MeanArrival <= 0 {
+		return 0
+	}
+	return time.Duration(sim.Exponential(r, float64(m.MeanArrival)))
+}
+
+// Driver wires a churn model into a simulation: it schedules leave events
+// for existing peers and arrival events for new ones, invoking the
+// supplied callbacks. The callbacks own all topology bookkeeping.
+type Driver struct {
+	model Model
+	sched *sim.Scheduler
+	r     *rand.Rand
+
+	// OnLeave is invoked when a peer's session expires.
+	OnLeave func(nodeID uint64)
+	// OnArrive is invoked for each new peer arrival and must return the
+	// new peer's node ID so its eventual departure can be scheduled.
+	OnArrive func() (nodeID uint64, ok bool)
+
+	stopped bool
+	leaves  uint64
+	arrives uint64
+}
+
+// NewDriver creates a driver. Callbacks may be nil, in which case the
+// corresponding event class is skipped.
+func NewDriver(model Model, sched *sim.Scheduler, r *rand.Rand) (*Driver, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return &Driver{model: model, sched: sched, r: r}, nil
+}
+
+// Stats returns counts of processed leave and arrival events.
+func (d *Driver) Stats() (leaves, arrivals uint64) { return d.leaves, d.arrives }
+
+// Stop disables all future churn events.
+func (d *Driver) Stop() { d.stopped = true }
+
+// ScheduleSession schedules the departure of an existing peer one session
+// length from now.
+func (d *Driver) ScheduleSession(nodeID uint64) {
+	d.sched.After(d.model.SessionLength(d.r), func() {
+		if d.stopped || d.OnLeave == nil {
+			return
+		}
+		d.leaves++
+		d.OnLeave(nodeID)
+	})
+}
+
+// Start begins the arrival process (if enabled) — each arrival schedules
+// the next, forming a Poisson process.
+func (d *Driver) Start() {
+	if d.model.MeanArrival <= 0 || d.OnArrive == nil {
+		return
+	}
+	d.scheduleNextArrival()
+}
+
+func (d *Driver) scheduleNextArrival() {
+	d.sched.After(d.model.NextArrival(d.r), func() {
+		if d.stopped {
+			return
+		}
+		if id, ok := d.OnArrive(); ok {
+			d.arrives++
+			d.ScheduleSession(id)
+		}
+		d.scheduleNextArrival()
+	})
+}

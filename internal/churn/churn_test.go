@@ -1,0 +1,197 @@
+package churn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default model invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Model)
+	}{
+		{"zero scale", func(m *Model) { m.SessionScale = 0 }},
+		{"zero shape", func(m *Model) { m.SessionShape = 0 }},
+		{"negative arrival", func(m *Model) { m.MeanArrival = -time.Second }},
+		{"negative min", func(m *Model) { m.MinSession = -time.Second }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := Default()
+			tt.mutate(&m)
+			if err := m.Validate(); err == nil {
+				t.Error("Validate accepted bad model")
+			}
+		})
+	}
+}
+
+func TestSessionLengthFloorAndSkew(t *testing.T) {
+	m := Default()
+	r := rand.New(rand.NewSource(1))
+	const n = 50000
+	var sum float64
+	shorter := 0
+	for i := 0; i < n; i++ {
+		d := m.SessionLength(r)
+		if d < m.MinSession {
+			t.Fatalf("session %v below floor %v", d, m.MinSession)
+		}
+		sum += float64(d)
+		if d < m.SessionScale {
+			shorter++
+		}
+	}
+	// Weibull with k<1: mean > scale (Gamma(1+1/0.6) ≈ 1.5), and well
+	// over half the mass sits below the scale parameter — the "many
+	// short sessions, long tail" shape.
+	mean := time.Duration(sum / n)
+	if mean < m.SessionScale {
+		t.Errorf("mean session %v < scale %v; tail missing", mean, m.SessionScale)
+	}
+	if frac := float64(shorter) / n; frac < 0.55 {
+		t.Errorf("only %.2f of sessions below scale; distribution not skewed", frac)
+	}
+}
+
+func TestNextArrivalMean(t *testing.T) {
+	m := Default()
+	r := rand.New(rand.NewSource(2))
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(m.NextArrival(r))
+	}
+	mean := sum / n
+	want := float64(m.MeanArrival)
+	if math.Abs(mean-want)/want > 0.03 {
+		t.Errorf("mean arrival gap = %v, want ~%v", time.Duration(mean), m.MeanArrival)
+	}
+}
+
+func TestNextArrivalDisabled(t *testing.T) {
+	m := Default()
+	m.MeanArrival = 0
+	if d := m.NextArrival(rand.New(rand.NewSource(1))); d != 0 {
+		t.Errorf("disabled arrivals returned %v", d)
+	}
+}
+
+func TestDriverSchedulesLeaves(t *testing.T) {
+	sched := sim.NewScheduler()
+	m := Model{SessionScale: time.Minute, SessionShape: 1, MinSession: time.Second}
+	d, err := NewDriver(m, sched, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var left []uint64
+	d.OnLeave = func(id uint64) { left = append(left, id) }
+	for id := uint64(0); id < 10; id++ {
+		d.ScheduleSession(id)
+	}
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 10 {
+		t.Errorf("left = %d nodes, want 10", len(left))
+	}
+	leaves, arrivals := d.Stats()
+	if leaves != 10 || arrivals != 0 {
+		t.Errorf("stats = (%d, %d), want (10, 0)", leaves, arrivals)
+	}
+}
+
+func TestDriverArrivalsFormPoissonProcess(t *testing.T) {
+	sched := sim.NewScheduler()
+	m := Model{
+		SessionScale: time.Hour, SessionShape: 1,
+		MeanArrival: time.Second, MinSession: time.Second,
+	}
+	d, err := NewDriver(m, sched, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := uint64(100)
+	arrived := 0
+	d.OnArrive = func() (uint64, bool) {
+		arrived++
+		next++
+		return next, true
+	}
+	d.OnLeave = func(uint64) {}
+	d.Start()
+	if err := sched.RunUntil(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	d.Stop()
+	// 120s at 1/s mean: expect ~120, allow wide slack.
+	if arrived < 80 || arrived > 170 {
+		t.Errorf("arrivals in 2min = %d, want ~120", arrived)
+	}
+	// Arrivals must also get departure sessions scheduled.
+	if sched.Len() == 0 {
+		t.Error("no pending departures for arrived peers")
+	}
+}
+
+func TestDriverStopHaltsEvents(t *testing.T) {
+	sched := sim.NewScheduler()
+	m := Model{SessionScale: time.Second, SessionShape: 1, MeanArrival: time.Second}
+	d, err := NewDriver(m, sched, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	d.OnLeave = func(uint64) { fired++ }
+	d.OnArrive = func() (uint64, bool) { return 1, true }
+	d.ScheduleSession(1)
+	d.Start()
+	d.Stop()
+	if err := sched.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Errorf("%d leave events after Stop", fired)
+	}
+}
+
+func TestDriverRejectsInvalidModel(t *testing.T) {
+	if _, err := NewDriver(Model{}, sim.NewScheduler(), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("NewDriver accepted zero model")
+	}
+}
+
+func TestDriverOnArriveRefusal(t *testing.T) {
+	sched := sim.NewScheduler()
+	m := Model{SessionScale: time.Minute, SessionShape: 1, MeanArrival: time.Second}
+	d, err := NewDriver(m, sched, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	d.OnArrive = func() (uint64, bool) {
+		calls++
+		return 0, false // network at capacity: refuse
+	}
+	d.Start()
+	if err := sched.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d.Stop()
+	if calls == 0 {
+		t.Error("OnArrive never called")
+	}
+	if _, arrivals := d.Stats(); arrivals != 0 {
+		t.Errorf("refused arrivals counted: %d", arrivals)
+	}
+}

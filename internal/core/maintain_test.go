@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+func TestMaintenanceTickerRotatesSafely(t *testing.T) {
+	net, proto, ids := buildWorld(t, 40, 40, nil)
+	bootstrap(t, net, proto, ids)
+	net.OnDisconnect = proto.OnDisconnect
+
+	tick := proto.StartMaintenance(100 * time.Millisecond)
+	// Run several full rotations; no migrations are required, but the
+	// network must stay consistent (every node clustered, registry and
+	// graph in sync).
+	if err := net.RunUntil(net.Now() + 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tick.Stop()
+	if err := net.RunUntil(net.Now() + 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if proto.NumClustered() != net.NumNodes() {
+		t.Errorf("clustered %d of %d after maintenance", proto.NumClustered(), net.NumNodes())
+	}
+	for c, members := range proto.Clusters() {
+		for _, id := range members {
+			if got, _ := proto.ClusterOf(id); got != c {
+				t.Fatalf("registry inconsistent for %d", id)
+			}
+			if _, ok := net.Node(id); !ok {
+				t.Fatalf("cluster %d holds dead node %d", c, id)
+			}
+		}
+	}
+}
+
+func TestMaintenanceSkipsJoiningAndDeadNodes(t *testing.T) {
+	net, proto, ids := buildWorld(t, 30, 41, nil)
+	bootstrap(t, net, proto, ids)
+
+	// A dead node: reevaluate must be a no-op, not a panic.
+	proto.reevaluate(9999)
+
+	// A node mid-join: mark it joining and reevaluate.
+	nd := net.AddNode(geo.Location{Coord: geo.Coord{LatDeg: 1, LonDeg: 1}, Country: "XX", Region: "AF"})
+	proto.joining[nd.ID()] = true
+	proto.reevaluate(nd.ID())
+	if _, ok := proto.ClusterOf(nd.ID()); ok {
+		t.Error("joining node was clustered by maintenance")
+	}
+	delete(proto.joining, nd.ID())
+}
+
+func TestMaintenanceWithChurnStaysConsistent(t *testing.T) {
+	net, proto, ids := buildWorld(t, 50, 42, nil)
+	bootstrap(t, net, proto, ids)
+	net.OnDisconnect = proto.OnDisconnect
+	tick := proto.StartMaintenance(200 * time.Millisecond)
+	defer tick.Stop()
+
+	// Interleave leaves and joins with maintenance rounds.
+	placer := geo.DefaultPlacer()
+	r := net.Streams().Stream("churn-test")
+	for i := 0; i < 10; i++ {
+		live := net.NodeIDs()
+		victim := live[r.Intn(len(live))]
+		proto.OnLeave(victim)
+		net.RemoveNode(victim)
+		nd := net.AddNode(placer.Place(r))
+		proto.OnJoin(nd.ID())
+		if err := net.RunUntil(net.Now() + 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.RunUntil(net.Now() + 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Registry only references live nodes.
+	for c, members := range proto.Clusters() {
+		for _, id := range members {
+			if _, ok := net.Node(id); !ok {
+				t.Fatalf("cluster %d references dead node %d", c, id)
+			}
+		}
+	}
+	// All live nodes clustered (joins settle within the run windows).
+	for _, id := range net.NodeIDs() {
+		if _, ok := proto.ClusterOf(id); !ok {
+			if proto.joining[id] {
+				continue // a join may still legitimately be in flight
+			}
+			t.Errorf("live node %d neither clustered nor joining", id)
+		}
+	}
+}
+
+func TestSingleProbeStillClusters(t *testing.T) {
+	// ProbeCount below the estimator's convergence floor must degrade to
+	// noisy decisions, not disable clustering entirely.
+	net, proto, ids := buildWorld(t, 60, 43, func(c *Config) {
+		c.ProbeCount = 1
+	})
+	bootstrap(t, net, proto, ids)
+	if proto.NumClustered() != len(ids) {
+		t.Fatalf("clustered %d of %d with single probes", proto.NumClustered(), len(ids))
+	}
+	// With world-spanning placement, some multi-member clusters must
+	// still form in dense regions.
+	multi := 0
+	for _, members := range proto.Clusters() {
+		if len(members) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("single-probe clustering produced only singletons")
+	}
+}

@@ -1,0 +1,278 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+)
+
+// Options tune experiment scale. Zero values take paper-faithful defaults
+// scaled down to laptop size (use cmd/bcbpt-sim flags for full scale).
+type Options struct {
+	// Nodes is the network size (default 1000; paper ~5000).
+	Nodes int
+	// Runs is the number of measurement injections (default 200;
+	// paper ~1000).
+	Runs int
+	// Seed roots all randomness (default 1).
+	Seed int64
+	// Deadline bounds each measurement run (default 2 minutes virtual).
+	Deadline time.Duration
+	// ChurnOn enables join/leave dynamics during measurement, as in the
+	// paper's simulator.
+	ChurnOn bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes == 0 {
+		o.Nodes = 1000
+	}
+	if o.Runs == 0 {
+		o.Runs = 200
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Deadline == 0 {
+		o.Deadline = 2 * time.Minute
+	}
+	return o
+}
+
+// Series is one named Δt distribution (a curve of Fig. 3/4).
+type Series struct {
+	Name string
+	Dist measure.Distribution
+	// Lost counts connection-runs that missed the deadline.
+	Lost int
+}
+
+// FigureResult aggregates the series of one figure.
+type FigureResult struct {
+	Title  string
+	Series []Series
+}
+
+// String renders the figure as a quantile table plus summary lines.
+func (f FigureResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", f.Title)
+	names := make([]string, len(f.Series))
+	dists := make([]measure.Distribution, len(f.Series))
+	for i, s := range f.Series {
+		names[i] = s.Name
+		dists[i] = s.Dist
+	}
+	b.WriteString(measure.ASCIICDF(names, dists, 11))
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%-14s %s (lost %d)\n", s.Name, s.Dist, s.Lost)
+	}
+	return b.String()
+}
+
+// buildSpec assembles a Spec for one protocol under the shared options.
+func buildSpec(o Options, proto ProtocolKind, bcbpt core.Config) Spec {
+	spec := Spec{
+		Nodes:    o.Nodes,
+		Seed:     o.Seed,
+		Protocol: proto,
+		BCBPT:    bcbpt,
+	}
+	if o.ChurnOn {
+		m := defaultChurn(o.Nodes)
+		spec.Churn = &m
+	}
+	return spec
+}
+
+// runSeries builds one network and runs the campaign on it.
+func runSeries(name string, spec Spec, o Options) (Series, error) {
+	b, err := Build(spec)
+	if err != nil {
+		return Series{}, fmt.Errorf("experiment: build %s: %w", name, err)
+	}
+	res, err := b.Campaign(o.Runs, o.Deadline)
+	if err != nil {
+		return Series{}, fmt.Errorf("experiment: campaign %s: %w", name, err)
+	}
+	return Series{Name: name, Dist: res.Dist, Lost: res.Lost}, nil
+}
+
+// Figure3 regenerates Fig. 3: the Δt(m,n) distribution of the simulated
+// Bitcoin protocol vs LBC vs BCBPT at dt = 25ms. The expected shape (the
+// paper's headline result): BCBPT's distribution sits left of LBC's,
+// which sits left of Bitcoin's.
+func Figure3(o Options) (FigureResult, error) {
+	o = o.withDefaults()
+	bcbptCfg := core.DefaultConfig()
+	bcbptCfg.Threshold = 25 * time.Millisecond
+
+	out := FigureResult{Title: "Fig. 3 — Δt(m,n) distribution: Bitcoin vs LBC vs BCBPT (dt=25ms)"}
+	for _, p := range []struct {
+		name  string
+		kind  ProtocolKind
+		bcbpt core.Config
+	}{
+		{"bitcoin", ProtoBitcoin, core.Config{}},
+		{"lbc", ProtoLBC, core.Config{}},
+		{"bcbpt-25ms", ProtoBCBPT, bcbptCfg},
+	} {
+		s, err := runSeries(p.name, buildSpec(o, p.kind, p.bcbpt), o)
+		if err != nil {
+			return FigureResult{}, err
+		}
+		out.Series = append(out.Series, s)
+	}
+	return out, nil
+}
+
+// Figure4 regenerates Fig. 4: BCBPT Δt distributions at thresholds 30,
+// 50 and 100 ms. Expected shape: smaller dt → tighter distribution
+// ("less distance threshold performs less variance of delays", §V.C).
+func Figure4(o Options) (FigureResult, error) {
+	return ThresholdSweep(o, []time.Duration{
+		30 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond,
+	})
+}
+
+// ThresholdSweep generalises Fig. 4 to any threshold set.
+func ThresholdSweep(o Options, thresholds []time.Duration) (FigureResult, error) {
+	o = o.withDefaults()
+	out := FigureResult{Title: "Fig. 4 — BCBPT Δt(m,n) distribution by threshold dt"}
+	for _, dt := range thresholds {
+		cfg := core.DefaultConfig()
+		cfg.Threshold = dt
+		name := fmt.Sprintf("bcbpt-%v", dt)
+		s, err := runSeries(name, buildSpec(o, ProtoBCBPT, cfg), o)
+		if err != nil {
+			return FigureResult{}, err
+		}
+		out.Series = append(out.Series, s)
+	}
+	return out, nil
+}
+
+// VariancePoint is one (connections, spread) sample of the §V.C claim.
+type VariancePoint struct {
+	Protocol    string
+	Connections int
+	Std         time.Duration
+	Mean        time.Duration
+}
+
+// VarianceResult is the connection-count sweep.
+type VarianceResult struct {
+	Points []VariancePoint
+}
+
+// String renders the sweep as a table.
+func (v VarianceResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== §V.C — Δt spread vs measuring-node connections ==\n")
+	fmt.Fprintf(&b, "%-12s %12s %14s %14s\n", "protocol", "connections", "std(Δt)", "mean(Δt)")
+	pts := append([]VariancePoint(nil), v.Points...)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Protocol != pts[j].Protocol {
+			return pts[i].Protocol < pts[j].Protocol
+		}
+		return pts[i].Connections < pts[j].Connections
+	})
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-12s %12d %14v %14v\n",
+			p.Protocol, p.Connections, p.Std.Round(time.Microsecond), p.Mean.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// VarianceVsConnections reproduces the §V.C observation: "the Bitcoin
+// protocol performs variances of delays that grow linearly with the
+// number of connected nodes, whereas BCBPT maintains lower variances of
+// delays regardless of the number of connected nodes."
+func VarianceVsConnections(o Options, connections []int) (VarianceResult, error) {
+	o = o.withDefaults()
+	if len(connections) == 0 {
+		connections = []int{8, 16, 24, 32, 48, 64}
+	}
+	var out VarianceResult
+	for _, proto := range []ProtocolKind{ProtoBitcoin, ProtoBCBPT} {
+		for _, k := range connections {
+			spec := buildSpec(o, proto, core.DefaultConfig())
+			spec.MeasuringConnections = k
+			b, err := Build(spec)
+			if err != nil {
+				return VarianceResult{}, fmt.Errorf("experiment: variance build %s/%d: %w", proto, k, err)
+			}
+			res, err := b.Campaign(o.Runs, o.Deadline)
+			if err != nil {
+				return VarianceResult{}, err
+			}
+			out.Points = append(out.Points, VariancePoint{
+				Protocol:    string(proto),
+				Connections: k,
+				Std:         res.Dist.Std(),
+				Mean:        res.Dist.Mean(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// OverheadResult quantifies the measurement overhead of §IV.A.
+type OverheadResult struct {
+	Protocol          string
+	Nodes             int
+	BootstrapMsgs     uint64
+	BootstrapBytes    uint64
+	PingMsgs          uint64
+	PingBytes         uint64
+	PingMsgsPerNode   float64
+	CampaignMsgs      uint64
+	CampaignTxTraffic uint64
+}
+
+// String renders the overhead comparison.
+func (o OverheadResult) String() string {
+	return fmt.Sprintf("%-10s nodes=%d bootstrap=%d msgs (%d B), ping=%d msgs (%d B, %.1f/node), campaign=%d msgs",
+		o.Protocol, o.Nodes, o.BootstrapMsgs, o.BootstrapBytes, o.PingMsgs, o.PingBytes,
+		o.PingMsgsPerNode, o.CampaignMsgs)
+}
+
+// Overhead measures the extra traffic BCBPT's ping measurement adds
+// relative to the random baseline — the cost the paper defers to future
+// work ("this overhead will be evaluated in our future work", §IV.A).
+func Overhead(o Options) ([]OverheadResult, error) {
+	o = o.withDefaults()
+	var out []OverheadResult
+	for _, proto := range []ProtocolKind{ProtoBitcoin, ProtoBCBPT} {
+		spec := buildSpec(o, proto, core.DefaultConfig())
+		b, err := Build(spec)
+		if err != nil {
+			return nil, err
+		}
+		boot := b.Net.Stats()
+		pingMsgs, pingBytes := boot.PingTraffic()
+		res := OverheadResult{
+			Protocol:        string(proto),
+			Nodes:           o.Nodes,
+			BootstrapMsgs:   boot.TotalMessages(),
+			BootstrapBytes:  boot.TotalBytes(),
+			PingMsgs:        pingMsgs,
+			PingBytes:       pingBytes,
+			PingMsgsPerNode: float64(pingMsgs) / float64(o.Nodes),
+		}
+		campaign, err := b.Campaign(o.Runs, o.Deadline)
+		if err != nil {
+			return nil, err
+		}
+		_ = campaign
+		delta := b.Net.Stats().Sub(boot)
+		res.CampaignMsgs = delta.TotalMessages()
+		res.CampaignTxTraffic = delta.TotalBytes()
+		out = append(out, res)
+	}
+	return out, nil
+}

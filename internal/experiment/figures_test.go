@@ -1,0 +1,160 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyOpts keeps the full figure pipelines quick enough for unit tests.
+func tinyOpts() Options {
+	return Options{Nodes: 50, Runs: 5, Seed: 77, Deadline: 30 * time.Second}
+}
+
+func TestFigure3Pipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-network pipeline")
+	}
+	fig, err := Figure3(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(fig.Series))
+	}
+	names := map[string]bool{}
+	for _, s := range fig.Series {
+		names[s.Name] = true
+		if s.Dist.N() == 0 {
+			t.Errorf("series %s has no samples", s.Name)
+		}
+	}
+	for _, want := range []string{"bitcoin", "lbc", "bcbpt-25ms"} {
+		if !names[want] {
+			t.Errorf("missing series %s", want)
+		}
+	}
+	out := fig.String()
+	if !strings.Contains(out, "Fig. 3") || !strings.Contains(out, "bitcoin") {
+		t.Error("figure rendering incomplete")
+	}
+}
+
+func TestFigure4Pipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-network pipeline")
+	}
+	fig, err := Figure4(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d, want 3 thresholds", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if !strings.HasPrefix(s.Name, "bcbpt-") {
+			t.Errorf("unexpected series name %s", s.Name)
+		}
+	}
+}
+
+func TestThresholdSweepCustom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-network pipeline")
+	}
+	fig, err := ThresholdSweep(tinyOpts(), []time.Duration{40 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 1 || fig.Series[0].Name != "bcbpt-40ms" {
+		t.Fatalf("unexpected sweep series: %+v", fig.Series)
+	}
+}
+
+func TestVarianceVsConnectionsPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-network pipeline")
+	}
+	o := tinyOpts()
+	res, err := VarianceVsConnections(o, []int{6, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 protocols x 2 connection counts.
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Std < 0 || p.Mean <= 0 {
+			t.Errorf("bad point %+v", p)
+		}
+	}
+	if !strings.Contains(res.String(), "connections") {
+		t.Error("variance table rendering incomplete")
+	}
+}
+
+func TestOverheadPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-network pipeline")
+	}
+	res, err := Overhead(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2", len(res))
+	}
+	var bitcoin, bcbpt OverheadResult
+	for _, r := range res {
+		switch r.Protocol {
+		case "bitcoin":
+			bitcoin = r
+		case "bcbpt":
+			bcbpt = r
+		}
+	}
+	if bcbpt.PingMsgs <= bitcoin.PingMsgs {
+		t.Errorf("bcbpt pings %d <= bitcoin %d", bcbpt.PingMsgs, bitcoin.PingMsgs)
+	}
+	if bcbpt.PingMsgsPerNode <= 0 {
+		t.Error("per-node ping rate missing")
+	}
+	if bcbpt.CampaignMsgs == 0 || bitcoin.CampaignMsgs == 0 {
+		t.Error("campaign traffic not measured")
+	}
+}
+
+func TestBuildRelayAndLossPlumbing(t *testing.T) {
+	// Spec.Relay and Spec.LossProb must reach the p2p config.
+	b, err := Build(Spec{Nodes: 10, Seed: 3, Protocol: ProtoBitcoin, LossProb: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Net.Config().LossProb; got != 0.1 {
+		t.Errorf("LossProb = %v, want 0.1", got)
+	}
+	b, err = Build(Spec{Nodes: 10, Seed: 3, Protocol: ProtoBitcoin, Relay: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Net.Config().Relay; got != 1 {
+		t.Errorf("Relay = %v, want direct", got)
+	}
+}
+
+func TestDefaultChurnBalances(t *testing.T) {
+	for _, n := range []int{100, 1000, 5000} {
+		m := defaultChurn(n)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Arrival rate should roughly equal departure rate n/meanSession.
+		meanSession := 1.5 * float64(m.SessionScale)
+		wantGap := time.Duration(meanSession / float64(n))
+		ratio := float64(m.MeanArrival) / float64(wantGap)
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("n=%d: arrival gap %v, want ~%v", n, m.MeanArrival, wantGap)
+		}
+	}
+}

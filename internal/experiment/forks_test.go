@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestForkRaceValidation(t *testing.T) {
+	if _, err := ForkRace(ForkSpec{Nodes: 50, Miners: 1, Blocks: 5}); err == nil {
+		t.Error("accepted one miner")
+	}
+	if _, err := ForkRace(ForkSpec{Nodes: 50, Miners: 3, Blocks: 0}); err == nil {
+		t.Error("accepted zero blocks")
+	}
+}
+
+func TestForkRaceBasics(t *testing.T) {
+	res, err := ForkRace(ForkSpec{
+		Nodes:         60,
+		Seed:          31,
+		Protocol:      ProtoBitcoin,
+		Miners:        8,
+		Blocks:        30,
+		BlockInterval: 2 * time.Second,
+		BlockTxs:      20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocks != 30 {
+		t.Errorf("blocks = %d, want 30", res.Blocks)
+	}
+	if res.ForkRate < 0 || res.ForkRate > 1 {
+		t.Errorf("fork rate %v out of range", res.ForkRate)
+	}
+	if res.Coverage90.N() == 0 {
+		t.Error("no coverage samples; blocks did not propagate")
+	}
+	if res.Coverage90.Median() <= 0 {
+		t.Error("non-positive coverage time")
+	}
+	if res.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestForkRateRisesWithShorterInterval(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-race experiment")
+	}
+	// Decker-Wattenhofer: fork probability grows as the block interval
+	// approaches the propagation delay.
+	rate := func(interval time.Duration) float64 {
+		res, err := ForkRace(ForkSpec{
+			Nodes:         80,
+			Seed:          32,
+			Protocol:      ProtoBitcoin,
+			Miners:        10,
+			Blocks:        60,
+			BlockInterval: interval,
+			BlockTxs:      50,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("interval %v: %s", interval, res)
+		return res.ForkRate
+	}
+	fast := rate(300 * time.Millisecond)
+	slow := rate(20 * time.Second)
+	if fast <= slow {
+		t.Errorf("fork rate at 300ms interval (%.3f) <= at 20s (%.3f)", fast, slow)
+	}
+	if slow > 0.1 {
+		t.Errorf("fork rate %.3f at 20s interval; propagation too slow", slow)
+	}
+}
+
+func TestForkRateLongLinkTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-network experiment")
+	}
+	// Finding recorded in EXPERIMENTS.md: BCBPT optimises neighbourhood
+	// delivery (the paper's Δt metric) but its clustered overlay has a
+	// larger hop diameter, so WHOLE-NETWORK block coverage regresses at
+	// the default long-link budget (2) and recovers with a larger one.
+	// This test pins both halves of that finding.
+	run := func(longLinks int) time.Duration {
+		cfg := fastBCBPT(100 * time.Millisecond)
+		cfg.LongLinks = longLinks
+		cfg.IntraLinks = 6
+		res, err := ForkRace(ForkSpec{
+			Nodes:         100,
+			Seed:          33,
+			Protocol:      ProtoBCBPT,
+			BCBPT:         cfg,
+			Miners:        12,
+			Blocks:        60,
+			BlockInterval: 500 * time.Millisecond,
+			BlockTxs:      5,
+		})
+		if err != nil {
+			t.Fatalf("longLinks=%d: %v", longLinks, err)
+		}
+		t.Logf("longLinks=%d %s", longLinks, res)
+		return res.Coverage90.Median()
+	}
+	sparse := run(1)
+	dense := run(4)
+	if dense >= sparse {
+		t.Errorf("coverage with 4 long links (%v) not faster than with 1 (%v)", dense, sparse)
+	}
+}

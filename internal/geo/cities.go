@@ -1,0 +1,87 @@
+package geo
+
+// WorldCities returns the built-in placement table. Weights approximate
+// the country distribution of reachable Bitcoin nodes measured by network
+// crawlers in 2015-2016 (the period of the paper's measurements): roughly
+// a quarter of reachable peers in the United States, ~20% in Western
+// Europe (DE/FR/NL/GB dominating), ~10% in China, with long tails across
+// Eastern Europe, Asia-Pacific and South America. Absolute weights are
+// relative shares; only ratios matter.
+//
+// The returned slice is freshly allocated; callers may modify it (e.g. to
+// build skewed ablation scenarios).
+func WorldCities() []City {
+	return []City{
+		// --- North America ---
+		{Name: "New York", Country: "US", Region: "NA", Coord: Coord{40.71, -74.01}, Weight: 60},
+		{Name: "San Francisco", Country: "US", Region: "NA", Coord: Coord{37.77, -122.42}, Weight: 55},
+		{Name: "Chicago", Country: "US", Region: "NA", Coord: Coord{41.88, -87.63}, Weight: 35},
+		{Name: "Dallas", Country: "US", Region: "NA", Coord: Coord{32.78, -96.80}, Weight: 30},
+		{Name: "Seattle", Country: "US", Region: "NA", Coord: Coord{47.61, -122.33}, Weight: 25},
+		{Name: "Miami", Country: "US", Region: "NA", Coord: Coord{25.76, -80.19}, Weight: 18},
+		{Name: "Ashburn", Country: "US", Region: "NA", Coord: Coord{39.04, -77.49}, Weight: 45},
+		{Name: "Toronto", Country: "CA", Region: "NA", Coord: Coord{43.65, -79.38}, Weight: 22},
+		{Name: "Vancouver", Country: "CA", Region: "NA", Coord: Coord{49.28, -123.12}, Weight: 10},
+		{Name: "Montreal", Country: "CA", Region: "NA", Coord: Coord{45.50, -73.57}, Weight: 12},
+		{Name: "Mexico City", Country: "MX", Region: "NA", Coord: Coord{19.43, -99.13}, Weight: 5},
+
+		// --- Western Europe ---
+		{Name: "Frankfurt", Country: "DE", Region: "EU", Coord: Coord{50.11, 8.68}, Weight: 50},
+		{Name: "Berlin", Country: "DE", Region: "EU", Coord: Coord{52.52, 13.40}, Weight: 30},
+		{Name: "Munich", Country: "DE", Region: "EU", Coord: Coord{48.14, 11.58}, Weight: 18},
+		{Name: "Amsterdam", Country: "NL", Region: "EU", Coord: Coord{52.37, 4.90}, Weight: 35},
+		{Name: "Paris", Country: "FR", Region: "EU", Coord: Coord{48.86, 2.35}, Weight: 32},
+		{Name: "London", Country: "GB", Region: "EU", Coord: Coord{51.51, -0.13}, Weight: 40},
+		{Name: "Dublin", Country: "IE", Region: "EU", Coord: Coord{53.35, -6.26}, Weight: 8},
+		{Name: "Zurich", Country: "CH", Region: "EU", Coord: Coord{47.37, 8.54}, Weight: 12},
+		{Name: "Stockholm", Country: "SE", Region: "EU", Coord: Coord{59.33, 18.07}, Weight: 12},
+		{Name: "Helsinki", Country: "FI", Region: "EU", Coord: Coord{60.17, 24.94}, Weight: 10},
+		{Name: "Oslo", Country: "NO", Region: "EU", Coord: Coord{59.91, 10.75}, Weight: 7},
+		{Name: "Madrid", Country: "ES", Region: "EU", Coord: Coord{40.42, -3.70}, Weight: 10},
+		{Name: "Milan", Country: "IT", Region: "EU", Coord: Coord{45.46, 9.19}, Weight: 10},
+		{Name: "Vienna", Country: "AT", Region: "EU", Coord: Coord{48.21, 16.37}, Weight: 8},
+		{Name: "Brussels", Country: "BE", Region: "EU", Coord: Coord{50.85, 4.35}, Weight: 7},
+		{Name: "Lisbon", Country: "PT", Region: "EU", Coord: Coord{38.72, -9.14}, Weight: 4},
+
+		// --- Eastern Europe / Russia ---
+		{Name: "Warsaw", Country: "PL", Region: "EU", Coord: Coord{52.23, 21.01}, Weight: 10},
+		{Name: "Prague", Country: "CZ", Region: "EU", Coord: Coord{50.08, 14.44}, Weight: 9},
+		{Name: "Kyiv", Country: "UA", Region: "EU", Coord: Coord{50.45, 30.52}, Weight: 8},
+		{Name: "Moscow", Country: "RU", Region: "EU", Coord: Coord{55.76, 37.62}, Weight: 25},
+		{Name: "St Petersburg", Country: "RU", Region: "EU", Coord: Coord{59.93, 30.34}, Weight: 10},
+		{Name: "Bucharest", Country: "RO", Region: "EU", Coord: Coord{44.43, 26.10}, Weight: 5},
+
+		// --- East Asia ---
+		{Name: "Beijing", Country: "CN", Region: "AS", Coord: Coord{39.90, 116.41}, Weight: 30},
+		{Name: "Shanghai", Country: "CN", Region: "AS", Coord: Coord{31.23, 121.47}, Weight: 28},
+		{Name: "Shenzhen", Country: "CN", Region: "AS", Coord: Coord{22.54, 114.06}, Weight: 20},
+		{Name: "Hong Kong", Country: "HK", Region: "AS", Coord: Coord{22.32, 114.17}, Weight: 14},
+		{Name: "Tokyo", Country: "JP", Region: "AS", Coord: Coord{35.68, 139.69}, Weight: 22},
+		{Name: "Osaka", Country: "JP", Region: "AS", Coord: Coord{34.69, 135.50}, Weight: 8},
+		{Name: "Seoul", Country: "KR", Region: "AS", Coord: Coord{37.57, 126.98}, Weight: 14},
+		{Name: "Taipei", Country: "TW", Region: "AS", Coord: Coord{25.03, 121.57}, Weight: 6},
+		{Name: "Singapore", Country: "SG", Region: "AS", Coord: Coord{1.35, 103.82}, Weight: 14},
+
+		// --- South/Southeast Asia ---
+		{Name: "Mumbai", Country: "IN", Region: "AS", Coord: Coord{19.08, 72.88}, Weight: 7},
+		{Name: "Bangalore", Country: "IN", Region: "AS", Coord: Coord{12.97, 77.59}, Weight: 5},
+		{Name: "Bangkok", Country: "TH", Region: "AS", Coord: Coord{13.76, 100.50}, Weight: 4},
+		{Name: "Jakarta", Country: "ID", Region: "AS", Coord: Coord{-6.21, 106.85}, Weight: 3},
+
+		// --- Oceania ---
+		{Name: "Sydney", Country: "AU", Region: "OC", Coord: Coord{-33.87, 151.21}, Weight: 9},
+		{Name: "Melbourne", Country: "AU", Region: "OC", Coord: Coord{-37.81, 144.96}, Weight: 6},
+		{Name: "Auckland", Country: "NZ", Region: "OC", Coord: Coord{-36.85, 174.76}, Weight: 2},
+
+		// --- South America ---
+		{Name: "Sao Paulo", Country: "BR", Region: "SA", Coord: Coord{-23.55, -46.63}, Weight: 8},
+		{Name: "Buenos Aires", Country: "AR", Region: "SA", Coord: Coord{-34.60, -58.38}, Weight: 4},
+		{Name: "Santiago", Country: "CL", Region: "SA", Coord: Coord{-33.45, -70.67}, Weight: 2},
+
+		// --- Africa / Middle East ---
+		{Name: "Johannesburg", Country: "ZA", Region: "AF", Coord: Coord{-26.20, 28.05}, Weight: 3},
+		{Name: "Tel Aviv", Country: "IL", Region: "ME", Coord: Coord{32.09, 34.78}, Weight: 4},
+		{Name: "Dubai", Country: "AE", Region: "ME", Coord: Coord{25.20, 55.27}, Weight: 3},
+		{Name: "Istanbul", Country: "TR", Region: "ME", Coord: Coord{41.01, 28.98}, Weight: 4},
+	}
+}

@@ -1,0 +1,223 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	tests := []struct {
+		name   string
+		a, b   Coord
+		wantKm float64
+		tolKm  float64
+	}{
+		{"zero", Coord{0, 0}, Coord{0, 0}, 0, 0.001},
+		{"london-paris", Coord{51.51, -0.13}, Coord{48.86, 2.35}, 344, 10},
+		{"nyc-sf", Coord{40.71, -74.01}, Coord{37.77, -122.42}, 4130, 50},
+		{"nyc-london", Coord{40.71, -74.01}, Coord{51.51, -0.13}, 5570, 60},
+		{"tokyo-sydney", Coord{35.68, 139.69}, Coord{-33.87, 151.21}, 7820, 80},
+		{"antipodal-ish", Coord{0, 0}, Coord{0, 180}, 20015, 30},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			gotKm := DistanceMeters(tt.a, tt.b) / 1000
+			if math.Abs(gotKm-tt.wantKm) > tt.tolKm {
+				t.Errorf("distance = %.1f km, want %.1f±%.1f km", gotKm, tt.wantKm, tt.tolKm)
+			}
+		})
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Coord{clampLat(lat1), clampLon(lon1)}
+		b := Coord{clampLat(lat2), clampLon(lon2)}
+		d1 := DistanceMeters(a, b)
+		d2 := DistanceMeters(b, a)
+		return math.Abs(d1-d2) < 1e-6*(1+d1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := randCoord(r)
+		b := randCoord(r)
+		c := randCoord(r)
+		ab := DistanceMeters(a, b)
+		bc := DistanceMeters(b, c)
+		ac := DistanceMeters(a, c)
+		if ac > ab+bc+1e-6 {
+			t.Fatalf("triangle inequality violated: d(%v,%v)=%.1f > %.1f+%.1f", a, c, ac, ab, bc)
+		}
+	}
+}
+
+func TestDistanceNonNegativeAndBounded(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Coord{clampLat(lat1), clampLon(lon1)}
+		b := Coord{clampLat(lat2), clampLon(lon2)}
+		d := DistanceMeters(a, b)
+		// Max great-circle distance is half the circumference.
+		return d >= 0 && d <= math.Pi*EarthRadiusMeters+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorldCitiesValid(t *testing.T) {
+	cities := WorldCities()
+	if len(cities) < 40 {
+		t.Fatalf("city table has %d entries, want >= 40", len(cities))
+	}
+	seen := make(map[string]bool)
+	for _, c := range cities {
+		if !c.Coord.Valid() {
+			t.Errorf("%s has invalid coordinate %v", c.Name, c.Coord)
+		}
+		if c.Weight <= 0 {
+			t.Errorf("%s has non-positive weight", c.Name)
+		}
+		if c.Country == "" || c.Region == "" {
+			t.Errorf("%s missing country/region", c.Name)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate city %s", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}
+
+func TestPlacerDeterministic(t *testing.T) {
+	p := DefaultPlacer()
+	a := p.PlaceN(rand.New(rand.NewSource(9)), 50)
+	b := p.PlaceN(rand.New(rand.NewSource(9)), 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("placement %d differs across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPlacerRespectsWeights(t *testing.T) {
+	cities := []City{
+		{Name: "Heavy", Country: "AA", Region: "X", Coord: Coord{0, 0}, Weight: 90},
+		{Name: "Light", Country: "BB", Region: "Y", Coord: Coord{10, 10}, Weight: 10},
+	}
+	p := NewPlacer(cities, 0)
+	r := rand.New(rand.NewSource(3))
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[p.Place(r).City]++
+	}
+	frac := float64(counts["Heavy"]) / n
+	if math.Abs(frac-0.9) > 0.02 {
+		t.Errorf("Heavy fraction = %.3f, want ~0.90", frac)
+	}
+}
+
+func TestPlacerJitterStaysNearCity(t *testing.T) {
+	cities := []City{{Name: "C", Country: "AA", Region: "X", Coord: Coord{48, 11}, Weight: 1}}
+	const radius = 50_000.0
+	p := NewPlacer(cities, radius)
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		loc := p.Place(r)
+		if !loc.Coord.Valid() {
+			t.Fatalf("invalid jittered coordinate %v", loc.Coord)
+		}
+		d := DistanceMeters(loc.Coord, cities[0].Coord)
+		if d > radius*1.01 {
+			t.Fatalf("jittered placement %.0fm from center, want <= %.0fm", d, radius)
+		}
+	}
+}
+
+func TestPlacerPanicsOnBadTable(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty", func() { NewPlacer(nil, 0) })
+	mustPanic("zero-weight", func() {
+		NewPlacer([]City{{Name: "Z", Weight: 0}}, 0)
+	})
+	mustPanic("negative-weight", func() {
+		NewPlacer([]City{{Name: "N", Weight: -1}}, 0)
+	})
+}
+
+func TestPlacerLabelsPropagate(t *testing.T) {
+	p := DefaultPlacer()
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		loc := p.Place(r)
+		if loc.City == "" || loc.Country == "" || loc.Region == "" {
+			t.Fatalf("placement missing labels: %+v", loc)
+		}
+	}
+}
+
+func TestCoordValid(t *testing.T) {
+	valid := []Coord{{0, 0}, {90, 180}, {-90, -180}, {45.5, -120.3}}
+	for _, c := range valid {
+		if !c.Valid() {
+			t.Errorf("%v should be valid", c)
+		}
+	}
+	invalid := []Coord{{91, 0}, {-91, 0}, {0, 181}, {0, -181}}
+	for _, c := range invalid {
+		if c.Valid() {
+			t.Errorf("%v should be invalid", c)
+		}
+	}
+}
+
+func randCoord(r *rand.Rand) Coord {
+	return Coord{LatDeg: r.Float64()*180 - 90, LonDeg: r.Float64()*360 - 180}
+}
+
+func clampLat(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 90)
+}
+
+func clampLon(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 180)
+}
+
+func BenchmarkDistance(b *testing.B) {
+	a := Coord{40.71, -74.01}
+	c := Coord{51.51, -0.13}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = DistanceMeters(a, c)
+	}
+}
+
+func BenchmarkPlace(b *testing.B) {
+	p := DefaultPlacer()
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Place(r)
+	}
+}

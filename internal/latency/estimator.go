@@ -1,0 +1,73 @@
+package latency
+
+import (
+	"math"
+	"time"
+)
+
+// Estimator tracks the round-trip latency to one peer from repeated ping
+// samples. The paper requires repeated measurement ("multiple messages
+// between pairs of nodes, repeatedly ... in order to determine variance"),
+// so the estimator keeps an exponentially weighted moving average plus a
+// mean-deviation estimate, in the style of TCP's SRTT/RTTVAR (RFC 6298) —
+// a well-understood way to smooth a noisy RTT signal.
+//
+// The zero value is ready to use.
+type Estimator struct {
+	srtt    float64 // smoothed RTT, ms
+	rttvar  float64 // mean deviation, ms
+	min     float64 // minimum observed, ms
+	samples int
+}
+
+// estimator gains, per RFC 6298.
+const (
+	alphaGain = 1.0 / 8
+	betaGain  = 1.0 / 4
+)
+
+// Observe feeds one RTT sample. Non-positive samples are ignored: a zero
+// or negative RTT is a transport bug, not a measurement.
+func (e *Estimator) Observe(rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	ms := float64(rtt) / float64(time.Millisecond)
+	if e.samples == 0 {
+		e.srtt = ms
+		e.rttvar = ms / 2
+		e.min = ms
+	} else {
+		e.rttvar = (1-betaGain)*e.rttvar + betaGain*math.Abs(e.srtt-ms)
+		e.srtt = (1-alphaGain)*e.srtt + alphaGain*ms
+		if ms < e.min {
+			e.min = ms
+		}
+	}
+	e.samples++
+}
+
+// Samples returns how many RTTs have been observed.
+func (e *Estimator) Samples() int { return e.samples }
+
+// Ready reports whether enough samples have arrived for the estimate to be
+// trusted for clustering decisions. Three samples filters one-off spikes
+// while keeping the join handshake short.
+func (e *Estimator) Ready() bool { return e.samples >= 3 }
+
+// RTT returns the smoothed round-trip estimate, or 0 if no samples.
+func (e *Estimator) RTT() time.Duration {
+	return time.Duration(e.srtt * float64(time.Millisecond))
+}
+
+// Var returns the smoothed mean deviation, or 0 if no samples.
+func (e *Estimator) Var() time.Duration {
+	return time.Duration(e.rttvar * float64(time.Millisecond))
+}
+
+// Min returns the minimum observed RTT, or 0 if no samples. The minimum
+// is the best proxy for the congestion-free path latency, so BCBPT's
+// closeness test (eq. 1) uses it by default.
+func (e *Estimator) Min() time.Duration {
+	return time.Duration(e.min * float64(time.Millisecond))
+}

@@ -1,0 +1,90 @@
+package measure
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/p2p"
+	"repro/internal/sim"
+)
+
+// Crawler reproduces the measurement campaign the paper's simulator was
+// parameterised with (§V.A, refs [5],[12]): a client that connects to the
+// reachable network and observes ping/pong round trips — "connected to
+// approximately 5000 network peers and observing a total of 20,000
+// ping/pong messages" — plus a census of reachable nodes.
+//
+// In this repository the crawler runs against the simulated network; its
+// output (an RTT distribution) is exactly the kind of data that would be
+// fed back into the latency model to calibrate it against a live network.
+type Crawler struct {
+	net *p2p.Network
+	// vantage is the node the crawler measures from.
+	vantage p2p.NodeID
+}
+
+// NewCrawler creates a crawler measuring from the given vantage node.
+func NewCrawler(net *p2p.Network, vantage p2p.NodeID) (*Crawler, error) {
+	if _, ok := net.Node(vantage); !ok {
+		return nil, errors.New("measure: crawler vantage node unknown")
+	}
+	return &Crawler{net: net, vantage: vantage}, nil
+}
+
+// CrawlResult is the outcome of a crawl.
+type CrawlResult struct {
+	// Reachable is the node census at crawl start.
+	Reachable int
+	// RTTs pools every observed ping round trip.
+	RTTs Distribution
+	// PerTarget maps each probed node to its smoothed estimate.
+	PerTarget map[p2p.NodeID]time.Duration
+}
+
+// Crawl probes every reachable node `pingsPer` times, spaced by gap, and
+// aggregates the observed round trips. Runs the network until all probes
+// resolve or the deadline passes.
+func (c *Crawler) Crawl(pingsPer int, gap, deadline time.Duration) (CrawlResult, error) {
+	if pingsPer < 1 {
+		return CrawlResult{}, errors.New("measure: pingsPer must be >= 1")
+	}
+	node, ok := c.net.Node(c.vantage)
+	if !ok {
+		return CrawlResult{}, errors.New("measure: vantage churned away")
+	}
+	targets := c.net.NodeIDs()
+	res := CrawlResult{
+		Reachable: len(targets),
+		PerTarget: make(map[p2p.NodeID]time.Duration),
+	}
+	var samples []time.Duration
+	for _, t := range targets {
+		if t == c.vantage {
+			continue
+		}
+		target := t
+		for i := 0; i < pingsPer; i++ {
+			delay := time.Duration(i) * gap
+			c.net.Scheduler().After(delay, func() {
+				nd, ok := c.net.Node(c.vantage)
+				if !ok {
+					return
+				}
+				nd.Probe(target, func(rtt time.Duration) {
+					samples = append(samples, rtt)
+				})
+			})
+		}
+	}
+	start := c.net.Now()
+	if err := c.net.RunUntil(start + sim.Time(deadline)); err != nil && !errors.Is(err, sim.ErrStopped) {
+		return CrawlResult{}, err
+	}
+	for _, t := range targets {
+		if est, ok := node.Estimator(t); ok && est.Samples() > 0 {
+			res.PerTarget[t] = est.RTT()
+		}
+	}
+	res.RTTs = NewDistribution(samples)
+	return res, nil
+}

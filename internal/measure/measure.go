@@ -1,0 +1,197 @@
+package measure
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/p2p"
+	"repro/internal/sim"
+)
+
+// MeasuringNode implements the experiment of Fig. 2: a node m with
+// proximity-based connections that "creates a valid transaction Tx and
+// sends it to one node of its connected nodes, and then tracks the
+// transaction in order to record the time by which each node of its
+// connections announces the transaction".
+//
+// Δt(m,n) = Tn − Tm (eq. 5), where Tm is the injection time and Tn the
+// time connection n first has the transaction.
+type MeasuringNode struct {
+	net  *p2p.Network
+	node *p2p.Node
+	r    *rand.Rand
+}
+
+// NewMeasuringNode wraps an existing, already-wired node as the measuring
+// node m.
+func NewMeasuringNode(net *p2p.Network, id p2p.NodeID) (*MeasuringNode, error) {
+	node, ok := net.Node(id)
+	if !ok {
+		return nil, fmt.Errorf("measure: unknown node %d", id)
+	}
+	return &MeasuringNode{net: net, node: node, r: net.Streams().Stream("measure")}, nil
+}
+
+// ID returns the measuring node's ID.
+func (m *MeasuringNode) ID() p2p.NodeID { return m.node.ID() }
+
+// RunResult is one measurement run: per-connection Δt values.
+type RunResult struct {
+	// TxID identifies the injected transaction.
+	TxID chain.Hash
+	// InjectedAt is Tm.
+	InjectedAt sim.Time
+	// Deltas holds Δt(m,n) per connected node n that received the
+	// transaction within the deadline.
+	Deltas map[p2p.NodeID]time.Duration
+	// Missing lists connections that never announced within the deadline
+	// ("errors such as loss of connection ... are expected", §V.B).
+	Missing []p2p.NodeID
+}
+
+// All returns the Δt values in ascending connection-ID order.
+func (r RunResult) All() []time.Duration {
+	out := make([]time.Duration, 0, len(r.Deltas))
+	for _, id := range sortedIDs(r.Deltas) {
+		out = append(out, r.Deltas[id])
+	}
+	return out
+}
+
+func sortedIDs(m map[p2p.NodeID]time.Duration) []p2p.NodeID {
+	ids := make([]p2p.NodeID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// ErrNoConnections means the measuring node has no peers to measure.
+var ErrNoConnections = errors.New("measure: measuring node has no connections")
+
+// MeasureOnce injects one transaction to a single randomly chosen
+// connection (per Fig. 2: "the transaction is propagated from node m to
+// one connected node only") and runs the network until every connection
+// has received it or deadline virtual time has passed.
+func (m *MeasuringNode) MeasureOnce(tx *chain.Tx, deadline time.Duration) (RunResult, error) {
+	peers := m.node.Peers()
+	if len(peers) == 0 {
+		return RunResult{}, ErrNoConnections
+	}
+	txID := tx.ID()
+	start := m.net.Now()
+	res := RunResult{TxID: txID, InjectedAt: start, Deltas: make(map[p2p.NodeID]time.Duration)}
+
+	watch := make(map[p2p.NodeID]struct{}, len(peers))
+	for _, p := range peers {
+		watch[p] = struct{}{}
+	}
+	remaining := len(watch)
+
+	prevHook := m.net.OnTxFirstSeen
+	m.net.OnTxFirstSeen = func(id p2p.NodeID, h chain.Hash, at sim.Time) {
+		if prevHook != nil {
+			prevHook(id, h, at)
+		}
+		if h != txID {
+			return
+		}
+		if _, ok := watch[id]; !ok {
+			return
+		}
+		if _, dup := res.Deltas[id]; dup {
+			return
+		}
+		res.Deltas[id] = time.Duration(at - start)
+		remaining--
+		if remaining == 0 {
+			m.net.Scheduler().Stop()
+		}
+	}
+	defer func() { m.net.OnTxFirstSeen = prevHook }()
+
+	// Inject: hand the tx to ONE connection, not to m's relay logic —
+	// m itself does not broadcast (Fig. 2).
+	first := peers[m.r.Intn(len(peers))]
+	firstNode, ok := m.net.Node(first)
+	if !ok {
+		return RunResult{}, fmt.Errorf("measure: connection %d vanished", first)
+	}
+	m.net.Scheduler().After(0, func() {
+		_ = firstNode.SubmitTx(tx)
+	})
+
+	err := m.net.RunUntil(start + sim.Time(deadline))
+	if err != nil && !errors.Is(err, sim.ErrStopped) {
+		return RunResult{}, err
+	}
+	// Drain any still-pending events up to the deadline if we stopped
+	// early; later runs must not inherit a half-flooded network. Letting
+	// the flood finish keeps runs independent after ResetInventory.
+	if errors.Is(err, sim.ErrStopped) {
+		if err := m.net.RunUntil(start + sim.Time(deadline)); err != nil && !errors.Is(err, sim.ErrStopped) {
+			return RunResult{}, err
+		}
+	}
+	for _, p := range peers {
+		if _, ok := res.Deltas[p]; !ok {
+			res.Missing = append(res.Missing, p)
+		}
+	}
+	return res, nil
+}
+
+// Campaign runs the full §V.B methodology: `runs` independent injections
+// (the paper averages ~1000), resetting inventory between runs, and
+// pools all Δt samples into a Distribution.
+type Campaign struct {
+	// Runs is the number of transaction injections.
+	Runs int
+	// Deadline bounds each run in virtual time.
+	Deadline time.Duration
+	// MakeTx supplies the transaction for run i. Transactions must have
+	// distinct IDs across runs.
+	MakeTx func(i int) *chain.Tx
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	// Dist pools every Δt(m,n) sample.
+	Dist Distribution
+	// PerRun keeps each run's result for variance-vs-connection analyses.
+	PerRun []RunResult
+	// Lost counts connection-runs that missed the deadline.
+	Lost int
+}
+
+// Run executes the campaign on the measuring node.
+func (m *MeasuringNode) Run(c Campaign) (CampaignResult, error) {
+	if c.Runs <= 0 {
+		return CampaignResult{}, errors.New("measure: campaign needs Runs > 0")
+	}
+	if c.MakeTx == nil {
+		return CampaignResult{}, errors.New("measure: campaign needs MakeTx")
+	}
+	var out CampaignResult
+	var samples []time.Duration
+	for i := 0; i < c.Runs; i++ {
+		m.net.ResetInventory()
+		res, err := m.MeasureOnce(c.MakeTx(i), c.Deadline)
+		if err != nil {
+			return CampaignResult{}, fmt.Errorf("measure: run %d: %w", i, err)
+		}
+		out.PerRun = append(out.PerRun, res)
+		out.Lost += len(res.Missing)
+		samples = append(samples, res.All()...)
+	}
+	out.Dist = NewDistribution(samples)
+	return out, nil
+}

@@ -1,0 +1,360 @@
+package measure
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/geo"
+	"repro/internal/p2p"
+	"repro/internal/topology"
+)
+
+func buildNet(t testing.TB, n int, seed int64) (*p2p.Network, []p2p.NodeID) {
+	t.Helper()
+	cfg := p2p.DefaultConfig()
+	cfg.Validation = p2p.ValidationNone
+	cfg.Seed = seed
+	net, err := p2p.NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placer := geo.DefaultPlacer()
+	r := net.Streams().Stream("placement")
+	ids := make([]p2p.NodeID, n)
+	for i := range ids {
+		ids[i] = net.AddNode(placer.Place(r)).ID()
+	}
+	return net, ids
+}
+
+func wireRandom(t testing.TB, net *p2p.Network, ids []p2p.NodeID) {
+	t.Helper()
+	proto := topology.NewRandom(net, topology.NewDNSSeed(), 0)
+	if err := proto.Bootstrap(ids); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkTx(t testing.TB, i int) *chain.Tx {
+	t.Helper()
+	key, err := chain.GenerateKey(rand.New(rand.NewSource(int64(i) + 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chain.Coinbase(uint64(i), 1000, key.Address())
+}
+
+// --- Distribution ---
+
+func TestDistributionBasics(t *testing.T) {
+	samples := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond,
+		40 * time.Millisecond, 50 * time.Millisecond,
+	}
+	d := NewDistribution(samples)
+	if d.N() != 5 {
+		t.Errorf("N = %d", d.N())
+	}
+	if d.Mean() != 30*time.Millisecond {
+		t.Errorf("Mean = %v, want 30ms", d.Mean())
+	}
+	if d.Median() != 30*time.Millisecond {
+		t.Errorf("Median = %v, want 30ms", d.Median())
+	}
+	if d.Min() != 10*time.Millisecond || d.Max() != 50*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v", d.Min(), d.Max())
+	}
+	// Population std of {10..50 step 10} ms = sqrt(200) ms ≈ 14.14ms.
+	want := time.Duration(14.142 * float64(time.Millisecond))
+	if diff := d.Std() - want; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("Std = %v, want ~%v", d.Std(), want)
+	}
+	if d.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestDistributionEmpty(t *testing.T) {
+	var d Distribution
+	if d.N() != 0 || d.Mean() != 0 || d.Std() != 0 || d.Median() != 0 {
+		t.Error("zero distribution not empty")
+	}
+	if d.CDF(10) != nil || d.Histogram(5) != nil {
+		t.Error("empty distribution produced curves")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	d := NewDistribution([]time.Duration{0, 100 * time.Millisecond})
+	if got := d.Percentile(50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", got)
+	}
+	if got := d.Percentile(0); got != 0 {
+		t.Errorf("p0 = %v, want 0", got)
+	}
+	if got := d.Percentile(100); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v, want 100ms", got)
+	}
+	if got := d.Percentile(-5); got != 0 {
+		t.Errorf("p-5 = %v, want clamp to min", got)
+	}
+	if got := d.Percentile(150); got != 100*time.Millisecond {
+		t.Errorf("p150 = %v, want clamp to max", got)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = time.Duration(v) * time.Millisecond
+		}
+		cdf := NewDistribution(samples).CDF(21)
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].Value < cdf[i-1].Value || cdf[i].Fraction <= cdf[i-1].Fraction {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramCountsAllSamples(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = time.Duration(v) * time.Microsecond
+		}
+		bins := NewDistribution(samples).Histogram(7)
+		total := 0
+		for _, b := range bins {
+			total += b.Count
+		}
+		return total == len(samples)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestASCIICDF(t *testing.T) {
+	d1 := NewDistribution([]time.Duration{time.Millisecond, 2 * time.Millisecond})
+	d2 := NewDistribution([]time.Duration{3 * time.Millisecond})
+	out := ASCIICDF([]string{"a", "b"}, []Distribution{d1, d2}, 5)
+	if out == "" {
+		t.Fatal("empty chart")
+	}
+	if ASCIICDF([]string{"a"}, []Distribution{d1, d2}, 5) != "" {
+		t.Error("mismatched names/dists should return empty")
+	}
+}
+
+// --- MeasuringNode ---
+
+func TestMeasureOnceRecordsAllConnections(t *testing.T) {
+	net, ids := buildNet(t, 40, 1)
+	wireRandom(t, net, ids)
+	m, err := NewMeasuringNode(net, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, _ := net.Node(ids[0])
+	res, err := m.MeasureOnce(mkTx(t, 1), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Missing) != 0 {
+		t.Errorf("missing connections: %v", res.Missing)
+	}
+	if len(res.Deltas) != node.NumPeers() {
+		t.Errorf("measured %d of %d connections", len(res.Deltas), node.NumPeers())
+	}
+	for id, dt := range res.Deltas {
+		if dt < 0 {
+			t.Errorf("connection %d has negative Δt %v", id, dt)
+		}
+	}
+	// At least one connection (the first hop) should be strictly > 0 and
+	// small; all deltas should be bounded by the deadline.
+	for _, dt := range res.Deltas {
+		if dt > time.Minute {
+			t.Errorf("Δt %v exceeds deadline", dt)
+		}
+	}
+}
+
+func TestMeasuringNodeDoesNotBroadcastItself(t *testing.T) {
+	// Fig. 2: m sends to ONE connection only. The direct recipient gets
+	// the tx at its verification delay; others strictly later via relay.
+	net, ids := buildNet(t, 30, 2)
+	wireRandom(t, net, ids)
+	m, err := NewMeasuringNode(net, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.MeasureOnce(mkTx(t, 2), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := res.All()
+	if len(deltas) < 2 {
+		t.Skip("measuring node has one connection; nothing to compare")
+	}
+	// If m broadcast to everyone, all deltas would be one-hop and nearly
+	// equal; via single-injection relay the spread must be substantial.
+	d := NewDistribution(deltas)
+	if d.Max() < d.Min()*2 && d.Max()-d.Min() < 5*time.Millisecond {
+		t.Errorf("delta spread too tight (min=%v max=%v); did m broadcast?", d.Min(), d.Max())
+	}
+}
+
+func TestCampaignPoolsRuns(t *testing.T) {
+	net, ids := buildNet(t, 30, 3)
+	wireRandom(t, net, ids)
+	m, err := NewMeasuringNode(net, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, _ := net.Node(ids[0])
+	const runs = 10
+	res, err := m.Run(Campaign{
+		Runs:     runs,
+		Deadline: time.Minute,
+		MakeTx:   func(i int) *chain.Tx { return mkTx(t, 100+i) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerRun) != runs {
+		t.Fatalf("PerRun = %d, want %d", len(res.PerRun), runs)
+	}
+	want := runs * node.NumPeers()
+	if res.Dist.N()+res.Lost != want {
+		t.Errorf("samples %d + lost %d != %d", res.Dist.N(), res.Lost, want)
+	}
+	if res.Dist.Mean() <= 0 {
+		t.Error("non-positive mean Δt")
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	net, ids := buildNet(t, 5, 4)
+	wireRandom(t, net, ids)
+	m, err := NewMeasuringNode(net, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(Campaign{Runs: 0, MakeTx: func(int) *chain.Tx { return mkTx(t, 0) }}); err == nil {
+		t.Error("accepted Runs=0")
+	}
+	if _, err := m.Run(Campaign{Runs: 1}); err == nil {
+		t.Error("accepted nil MakeTx")
+	}
+	if _, err := NewMeasuringNode(net, 9999); err == nil {
+		t.Error("accepted unknown node")
+	}
+}
+
+func TestMeasureOnceNoConnections(t *testing.T) {
+	net, ids := buildNet(t, 2, 5)
+	m, err := NewMeasuringNode(net, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MeasureOnce(mkTx(t, 1), time.Second); err != ErrNoConnections {
+		t.Errorf("error = %v, want ErrNoConnections", err)
+	}
+}
+
+// --- Crawler ---
+
+func TestCrawlerCollectsRTTs(t *testing.T) {
+	net, ids := buildNet(t, 50, 6)
+	c, err := NewCrawler(net, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Crawl(4, 10*time.Millisecond, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reachable != 50 {
+		t.Errorf("Reachable = %d, want 50", res.Reachable)
+	}
+	want := 49 * 4
+	if res.RTTs.N() != want {
+		t.Errorf("observed %d RTTs, want %d", res.RTTs.N(), want)
+	}
+	if len(res.PerTarget) != 49 {
+		t.Errorf("PerTarget = %d, want 49", len(res.PerTarget))
+	}
+	if res.RTTs.Min() <= 0 {
+		t.Error("non-positive RTT sample")
+	}
+	// Heavy-tailed world: p90 should exceed median substantially.
+	if res.RTTs.Percentile(90) <= res.RTTs.Median() {
+		t.Error("RTT distribution has no tail")
+	}
+}
+
+func TestCrawlerValidation(t *testing.T) {
+	net, _ := buildNet(t, 3, 7)
+	if _, err := NewCrawler(net, 999); err == nil {
+		t.Error("accepted unknown vantage")
+	}
+	c, err := NewCrawler(net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Crawl(0, time.Millisecond, time.Second); err == nil {
+		t.Error("accepted pingsPer=0")
+	}
+}
+
+func TestWriteCDFCSV(t *testing.T) {
+	d1 := NewDistribution([]time.Duration{time.Millisecond, 3 * time.Millisecond})
+	d2 := NewDistribution([]time.Duration{2 * time.Millisecond})
+	var buf strings.Builder
+	if err := WriteCDFCSV(&buf, []string{"a", "b"}, []Distribution{d1, d2}, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "series,fraction,delay_ms\n") {
+		t.Errorf("missing header: %q", out[:40])
+	}
+	// 2 series x 5 points + header = 11 lines.
+	if got := strings.Count(out, "\n"); got != 11 {
+		t.Errorf("line count = %d, want 11", got)
+	}
+	if err := WriteCDFCSV(&buf, []string{"a"}, []Distribution{d1, d2}, 5); err == nil {
+		t.Error("mismatched names accepted")
+	}
+}
+
+func TestWriteSamplesCSV(t *testing.T) {
+	d := NewDistribution([]time.Duration{time.Millisecond, 2 * time.Millisecond})
+	var buf strings.Builder
+	if err := WriteSamplesCSV(&buf, "x", d); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	if lines[1] != "x,1.000" || lines[2] != "x,2.000" {
+		t.Errorf("unexpected rows: %v", lines[1:])
+	}
+}

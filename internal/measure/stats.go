@@ -1,0 +1,192 @@
+// Package measure implements the paper's evaluation methodology (§V):
+// the measuring node m that injects transactions and records Δt(m,n) for
+// each of its connections (eq. 5), the distribution statistics the
+// figures report, and a synthetic network crawler reproducing the
+// ping/pong measurement campaign that parameterised the simulator.
+package measure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Distribution summarises a sample of durations. Build one with
+// NewDistribution; it is immutable afterwards.
+type Distribution struct {
+	sorted []time.Duration
+	mean   time.Duration
+	std    time.Duration
+}
+
+// NewDistribution copies and summarises samples. Empty input yields a
+// zero Distribution.
+func NewDistribution(samples []time.Duration) Distribution {
+	if len(samples) == 0 {
+		return Distribution{}
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var sum float64
+	for _, v := range s {
+		sum += float64(v)
+	}
+	mean := sum / float64(len(s))
+	var sq float64
+	for _, v := range s {
+		d := float64(v) - mean
+		sq += d * d
+	}
+	std := math.Sqrt(sq / float64(len(s)))
+	return Distribution{
+		sorted: s,
+		mean:   time.Duration(mean),
+		std:    time.Duration(std),
+	}
+}
+
+// N returns the sample count.
+func (d Distribution) N() int { return len(d.sorted) }
+
+// Mean returns the arithmetic mean.
+func (d Distribution) Mean() time.Duration { return d.mean }
+
+// Std returns the population standard deviation. The paper's figures
+// compare "variances of delays"; Std is the comparable spread measure in
+// time units.
+func (d Distribution) Std() time.Duration { return d.std }
+
+// Variance returns the population variance in seconds squared.
+func (d Distribution) Variance() float64 {
+	s := float64(d.std) / float64(time.Second)
+	return s * s
+}
+
+// Min returns the smallest sample (0 if empty).
+func (d Distribution) Min() time.Duration {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	return d.sorted[0]
+}
+
+// Max returns the largest sample (0 if empty).
+func (d Distribution) Max() time.Duration {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	return d.sorted[len(d.sorted)-1]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks.
+func (d Distribution) Percentile(p float64) time.Duration {
+	n := len(d.sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return d.sorted[0]
+	}
+	if p >= 100 {
+		return d.sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return d.sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return d.sorted[lo] + time.Duration(frac*float64(d.sorted[hi]-d.sorted[lo]))
+}
+
+// Median returns the 50th percentile.
+func (d Distribution) Median() time.Duration { return d.Percentile(50) }
+
+// CDF returns (value, cumulative fraction) pairs at the given number of
+// evenly spaced quantiles — the series Figs. 3 and 4 plot.
+func (d Distribution) CDF(points int) []CDFPoint {
+	if points < 2 || len(d.sorted) == 0 {
+		return nil
+	}
+	out := make([]CDFPoint, points)
+	for i := 0; i < points; i++ {
+		frac := float64(i) / float64(points-1)
+		out[i] = CDFPoint{
+			Fraction: frac,
+			Value:    d.Percentile(frac * 100),
+		}
+	}
+	return out
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Fraction float64
+	Value    time.Duration
+}
+
+// Histogram buckets the samples into n equal-width bins over [Min, Max].
+func (d Distribution) Histogram(bins int) []HistBin {
+	if bins < 1 || len(d.sorted) == 0 {
+		return nil
+	}
+	lo, hi := d.Min(), d.Max()
+	width := (hi - lo) / time.Duration(bins)
+	if width <= 0 {
+		width = 1
+	}
+	out := make([]HistBin, bins)
+	for i := range out {
+		out[i].Low = lo + time.Duration(i)*width
+		out[i].High = out[i].Low + width
+	}
+	for _, v := range d.sorted {
+		idx := int((v - lo) / width)
+		if idx >= bins {
+			idx = bins - 1
+		}
+		out[idx].Count++
+	}
+	return out
+}
+
+// HistBin is one histogram bucket.
+type HistBin struct {
+	Low, High time.Duration
+	Count     int
+}
+
+// String renders a one-line summary.
+func (d Distribution) String() string {
+	return fmt.Sprintf("n=%d mean=%v std=%v p50=%v p90=%v max=%v",
+		d.N(), d.Mean().Round(time.Microsecond), d.Std().Round(time.Microsecond),
+		d.Median().Round(time.Microsecond), d.Percentile(90).Round(time.Microsecond),
+		d.Max().Round(time.Microsecond))
+}
+
+// ASCIICDF renders CDFs side by side as an ASCII chart for terminal
+// output: one row per quantile, one column per named series.
+func ASCIICDF(names []string, dists []Distribution, rows int) string {
+	if len(names) != len(dists) || len(names) == 0 || rows < 2 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s", "CDF")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %14s", n)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < rows; i++ {
+		frac := float64(i) / float64(rows-1)
+		fmt.Fprintf(&b, "%7.0f%%", frac*100)
+		for _, d := range dists {
+			fmt.Fprintf(&b, " %14v", d.Percentile(frac*100).Round(time.Millisecond))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package netnode
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// AddrMan is the live node's address book: every peer address it has
+// learned from ADDR gossip, JOIN/CLUSTER exchanges, or successful
+// connections, with basic liveness bookkeeping. It is the "normal Bitcoin
+// network nodes discovery mechanism" (§IV.B) the join procedure draws
+// candidates from.
+type AddrMan struct {
+	mu      sync.Mutex
+	entries map[string]*addrEntry
+	r       *rand.Rand
+}
+
+type addrEntry struct {
+	addr      string
+	learnedAt time.Time
+	lastSeen  time.Time
+	attempts  int // consecutive failed dials
+}
+
+// maxFailuresBeforeDrop evicts an address after this many consecutive
+// failed connection attempts.
+const maxFailuresBeforeDrop = 3
+
+// NewAddrMan creates an empty address book. The seed makes Sample
+// deterministic for tests.
+func NewAddrMan(seed int64) *AddrMan {
+	return &AddrMan{
+		entries: make(map[string]*addrEntry),
+		r:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Add records an address (idempotent). Empty addresses are ignored.
+func (a *AddrMan) Add(addr string, now time.Time) {
+	if addr == "" {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if e, ok := a.entries[addr]; ok {
+		e.lastSeen = now
+		return
+	}
+	a.entries[addr] = &addrEntry{addr: addr, learnedAt: now, lastSeen: now}
+}
+
+// MarkGood resets the failure count after a successful connection.
+func (a *AddrMan) MarkGood(addr string, now time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if e, ok := a.entries[addr]; ok {
+		e.attempts = 0
+		e.lastSeen = now
+	} else {
+		a.entries[addr] = &addrEntry{addr: addr, learnedAt: now, lastSeen: now}
+	}
+}
+
+// MarkFailed counts a failed dial, evicting the address after
+// maxFailuresBeforeDrop consecutive failures.
+func (a *AddrMan) MarkFailed(addr string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e, ok := a.entries[addr]
+	if !ok {
+		return
+	}
+	e.attempts++
+	if e.attempts >= maxFailuresBeforeDrop {
+		delete(a.entries, addr)
+	}
+}
+
+// Len returns the number of known addresses.
+func (a *AddrMan) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.entries)
+}
+
+// Has reports whether addr is known.
+func (a *AddrMan) Has(addr string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.entries[addr]
+	return ok
+}
+
+// All returns every known address, sorted.
+func (a *AddrMan) All() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.entries))
+	for addr := range a.entries {
+		out = append(out, addr)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sample returns up to n distinct addresses chosen uniformly at random,
+// excluding the given address.
+func (a *AddrMan) Sample(n int, exclude string) []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	pool := make([]string, 0, len(a.entries))
+	for addr := range a.entries {
+		if addr != exclude {
+			pool = append(pool, addr)
+		}
+	}
+	sort.Strings(pool) // deterministic base order before shuffling
+	a.r.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if n > len(pool) {
+		n = len(pool)
+	}
+	return pool[:n]
+}

@@ -1,0 +1,147 @@
+package netnode
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAddrManBasics(t *testing.T) {
+	a := NewAddrMan(1)
+	now := time.Now()
+	a.Add("127.0.0.1:1000", now)
+	a.Add("127.0.0.1:1001", now)
+	a.Add("127.0.0.1:1000", now) // duplicate
+	a.Add("", now)               // empty ignored
+	if a.Len() != 2 {
+		t.Errorf("Len = %d, want 2", a.Len())
+	}
+	if !a.Has("127.0.0.1:1000") || a.Has("nope") {
+		t.Error("Has mismatch")
+	}
+	all := a.All()
+	if len(all) != 2 || all[0] != "127.0.0.1:1000" || all[1] != "127.0.0.1:1001" {
+		t.Errorf("All = %v", all)
+	}
+}
+
+func TestAddrManFailureEviction(t *testing.T) {
+	a := NewAddrMan(2)
+	now := time.Now()
+	a.Add("x:1", now)
+	for i := 0; i < maxFailuresBeforeDrop-1; i++ {
+		a.MarkFailed("x:1")
+		if !a.Has("x:1") {
+			t.Fatalf("evicted after %d failures", i+1)
+		}
+	}
+	a.MarkFailed("x:1")
+	if a.Has("x:1") {
+		t.Error("not evicted after max failures")
+	}
+	// MarkGood resets the counter.
+	a.Add("y:2", now)
+	a.MarkFailed("y:2")
+	a.MarkFailed("y:2")
+	a.MarkGood("y:2", now)
+	a.MarkFailed("y:2")
+	a.MarkFailed("y:2")
+	if !a.Has("y:2") {
+		t.Error("evicted despite MarkGood reset")
+	}
+	// MarkGood on unknown address registers it.
+	a.MarkGood("z:3", now)
+	if !a.Has("z:3") {
+		t.Error("MarkGood did not register new address")
+	}
+	// MarkFailed on unknown address is a no-op.
+	a.MarkFailed("unknown:9")
+}
+
+func TestAddrManSample(t *testing.T) {
+	a := NewAddrMan(3)
+	now := time.Now()
+	for _, addr := range []string{"a:1", "b:2", "c:3", "d:4"} {
+		a.Add(addr, now)
+	}
+	s := a.Sample(2, "a:1")
+	if len(s) != 2 {
+		t.Fatalf("sample size = %d, want 2", len(s))
+	}
+	for _, addr := range s {
+		if addr == "a:1" {
+			t.Error("sample included excluded address")
+		}
+	}
+	// Oversized request returns everything except excluded.
+	s = a.Sample(100, "a:1")
+	if len(s) != 3 {
+		t.Errorf("oversized sample = %d, want 3", len(s))
+	}
+}
+
+func TestAddrGossipFeedsAddrMan(t *testing.T) {
+	hub := startNode(t, nil)
+	a := startNode(t, nil)
+	b := startNode(t, nil)
+	if _, err := a.Connect(hub.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Connect(hub.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return hub.NumPeers() == 2 }, "hub peers")
+
+	// a asks hub for addresses; hub replies with b's address, which must
+	// land in a's address book.
+	a.mu.Lock()
+	p := a.peers[hub.Addr()]
+	a.mu.Unlock()
+	if p == nil {
+		t.Fatal("a lost hub peer")
+	}
+	if err := p.send(mustGetAddr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, func() bool { return a.AddrMan().Has(b.Addr()) },
+		"b's address to reach a via gossip")
+}
+
+func TestConnectTracksAddrMan(t *testing.T) {
+	a := startNode(t, nil)
+	b := startNode(t, nil)
+	if _, err := a.Connect(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if !a.AddrMan().Has(b.Addr()) {
+		t.Error("successful connect not recorded in addrman")
+	}
+	// Dial failures count against the entry.
+	dead := "127.0.0.1:1"
+	a.AddrMan().Add(dead, time.Now())
+	for i := 0; i < maxFailuresBeforeDrop; i++ {
+		_, _ = a.Connect(dead)
+	}
+	if a.AddrMan().Has(dead) {
+		t.Error("dead address not evicted after repeated dial failures")
+	}
+}
+
+func TestDiscoveryLoopLearnsAddresses(t *testing.T) {
+	hub := startNode(t, nil)
+	b := startNode(t, nil)
+	// a runs periodic discovery at a short interval.
+	a := startNode(t, func(c *Config) { c.DiscoveryInterval = 20 * time.Millisecond })
+	if _, err := b.Connect(hub.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Connect(hub.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// Without any manual GETADDR, a's discovery loop must learn b.
+	waitFor(t, 5*time.Second, func() bool { return a.AddrMan().Has(b.Addr()) },
+		"discovery loop to learn b's address")
+	// Sampled candidates are then available for future joins.
+	if s := a.AddrMan().Sample(5, ""); len(s) == 0 {
+		t.Error("no sampled candidates after discovery")
+	}
+}

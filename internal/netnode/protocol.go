@@ -1,0 +1,424 @@
+package netnode
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/latency"
+	"repro/internal/wire"
+)
+
+var pingNonce atomic.Uint64
+
+// handleMessage dispatches one message from a peer.
+func (n *Node) handleMessage(p *peer, msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.MsgPing:
+		_ = p.send(&wire.MsgPong{Nonce: m.Nonce})
+	case *wire.MsgPong:
+		n.handlePong(p, m)
+	case *wire.MsgInv:
+		n.handleInv(p, m)
+	case *wire.MsgGetData:
+		n.handleGetData(p, m)
+	case *wire.MsgTx:
+		n.handleTx(p, m)
+	case *wire.MsgGetAddr:
+		n.handleGetAddr(p)
+	case *wire.MsgAddr:
+		now := time.Now()
+		for _, a := range m.Addrs {
+			n.addrs.Add(addrFromNetAddr(a), now)
+		}
+	case *wire.MsgJoin:
+		n.handleJoin(p, m)
+	case *wire.MsgCluster:
+		// CLUSTER replies are consumed synchronously by JoinCluster via
+		// the pending-join channel.
+		n.deliverClusterReply(p.listenAddr, m)
+	}
+}
+
+// --- ping measurement ---
+
+// pingPeer sends one measurement ping. If wait > 0 it blocks up to wait
+// for the pong and returns the RTT; otherwise it records asynchronously.
+func (n *Node) pingPeer(p *peer, wait time.Duration) (time.Duration, error) {
+	nonce := pingNonce.Add(1)
+	pad := n.cfg.PingBytes - 12
+	if pad < 0 {
+		pad = 0
+	}
+	var done chan time.Duration
+	if wait > 0 {
+		done = make(chan time.Duration, 1)
+	}
+	n.pingMu.Lock()
+	n.pending[nonce] = pendingPing{sentAt: time.Now(), addr: p.listenAddr, done: done}
+	n.pingMu.Unlock()
+	if err := p.send(&wire.MsgPing{Nonce: nonce, Pad: make([]byte, pad)}); err != nil {
+		n.pingMu.Lock()
+		delete(n.pending, nonce)
+		n.pingMu.Unlock()
+		return 0, err
+	}
+	if wait <= 0 {
+		return 0, nil
+	}
+	select {
+	case rtt := <-done:
+		return rtt, nil
+	case <-time.After(wait):
+		n.pingMu.Lock()
+		delete(n.pending, nonce)
+		n.pingMu.Unlock()
+		return 0, errors.New("netnode: ping timeout")
+	case <-n.closed:
+		return 0, errors.New("netnode: node stopped")
+	}
+}
+
+func (n *Node) handlePong(p *peer, m *wire.MsgPong) {
+	n.pingMu.Lock()
+	info, ok := n.pending[m.Nonce]
+	if ok {
+		delete(n.pending, m.Nonce)
+	}
+	n.pingMu.Unlock()
+	if !ok || info.addr != p.listenAddr {
+		return
+	}
+	rtt := time.Since(info.sentAt)
+	n.mu.Lock()
+	est, ok := n.estimators[p.listenAddr]
+	if !ok {
+		est = &latency.Estimator{}
+		n.estimators[p.listenAddr] = est
+	}
+	est.Observe(rtt)
+	n.mu.Unlock()
+	if info.done != nil {
+		info.done <- rtt
+	}
+}
+
+// --- relay (Fig. 1) ---
+
+// SubmitTx validates, stores, and announces a locally created
+// transaction.
+func (n *Node) SubmitTx(tx *chain.Tx) error {
+	if err := tx.CheckWellFormed(); err != nil {
+		return err
+	}
+	id := tx.ID()
+	n.mu.Lock()
+	if _, seen := n.known[id]; seen {
+		n.mu.Unlock()
+		return nil
+	}
+	n.known[id] = tx
+	peers := n.peerList()
+	n.mu.Unlock()
+	n.announce(id, peers, "")
+	return nil
+}
+
+// peerList snapshots peers; callers must hold n.mu.
+func (n *Node) peerList() []*peer {
+	out := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].listenAddr < out[j].listenAddr })
+	return out
+}
+
+// announce sends INV to all peers except the source.
+func (n *Node) announce(id chain.Hash, peers []*peer, except string) {
+	inv := &wire.MsgInv{Items: []wire.InvVect{{Type: wire.InvTx, Hash: id}}}
+	for _, p := range peers {
+		if p.listenAddr == except {
+			continue
+		}
+		_ = p.send(inv)
+	}
+}
+
+func (n *Node) handleInv(p *peer, m *wire.MsgInv) {
+	var want []wire.InvVect
+	n.mu.Lock()
+	for _, item := range m.Items {
+		if item.Type != wire.InvTx {
+			continue
+		}
+		if _, seen := n.known[item.Hash]; !seen {
+			want = append(want, item)
+		}
+	}
+	n.mu.Unlock()
+	if len(want) > 0 {
+		_ = p.send(&wire.MsgGetData{Items: want})
+	}
+}
+
+func (n *Node) handleGetData(p *peer, m *wire.MsgGetData) {
+	for _, item := range m.Items {
+		n.mu.Lock()
+		tx, ok := n.known[item.Hash]
+		n.mu.Unlock()
+		if ok {
+			_ = p.send(&wire.MsgTx{Tx: tx})
+		}
+	}
+}
+
+func (n *Node) handleTx(p *peer, m *wire.MsgTx) {
+	tx := m.Tx
+	if err := tx.CheckWellFormed(); err != nil {
+		return // invalid transactions die here (Fig. 1: verify first)
+	}
+	id := tx.ID()
+	n.mu.Lock()
+	if _, seen := n.known[id]; seen {
+		n.mu.Unlock()
+		return
+	}
+	n.known[id] = tx
+	peers := n.peerList()
+	n.mu.Unlock()
+	if n.OnTx != nil {
+		n.OnTx(tx, p.listenAddr)
+	}
+	n.announce(id, peers, p.listenAddr)
+}
+
+func (n *Node) handleGetAddr(p *peer) {
+	n.mu.Lock()
+	addrs := make([]wire.NetAddr, 0, len(n.peers))
+	for a := range n.peers {
+		if a == p.listenAddr {
+			continue
+		}
+		addrs = append(addrs, netAddrFromString(a, 0))
+	}
+	n.mu.Unlock()
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Port < addrs[j].Port })
+	_ = p.send(&wire.MsgAddr{Addrs: addrs})
+}
+
+// --- BCBPT join over TCP ---
+
+// clusterReply carries an awaited CLUSTER message.
+type clusterReply struct {
+	from string
+	msg  *wire.MsgCluster
+}
+
+// joinWait is a single-slot mailbox for the in-flight join.
+func (n *Node) deliverClusterReply(from string, m *wire.MsgCluster) {
+	n.mu.Lock()
+	ch := n.joinWaiter
+	n.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- clusterReply{from: from, msg: m}:
+		default:
+		}
+	}
+}
+
+// ProbeAddr connects to addr (if not already connected) and measures its
+// RTT with `count` pings, returning the minimum observed.
+func (n *Node) ProbeAddr(addr string, count int) (time.Duration, error) {
+	if count < 1 {
+		return 0, errors.New("netnode: probe count must be >= 1")
+	}
+	listenAddr, err := n.Connect(addr)
+	if err != nil {
+		return 0, err
+	}
+	n.mu.Lock()
+	p, ok := n.peers[listenAddr]
+	n.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("netnode: peer %s not connected after dial", listenAddr)
+	}
+	best := time.Duration(0)
+	for i := 0; i < count; i++ {
+		rtt, err := n.pingPeer(p, 2*time.Second)
+		if err != nil {
+			return 0, err
+		}
+		if best == 0 || rtt < best {
+			best = rtt
+		}
+	}
+	return best, nil
+}
+
+// JoinCluster implements the §IV.B join over TCP: probe every seed
+// address, pick the closest whose RTT is under the threshold, JOIN its
+// cluster and connect to the returned members. If no candidate qualifies
+// the node founds its own cluster (ID derived from its node ID).
+func (n *Node) JoinCluster(seeds []string, probes int) error {
+	if len(seeds) == 0 {
+		return n.foundCluster()
+	}
+	type cand struct {
+		addr string
+		rtt  time.Duration
+	}
+	var cands []cand
+	for _, s := range seeds {
+		rtt, err := n.ProbeAddr(s, probes)
+		if err != nil {
+			continue // unreachable seeds are skipped, like dead DNS entries
+		}
+		cands = append(cands, cand{addr: s, rtt: rtt})
+	}
+	if len(cands) == 0 {
+		return n.foundCluster()
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].rtt != cands[j].rtt {
+			return cands[i].rtt < cands[j].rtt
+		}
+		return cands[i].addr < cands[j].addr
+	})
+	best := cands[0]
+	if n.cfg.Threshold > 0 && best.rtt >= n.cfg.Threshold {
+		return n.foundCluster()
+	}
+
+	n.mu.Lock()
+	p, ok := n.peers[best.addr]
+	if !ok {
+		n.mu.Unlock()
+		return n.foundCluster()
+	}
+	waiter := make(chan clusterReply, 1)
+	n.joinWaiter = waiter
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		n.joinWaiter = nil
+		n.mu.Unlock()
+	}()
+
+	err := p.send(&wire.MsgJoin{
+		Self:              netAddrFromString(n.Addr(), n.nodeID),
+		MeasuredRTTMicros: uint64(best.rtt / time.Microsecond),
+	})
+	if err != nil {
+		return n.foundCluster()
+	}
+	select {
+	case reply := <-waiter:
+		if !reply.msg.Accepted {
+			return n.foundCluster()
+		}
+		n.mu.Lock()
+		n.clusterID = reply.msg.ClusterID
+		n.members[best.addr] = struct{}{}
+		var toDial []string
+		for _, a := range reply.msg.Members {
+			addr := addrFromNetAddr(a)
+			if addr == "" || addr == n.Addr() {
+				continue
+			}
+			n.members[addr] = struct{}{}
+			n.addrs.Add(addr, time.Now())
+			if _, connected := n.peers[addr]; !connected {
+				toDial = append(toDial, addr)
+			}
+		}
+		n.mu.Unlock()
+		for _, addr := range toDial {
+			_, _ = n.Connect(addr) // best effort; members may have churned
+		}
+		return nil
+	case <-time.After(n.cfg.HandshakeTimeout):
+		return n.foundCluster()
+	case <-n.closed:
+		return errors.New("netnode: node stopped")
+	}
+}
+
+// foundCluster starts a fresh cluster.
+func (n *Node) foundCluster() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.clusterID == 0 {
+		n.clusterID = n.nodeID | 1 // never zero
+	}
+	return nil
+}
+
+// handleJoin serves a JOIN request: accept when the reported RTT is under
+// the threshold, replying with this node's cluster and known members.
+func (n *Node) handleJoin(p *peer, m *wire.MsgJoin) {
+	rtt := time.Duration(m.MeasuredRTTMicros) * time.Microsecond
+	n.mu.Lock()
+	if n.clusterID == 0 {
+		n.clusterID = n.nodeID | 1 // lazily found own cluster on first JOIN
+	}
+	accepted := n.cfg.Threshold <= 0 || rtt < n.cfg.Threshold
+	reply := &wire.MsgCluster{ClusterID: n.clusterID, Accepted: accepted}
+	if accepted {
+		joiner := addrFromNetAddr(m.Self)
+		if joiner != "" {
+			n.members[joiner] = struct{}{}
+			n.addrs.Add(joiner, time.Now())
+		}
+		for a := range n.members {
+			if a == joiner {
+				continue
+			}
+			reply.Members = append(reply.Members, netAddrFromString(a, 0))
+		}
+		sort.Slice(reply.Members, func(i, j int) bool {
+			return reply.Members[i].Port < reply.Members[j].Port
+		})
+	}
+	n.mu.Unlock()
+	_ = p.send(reply)
+}
+
+// --- address encoding helpers ---
+
+// netAddrFromString packs "host:port" into a wire.NetAddr.
+func netAddrFromString(addr string, nodeID uint64) wire.NetAddr {
+	out := wire.NetAddr{NodeID: nodeID}
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return out
+	}
+	if ip := net.ParseIP(host); ip != nil {
+		copy(out.Host[:], ip.To16())
+	}
+	if port, err := strconv.Atoi(portStr); err == nil {
+		out.Port = uint16(port)
+	}
+	return out
+}
+
+// addrFromNetAddr unpacks a wire.NetAddr into "host:port" ("" if empty).
+func addrFromNetAddr(a wire.NetAddr) string {
+	if a.Port == 0 {
+		return ""
+	}
+	ip := net.IP(a.Host[:])
+	if ip.IsUnspecified() {
+		return ""
+	}
+	if v4 := ip.To4(); v4 != nil {
+		ip = v4
+	}
+	return net.JoinHostPort(ip.String(), strconv.Itoa(int(a.Port)))
+}

@@ -1,0 +1,387 @@
+package p2p
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/geo"
+	"repro/internal/latency"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// peerState is per-connection bookkeeping on one side of an edge.
+type peerState struct {
+	outbound bool
+}
+
+// pendingPing tracks an in-flight ping probe.
+type pendingPing struct {
+	sentAt sim.Time
+	target NodeID
+	done   func(rtt time.Duration)
+}
+
+// Node is one simulated Bitcoin peer.
+type Node struct {
+	id  NodeID
+	loc geo.Location
+	net *Network
+
+	peers map[NodeID]*peerState
+
+	// known maps every accepted inventory hash to its first-seen time.
+	known map[chain.Hash]sim.Time
+	// txData holds full transactions available for serving GETDATA.
+	txData map[chain.Hash]*chain.Tx
+	// blockData holds full blocks available for serving GETDATA.
+	blockData map[chain.Hash]*chain.Block
+	// peerInv records, per hash, which peers are already known to have
+	// it (because they announced or sent it to us), so we never announce
+	// back. This is the standard Bitcoin relay optimisation.
+	peerInv map[chain.Hash]map[NodeID]struct{}
+	// requested marks hashes we have asked for, to avoid duplicate
+	// GETDATAs while one is in flight.
+	requested map[chain.Hash]struct{}
+
+	// mempool is present in ValidationFull mode only.
+	mempool *chain.Mempool
+
+	// uplinkFreeAt is when the node's serial uplink finishes its current
+	// transmission; Network.deliver queues sends behind it.
+	uplinkFreeAt sim.Time
+
+	// pending ping probes by nonce.
+	pending   map[uint64]pendingPing
+	nextNonce uint64
+
+	// estimators holds per-target RTT estimators fed by Probe.
+	estimators map[NodeID]*latency.Estimator
+
+	// extraHandler receives messages the base node does not consume
+	// (JOIN/CLUSTER); the topology layer installs it.
+	extraHandler func(from NodeID, msg wire.Message)
+}
+
+// SetExtraHandler installs a handler for protocol-extension messages
+// (JOIN/CLUSTER). Passing nil removes it.
+func (nd *Node) SetExtraHandler(h func(from NodeID, msg wire.Message)) {
+	nd.extraHandler = h
+}
+
+// Send transmits an arbitrary wire message to any live node. Topology
+// protocols use this for their extension messages.
+func (nd *Node) Send(to NodeID, msg wire.Message) {
+	nd.net.send(nd.id, to, msg)
+}
+
+// ID returns the node's identifier.
+func (nd *Node) ID() NodeID { return nd.id }
+
+// Location returns the node's (self-reported) geographic placement.
+func (nd *Node) Location() geo.Location { return nd.loc }
+
+// Peers returns the connected peer IDs in ascending order.
+func (nd *Node) Peers() []NodeID {
+	ids := make([]NodeID, 0, len(nd.peers))
+	for id := range nd.peers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// NumPeers returns the number of connections.
+func (nd *Node) NumPeers() int { return len(nd.peers) }
+
+// Outbound returns the number of connections this node initiated.
+func (nd *Node) Outbound() int {
+	c := 0
+	for _, p := range nd.peers {
+		if p.outbound {
+			c++
+		}
+	}
+	return c
+}
+
+// IsPeer reports whether id is a connected peer.
+func (nd *Node) IsPeer(id NodeID) bool {
+	_, ok := nd.peers[id]
+	return ok
+}
+
+// FirstSeen returns when the node first accepted the hash, if ever.
+func (nd *Node) FirstSeen(h chain.Hash) (sim.Time, bool) {
+	t, ok := nd.known[h]
+	return t, ok
+}
+
+// Estimator returns the RTT estimator for a probed target, if any.
+func (nd *Node) Estimator(target NodeID) (*latency.Estimator, bool) {
+	e, ok := nd.estimators[target]
+	return e, ok
+}
+
+// --- transaction origination and relay (Fig. 1) ---
+
+// SubmitTx injects a locally created transaction: the node validates it
+// and announces it to all peers, exactly as if a wallet had handed it in.
+func (nd *Node) SubmitTx(tx *chain.Tx) error {
+	if err := nd.acceptTx(tx, 0); err != nil {
+		return err
+	}
+	return nil
+}
+
+// acceptTx validates and records a transaction, then announces it.
+// from == 0 means locally submitted.
+func (nd *Node) acceptTx(tx *chain.Tx, from NodeID) error {
+	id := tx.ID()
+	if _, seen := nd.known[id]; seen {
+		return nil
+	}
+	switch nd.net.cfg.Validation {
+	case ValidationFull:
+		if err := nd.mempool.Add(tx); err != nil {
+			return err
+		}
+	case ValidationLight:
+		if err := tx.CheckWellFormed(); err != nil {
+			return err
+		}
+	}
+	nd.known[id] = nd.net.Now()
+	if nd.txData == nil {
+		nd.txData = make(map[chain.Hash]*chain.Tx)
+	}
+	nd.txData[id] = tx
+	delete(nd.requested, id)
+	if nd.net.OnTxFirstSeen != nil {
+		nd.net.OnTxFirstSeen(nd.id, id, nd.net.Now())
+	}
+	nd.announce(id, from)
+	return nil
+}
+
+// announce offers hash to every peer not already known to have it: an
+// INV in RelayInv mode (Fig. 1), or the full transaction immediately in
+// RelayDirect mode (the refs [9]/[10] pipelining ablation). Iteration is
+// in sorted peer order: delivery delays draw from a shared random stream,
+// so a stable order is required for run-to-run determinism.
+func (nd *Node) announce(h chain.Hash, except NodeID) {
+	holders := nd.peerInv[h]
+	direct := nd.net.cfg.Relay == RelayDirect
+	for _, peerID := range nd.Peers() {
+		if peerID == except {
+			continue
+		}
+		if _, knows := holders[peerID]; knows {
+			continue
+		}
+		if direct {
+			if tx, ok := nd.txData[h]; ok {
+				nd.markPeerHas(peerID, h)
+				nd.net.send(nd.id, peerID, &wire.MsgTx{Tx: tx})
+				continue
+			}
+		}
+		nd.net.send(nd.id, peerID, &wire.MsgInv{Items: []wire.InvVect{{Type: wire.InvTx, Hash: h}}})
+	}
+}
+
+// markPeerHas records that a peer is known to hold a hash.
+func (nd *Node) markPeerHas(peer NodeID, h chain.Hash) {
+	set, ok := nd.peerInv[h]
+	if !ok {
+		set = make(map[NodeID]struct{})
+		nd.peerInv[h] = set
+	}
+	set[peer] = struct{}{}
+}
+
+// handleMessage dispatches a delivered wire message.
+func (nd *Node) handleMessage(from NodeID, msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.MsgInv:
+		nd.handleInv(from, m)
+	case *wire.MsgGetData:
+		nd.handleGetData(from, m)
+	case *wire.MsgTx:
+		nd.handleTx(from, m)
+	case *wire.MsgBlock:
+		nd.handleBlock(from, m)
+	case *wire.MsgPing:
+		nd.net.send(nd.id, from, &wire.MsgPong{Nonce: m.Nonce})
+	case *wire.MsgPong:
+		nd.handlePong(from, m)
+	case *wire.MsgGetAddr:
+		nd.handleGetAddr(from)
+	case *wire.MsgAddr:
+		// Address gossip terminates here; topology managers pull
+		// addresses via the discovery API rather than per-node state.
+	default:
+		// JOIN/CLUSTER and handshake messages are consumed by the
+		// topology layer, which installs its own handler.
+		if nd.extraHandler != nil {
+			nd.extraHandler(from, msg)
+		}
+	}
+}
+
+// handleInv requests any announced transactions we have not seen.
+func (nd *Node) handleInv(from NodeID, m *wire.MsgInv) {
+	var blocks []wire.InvVect
+	var want []wire.InvVect
+	for _, item := range m.Items {
+		if item.Type == wire.InvBlock {
+			blocks = append(blocks, item)
+			continue
+		}
+		if item.Type != wire.InvTx {
+			continue
+		}
+		nd.markPeerHas(from, item.Hash)
+		if _, seen := nd.known[item.Hash]; seen {
+			continue
+		}
+		if nd.requested == nil {
+			nd.requested = make(map[chain.Hash]struct{})
+		}
+		if _, inflight := nd.requested[item.Hash]; inflight {
+			continue
+		}
+		nd.requested[item.Hash] = struct{}{}
+		want = append(want, item)
+	}
+	if len(want) > 0 {
+		nd.net.send(nd.id, from, &wire.MsgGetData{Items: want})
+	}
+	if len(blocks) > 0 {
+		nd.handleBlockInv(from, blocks)
+	}
+}
+
+// handleGetData serves full transactions and blocks we hold.
+func (nd *Node) handleGetData(from NodeID, m *wire.MsgGetData) {
+	for _, item := range m.Items {
+		switch item.Type {
+		case wire.InvTx:
+			if tx, ok := nd.txData[item.Hash]; ok {
+				nd.markPeerHas(from, item.Hash)
+				nd.net.send(nd.id, from, &wire.MsgTx{Tx: tx})
+			}
+		case wire.InvBlock:
+			if b, ok := nd.blockData[item.Hash]; ok {
+				nd.markPeerHas(from, item.Hash)
+				nd.net.send(nd.id, from, &wire.MsgBlock{Block: b})
+			}
+		}
+	}
+}
+
+// handleTx verifies (with modelled delay) then accepts and relays.
+func (nd *Node) handleTx(from NodeID, m *wire.MsgTx) {
+	tx := m.Tx
+	id := tx.ID()
+	nd.markPeerHas(from, id)
+	if _, seen := nd.known[id]; seen {
+		return
+	}
+	// Fig. 1: the peer verifies the transaction BEFORE announcing it
+	// onward. The verification delay is virtual time, not host CPU.
+	utxoLen := 0
+	if nd.mempool != nil {
+		utxoLen = nd.mempool.Len()
+	}
+	cost := nd.net.cfg.VerifyCost.TxCost(tx, utxoLen)
+	nodeID := nd.id
+	nd.net.sched.After(cost, func() {
+		node, ok := nd.net.nodes[nodeID]
+		if !ok {
+			return
+		}
+		_ = node.acceptTx(tx, from) // invalid txs die here, by design
+	})
+}
+
+// --- ping measurement ---
+
+// Probe sends a single measurement ping to target (connected or not) and
+// feeds the resulting RTT into this node's estimator for the target.
+// done, if non-nil, fires with the measured RTT.
+func (nd *Node) Probe(target NodeID, done func(rtt time.Duration)) {
+	nd.nextNonce++
+	nonce := nd.nextNonce
+	nd.pending[nonce] = pendingPing{sentAt: nd.net.Now(), target: target, done: done}
+	pad := nd.net.cfg.Latency.PingBytes - 12 // nonce + length prefix
+	if pad < 0 {
+		pad = 0
+	}
+	nd.net.send(nd.id, target, &wire.MsgPing{Nonce: nonce, Pad: make([]byte, pad)})
+}
+
+// ProbeN sends n pings spaced by gap and calls done once all have
+// completed (or been lost to churn — lost probes simply never arrive, so
+// done fires only when all n pongs return; callers combine this with the
+// estimator's Ready check).
+func (nd *Node) ProbeN(target NodeID, n int, gap time.Duration, done func(est *latency.Estimator)) {
+	if n <= 0 {
+		return
+	}
+	remaining := n
+	for i := 0; i < n; i++ {
+		delay := time.Duration(i) * gap
+		nd.net.sched.After(delay, func() {
+			node, ok := nd.net.nodes[nd.id]
+			if !ok {
+				return
+			}
+			node.Probe(target, func(time.Duration) {
+				remaining--
+				if remaining == 0 && done != nil {
+					if est, ok := node.estimators[target]; ok {
+						done(est)
+					}
+				}
+			})
+		})
+	}
+}
+
+// handlePong matches a pong to its pending probe and updates estimators.
+func (nd *Node) handlePong(from NodeID, m *wire.MsgPong) {
+	p, ok := nd.pending[m.Nonce]
+	if !ok || p.target != from {
+		return // stale or spoofed; drop
+	}
+	delete(nd.pending, m.Nonce)
+	rtt := time.Duration(nd.net.Now() - p.sentAt)
+	if nd.estimators == nil {
+		nd.estimators = make(map[NodeID]*latency.Estimator)
+	}
+	est, ok := nd.estimators[from]
+	if !ok {
+		est = &latency.Estimator{}
+		nd.estimators[from] = est
+	}
+	est.Observe(rtt)
+	if p.done != nil {
+		p.done(rtt)
+	}
+}
+
+// handleGetAddr replies with a sample of this node's peer addresses —
+// "the normal Bitcoin network nodes discovery mechanism" (§IV.B).
+func (nd *Node) handleGetAddr(from NodeID) {
+	peers := nd.Peers()
+	addrs := make([]wire.NetAddr, 0, len(peers))
+	for _, id := range peers {
+		if id == from {
+			continue
+		}
+		addrs = append(addrs, wire.NetAddr{NodeID: uint64(id)})
+	}
+	nd.net.send(nd.id, from, &wire.MsgAddr{Addrs: addrs})
+}

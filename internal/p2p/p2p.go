@@ -1,0 +1,480 @@
+// Package p2p implements the simulated Bitcoin peer-to-peer network: nodes
+// with the INV/GETDATA/TX relay protocol of Fig. 1 of the paper, latency-
+// weighted message delivery, ping measurement, address gossip, and churn
+// hooks. Neighbour selection policy is deliberately NOT here — the
+// internal/topology package wires nodes together (randomly, by locality,
+// or by ping time) on top of these primitives.
+//
+// The network is an overlay: any node may message any other (as any host
+// can dial any other over IP); the peer graph only determines where
+// gossip flows. That distinction is what lets BCBPT ping-probe discovered
+// nodes before deciding to peer with them.
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/geo"
+	"repro/internal/latency"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// NodeID identifies a node in the simulated network.
+type NodeID uint64
+
+// ValidationMode selects how much transaction validation nodes perform.
+type ValidationMode int
+
+const (
+	// ValidationLight checks well-formedness and charges the virtual
+	// verification cost, but skips ECDSA and UTXO lookups. The right
+	// default for large propagation experiments: the *time* cost of
+	// verification is still modelled, only the CPU burn is skipped.
+	ValidationLight ValidationMode = iota
+	// ValidationFull runs real signature and UTXO validation per node.
+	ValidationFull
+	// ValidationNone treats transactions as opaque payloads (inventory
+	// propagation only).
+	ValidationNone
+)
+
+// String implements fmt.Stringer.
+func (v ValidationMode) String() string {
+	switch v {
+	case ValidationFull:
+		return "full"
+	case ValidationLight:
+		return "light"
+	case ValidationNone:
+		return "none"
+	default:
+		return fmt.Sprintf("ValidationMode(%d)", int(v))
+	}
+}
+
+// RelayMode selects how transactions propagate between peers.
+type RelayMode int
+
+const (
+	// RelayInv is the three-step INV/GETDATA/TX exchange of Fig. 1 —
+	// the Bitcoin protocol of the paper's era.
+	RelayInv RelayMode = iota
+	// RelayDirect pushes the full transaction immediately without the
+	// INV round trip — the pipelining of the paper's refs [9]/[10]
+	// (Stathakopoulou's "faster Bitcoin network"). Used by the
+	// direct-relay ablation.
+	RelayDirect
+)
+
+// String implements fmt.Stringer.
+func (m RelayMode) String() string {
+	switch m {
+	case RelayInv:
+		return "inv"
+	case RelayDirect:
+		return "direct"
+	default:
+		return fmt.Sprintf("RelayMode(%d)", int(m))
+	}
+}
+
+// Config parameterises a Network.
+type Config struct {
+	// Latency configures the link model (eqs. 2-4).
+	Latency latency.Params
+	// VerifyCost converts transactions into virtual verification delay.
+	VerifyCost chain.VerifyCostModel
+	// Validation selects per-node validation depth.
+	Validation ValidationMode
+	// Relay selects the propagation exchange (default: RelayInv, Fig. 1).
+	Relay RelayMode
+	// MaxOutbound caps connections a node initiates (Bitcoin: 8).
+	MaxOutbound int
+	// MaxPeers caps total connections per node (Bitcoin: 125).
+	MaxPeers int
+	// PingInterval is the keepalive ping period for connected peers.
+	// Zero disables keepalive pings.
+	PingInterval time.Duration
+	// LossProb drops each delivered message independently with this
+	// probability (failure injection; "errors such as loss of connection
+	// and data corruption are expected", §V.B). 0 disables loss.
+	LossProb float64
+	// BaseUTXO, when set, seeds every node's ledger view (Full mode).
+	BaseUTXO *chain.UTXOSet
+	// Seed roots all randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used by the paper experiments.
+func DefaultConfig() Config {
+	return Config{
+		Latency:      latency.DefaultParams(),
+		VerifyCost:   chain.DefaultVerifyCost(),
+		Validation:   ValidationLight,
+		MaxOutbound:  8,
+		MaxPeers:     125,
+		PingInterval: 30 * time.Second,
+		Seed:         1,
+	}
+}
+
+// Network owns the scheduler, all nodes, and the link-latency state.
+// It is single-threaded: all interaction happens through scheduled events.
+type Network struct {
+	cfg     Config
+	sched   *sim.Scheduler
+	streams *sim.Streams
+	model   *latency.Model
+
+	nodes  map[NodeID]*Node
+	nextID NodeID
+	links  map[linkKey]latency.Link
+
+	stats Stats
+
+	// OnTxFirstSeen fires when a node accepts a transaction it had not
+	// seen before (after verification delay). Measurement hooks in.
+	OnTxFirstSeen func(node NodeID, tx chain.Hash, at sim.Time)
+	// OnBlockFirstSeen fires when a node accepts a block it had not seen
+	// before (after verification delay).
+	OnBlockFirstSeen func(node NodeID, block chain.Hash, at sim.Time)
+	// OnDisconnect fires after a connection is torn down, letting the
+	// topology manager refill the peer's slots.
+	OnDisconnect func(a, b NodeID)
+}
+
+type linkKey struct{ lo, hi NodeID }
+
+func mkLinkKey(a, b NodeID) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{lo: a, hi: b}
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork(cfg Config) (*Network, error) {
+	if cfg.MaxOutbound <= 0 || cfg.MaxPeers <= 0 {
+		return nil, errors.New("p2p: MaxOutbound and MaxPeers must be positive")
+	}
+	if cfg.MaxOutbound > cfg.MaxPeers {
+		return nil, fmt.Errorf("p2p: MaxOutbound %d > MaxPeers %d", cfg.MaxOutbound, cfg.MaxPeers)
+	}
+	if cfg.LossProb < 0 || cfg.LossProb >= 1 {
+		return nil, fmt.Errorf("p2p: LossProb %g outside [0,1)", cfg.LossProb)
+	}
+	model, err := latency.NewModel(cfg.Latency)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{
+		cfg:     cfg,
+		sched:   sim.NewScheduler(),
+		streams: sim.NewStreams(cfg.Seed),
+		model:   model,
+		nodes:   make(map[NodeID]*Node),
+		links:   make(map[linkKey]latency.Link),
+	}, nil
+}
+
+// Scheduler exposes the simulation clock and event queue.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// Streams exposes the named random streams.
+func (n *Network) Streams() *sim.Streams { return n.streams }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Stats returns a snapshot of the message counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// ResetStats zeroes the message counters (used between measurement runs).
+func (n *Network) ResetStats() { n.stats = Stats{} }
+
+// Now returns the current virtual time.
+func (n *Network) Now() sim.Time { return n.sched.Now() }
+
+// NumNodes returns the number of live nodes.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// rng returns the named random stream.
+func (n *Network) rng(name string) *rand.Rand { return n.streams.Stream(name) }
+
+// AddNode creates a node at the given location and returns it.
+func (n *Network) AddNode(loc geo.Location) *Node {
+	n.nextID++
+	id := n.nextID
+	node := &Node{
+		id:      id,
+		loc:     loc,
+		net:     n,
+		peers:   make(map[NodeID]*peerState),
+		known:   make(map[chain.Hash]sim.Time),
+		peerInv: make(map[chain.Hash]map[NodeID]struct{}),
+		pending: make(map[uint64]pendingPing),
+	}
+	if n.cfg.Validation == ValidationFull {
+		base := n.cfg.BaseUTXO
+		if base == nil {
+			base = chain.NewUTXOSet()
+		}
+		node.mempool = chain.NewMempool(base.Clone(), 0)
+	}
+	n.nodes[id] = node
+	return node
+}
+
+// Node returns the node with the given ID, if it exists.
+func (n *Network) Node(id NodeID) (*Node, bool) {
+	node, ok := n.nodes[id]
+	return node, ok
+}
+
+// NodeIDs returns all live node IDs in ascending order.
+func (n *Network) NodeIDs() []NodeID {
+	ids := make([]NodeID, 0, len(n.nodes))
+	for id := NodeID(1); id <= n.nextID; id++ {
+		if _, ok := n.nodes[id]; ok {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// RemoveNode disconnects and deletes a node (a churn "leave" event).
+// Removing an unknown node is a no-op. The node is deleted from the
+// network before OnDisconnect fires, so refill logic running inside the
+// callback can never reconnect to the departing node; peers are processed
+// in sorted order for determinism.
+func (n *Network) RemoveNode(id NodeID) {
+	node, ok := n.nodes[id]
+	if !ok {
+		return
+	}
+	delete(n.nodes, id)
+	for _, peerID := range node.Peers() {
+		delete(node.peers, peerID)
+		if nb, ok := n.nodes[peerID]; ok {
+			delete(nb.peers, id)
+		}
+		if n.OnDisconnect != nil {
+			n.OnDisconnect(id, peerID)
+		}
+	}
+}
+
+// link returns (creating on first use) the latency link between two nodes.
+func (n *Network) link(a, b *Node) latency.Link {
+	key := mkLinkKey(a.id, b.id)
+	if l, ok := n.links[key]; ok {
+		return l
+	}
+	l := n.model.NewLink(n.rng("links"), a.loc.Coord, b.loc.Coord)
+	n.links[key] = l
+	return l
+}
+
+// BaseRTT returns the congestion-free round-trip time between two nodes —
+// the simulator's ground truth, used by experiments to verify clustering
+// quality. Returns false if either node is gone.
+func (n *Network) BaseRTT(a, b NodeID) (time.Duration, bool) {
+	na, ok := n.nodes[a]
+	if !ok {
+		return 0, false
+	}
+	nb, ok := n.nodes[b]
+	if !ok {
+		return 0, false
+	}
+	return n.link(na, nb).Base(), true
+}
+
+// deliver schedules msg to arrive at dst after serialization on the
+// sender's uplink plus the link's sampled one-way delay. The uplink is a
+// serial resource: concurrent sends queue behind each other (the rate(r)
+// and queuing terms of eqs. 2 and 4 applied to all traffic, not just
+// pings) — this is what makes announcing to many peers progressively
+// slower for the later ones.
+func (n *Network) deliver(src, dst *Node, msg wire.Message) {
+	size := wire.EncodedSize(msg)
+	n.stats.count(msg.Command(), size)
+	if n.cfg.LossProb > 0 && n.rng("loss").Float64() < n.cfg.LossProb {
+		n.stats.Lost++
+		return
+	}
+	txTime := time.Duration(float64(size) / n.cfg.Latency.RateBytesPerSec * float64(time.Second))
+	start := n.sched.Now()
+	if src.uplinkFreeAt > start {
+		start = src.uplinkFreeAt
+	}
+	src.uplinkFreeAt = start + txTime
+	delay := (start + txTime - n.sched.Now()) + n.link(src, dst).SampleOneWay(n.rng("delivery"))
+	srcID := src.id
+	dstID := dst.id
+	n.sched.After(delay, func() {
+		// The destination may have churned away mid-flight.
+		node, ok := n.nodes[dstID]
+		if !ok {
+			n.stats.Dropped++
+			return
+		}
+		node.handleMessage(srcID, msg)
+	})
+}
+
+// send looks up both endpoints and delivers; it silently drops if either
+// endpoint is gone (matching a TCP RST on a dead host).
+func (n *Network) send(from NodeID, to NodeID, msg wire.Message) {
+	src, ok := n.nodes[from]
+	if !ok {
+		n.stats.Dropped++
+		return
+	}
+	dst, ok := n.nodes[to]
+	if !ok {
+		n.stats.Dropped++
+		return
+	}
+	n.deliver(src, dst, msg)
+}
+
+// Connection errors.
+var (
+	ErrSelfConnect   = errors.New("p2p: node cannot connect to itself")
+	ErrAlreadyPeers  = errors.New("p2p: already connected")
+	ErrPeerCapacity  = errors.New("p2p: peer at capacity")
+	ErrUnknownNode   = errors.New("p2p: unknown node")
+	ErrOutboundLimit = errors.New("p2p: outbound limit reached")
+)
+
+// Connect establishes a connection initiated by a to b. The handshake
+// (version/verack) is charged one RTT plus message costs; the connection
+// becomes usable immediately for the initiator's bookkeeping, matching
+// the simulator granularity of the paper.
+func (n *Network) Connect(a, b NodeID) error {
+	return n.connect(a, b, true)
+}
+
+// ConnectUnbounded is Connect without the initiator's outbound cap —
+// measurement instrumentation (the degree-sweep experiments wire the
+// measuring node to arbitrary connection counts). MaxPeers still applies
+// on both sides.
+func (n *Network) ConnectUnbounded(a, b NodeID) error {
+	return n.connect(a, b, false)
+}
+
+func (n *Network) connect(a, b NodeID, enforceOutbound bool) error {
+	if a == b {
+		return ErrSelfConnect
+	}
+	na, ok := n.nodes[a]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, a)
+	}
+	nb, ok := n.nodes[b]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, b)
+	}
+	if _, dup := na.peers[b]; dup {
+		return ErrAlreadyPeers
+	}
+	if enforceOutbound && na.Outbound() >= n.cfg.MaxOutbound {
+		return ErrOutboundLimit
+	}
+	if len(na.peers) >= n.cfg.MaxPeers {
+		return ErrOutboundLimit
+	}
+	if len(nb.peers) >= n.cfg.MaxPeers {
+		return ErrPeerCapacity
+	}
+	// Charge the handshake: version + verack each way.
+	n.stats.count(wire.CmdVersion, versionSize)
+	n.stats.count(wire.CmdVerack, verackSize)
+	n.stats.count(wire.CmdVersion, versionSize)
+	n.stats.count(wire.CmdVerack, verackSize)
+	na.peers[b] = &peerState{outbound: true}
+	nb.peers[a] = &peerState{outbound: false}
+	return nil
+}
+
+// approximate handshake frame sizes (header + typical payload).
+const (
+	versionSize = 13 + 4 + 26 + 4 + 1 + 10
+	verackSize  = 13
+)
+
+// Disconnect tears down the connection between a and b (no-op if absent).
+func (n *Network) Disconnect(a, b NodeID) {
+	na, ok := n.nodes[a]
+	if !ok {
+		return
+	}
+	if _, connected := na.peers[b]; !connected {
+		return
+	}
+	n.teardown(na, b)
+}
+
+// teardown removes the edge from both sides and fires OnDisconnect.
+func (n *Network) teardown(na *Node, b NodeID) {
+	delete(na.peers, b)
+	if nb, ok := n.nodes[b]; ok {
+		delete(nb.peers, na.id)
+	}
+	if n.OnDisconnect != nil {
+		n.OnDisconnect(na.id, b)
+	}
+}
+
+// ResetInventory clears every node's seen-transaction state. Measurement
+// harnesses call this between runs so memory stays bounded over thousands
+// of injected transactions.
+func (n *Network) ResetInventory() {
+	for _, node := range n.nodes {
+		node.known = make(map[chain.Hash]sim.Time)
+		node.peerInv = make(map[chain.Hash]map[NodeID]struct{})
+		node.txData = nil
+		node.blockData = nil
+		node.requested = nil
+		if node.mempool != nil {
+			for _, id := range node.mempool.IDs() {
+				node.mempool.Remove(id)
+			}
+		}
+	}
+}
+
+// StartKeepalive begins the periodic peer-ping service configured by
+// Config.PingInterval: every interval, every node pings each of its
+// peers, feeding the RTT estimators that cluster maintenance reads (the
+// paper's repeated measurement requirement, §IV.A). Returns nil when
+// PingInterval is zero. Stop the returned ticker to halt the service —
+// otherwise the event queue never drains (use RunUntil).
+func (n *Network) StartKeepalive() *sim.Ticker {
+	if n.cfg.PingInterval <= 0 {
+		return nil
+	}
+	return n.sched.NewTicker(n.cfg.PingInterval, func() {
+		for _, id := range n.NodeIDs() {
+			node, ok := n.nodes[id]
+			if !ok {
+				continue
+			}
+			for _, p := range node.Peers() {
+				node.Probe(p, nil)
+			}
+		}
+	})
+}
+
+// Run drains the event queue.
+func (n *Network) Run() error { return n.sched.Run() }
+
+// RunUntil processes events up to the virtual-time limit.
+func (n *Network) RunUntil(limit sim.Time) error { return n.sched.RunUntil(limit) }

@@ -1,0 +1,742 @@
+package p2p
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/geo"
+	"repro/internal/latency"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// testNetwork builds a network of n nodes placed around the world.
+func testNetwork(t testing.TB, n int, mutate func(*Config)) (*Network, []*Node) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Validation = ValidationNone
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placer := geo.DefaultPlacer()
+	r := net.Streams().Stream("placement")
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = net.AddNode(placer.Place(r))
+	}
+	return net, nodes
+}
+
+// connectRing wires nodes into a ring so gossip reaches everyone.
+func connectRing(t testing.TB, net *Network, nodes []*Node) {
+	t.Helper()
+	for i := range nodes {
+		next := nodes[(i+1)%len(nodes)]
+		if err := net.Connect(nodes[i].ID(), next.ID()); err != nil {
+			t.Fatalf("Connect(%d,%d): %v", nodes[i].ID(), next.ID(), err)
+		}
+	}
+}
+
+func testTx(t testing.TB, seed int64) *chain.Tx {
+	t.Helper()
+	key, err := chain.GenerateKey(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chain.Coinbase(uint64(seed), 1000, key.Address())
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxOutbound = 0
+	if _, err := NewNetwork(cfg); err == nil {
+		t.Error("accepted MaxOutbound=0")
+	}
+	cfg = DefaultConfig()
+	cfg.MaxOutbound = 200
+	cfg.MaxPeers = 100
+	if _, err := NewNetwork(cfg); err == nil {
+		t.Error("accepted MaxOutbound > MaxPeers")
+	}
+	cfg = DefaultConfig()
+	cfg.Latency.PingBytes = 0
+	if _, err := NewNetwork(cfg); err == nil {
+		t.Error("accepted invalid latency params")
+	}
+}
+
+func TestConnectDisconnectLifecycle(t *testing.T) {
+	net, nodes := testNetwork(t, 3, nil)
+	a, b, c := nodes[0], nodes[1], nodes[2]
+
+	if err := net.Connect(a.ID(), b.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsPeer(b.ID()) || !b.IsPeer(a.ID()) {
+		t.Fatal("connection not bidirectional")
+	}
+	if a.Outbound() != 1 || b.Outbound() != 0 {
+		t.Errorf("outbound counts = (%d,%d), want (1,0)", a.Outbound(), b.Outbound())
+	}
+	if err := net.Connect(a.ID(), b.ID()); !errors.Is(err, ErrAlreadyPeers) {
+		t.Errorf("duplicate connect = %v, want ErrAlreadyPeers", err)
+	}
+	if err := net.Connect(a.ID(), a.ID()); !errors.Is(err, ErrSelfConnect) {
+		t.Errorf("self connect = %v, want ErrSelfConnect", err)
+	}
+	if err := net.Connect(a.ID(), NodeID(999)); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown connect = %v, want ErrUnknownNode", err)
+	}
+
+	var disconnects [][2]NodeID
+	net.OnDisconnect = func(x, y NodeID) { disconnects = append(disconnects, [2]NodeID{x, y}) }
+	net.Disconnect(a.ID(), b.ID())
+	if a.IsPeer(b.ID()) || b.IsPeer(a.ID()) {
+		t.Error("edge survives Disconnect")
+	}
+	if len(disconnects) != 1 {
+		t.Errorf("OnDisconnect fired %d times, want 1", len(disconnects))
+	}
+	net.Disconnect(a.ID(), c.ID()) // never connected: no-op
+	if len(disconnects) != 1 {
+		t.Error("no-op disconnect fired callback")
+	}
+}
+
+func TestConnectCapacityLimits(t *testing.T) {
+	net, nodes := testNetwork(t, 5, func(c *Config) {
+		c.MaxOutbound = 2
+		c.MaxPeers = 3
+	})
+	hub := nodes[0]
+	// Outbound limit: hub can only initiate 2.
+	if err := net.Connect(hub.ID(), nodes[1].ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Connect(hub.ID(), nodes[2].ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Connect(hub.ID(), nodes[3].ID()); !errors.Is(err, ErrOutboundLimit) {
+		t.Errorf("3rd outbound = %v, want ErrOutboundLimit", err)
+	}
+	// Inbound up to MaxPeers: one more fits (2 outbound + 1 inbound).
+	if err := net.Connect(nodes[3].ID(), hub.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Connect(nodes[4].ID(), hub.ID()); !errors.Is(err, ErrPeerCapacity) {
+		t.Errorf("overfull inbound = %v, want ErrPeerCapacity", err)
+	}
+}
+
+func TestRemoveNodeTearsDownEdges(t *testing.T) {
+	net, nodes := testNetwork(t, 3, nil)
+	connectRing(t, net, nodes)
+	fired := 0
+	net.OnDisconnect = func(a, b NodeID) { fired++ }
+	net.RemoveNode(nodes[0].ID())
+	if _, ok := net.Node(nodes[0].ID()); ok {
+		t.Error("removed node still present")
+	}
+	if nodes[1].IsPeer(nodes[0].ID()) || nodes[2].IsPeer(nodes[0].ID()) {
+		t.Error("peers still reference removed node")
+	}
+	if fired != 2 {
+		t.Errorf("OnDisconnect fired %d, want 2", fired)
+	}
+	if got := net.NumNodes(); got != 2 {
+		t.Errorf("NumNodes = %d, want 2", got)
+	}
+	net.RemoveNode(nodes[0].ID()) // idempotent
+}
+
+func TestTxPropagatesToAllNodes(t *testing.T) {
+	net, nodes := testNetwork(t, 20, nil)
+	connectRing(t, net, nodes)
+	tx := testTx(t, 1)
+
+	received := make(map[NodeID]sim.Time)
+	net.OnTxFirstSeen = func(id NodeID, h chain.Hash, at sim.Time) {
+		received[id] = at
+	}
+	if err := nodes[0].SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(received) != len(nodes) {
+		t.Fatalf("tx reached %d of %d nodes", len(received), len(nodes))
+	}
+	// The origin sees it at time zero; everyone else strictly later.
+	if received[nodes[0].ID()] != 0 {
+		t.Errorf("origin first-seen = %v, want 0", received[nodes[0].ID()])
+	}
+	for _, nd := range nodes[1:] {
+		if received[nd.ID()] <= 0 {
+			t.Errorf("node %d first-seen = %v, want > 0", nd.ID(), received[nd.ID()])
+		}
+		if _, ok := nd.FirstSeen(tx.ID()); !ok {
+			t.Errorf("node %d FirstSeen missing", nd.ID())
+		}
+	}
+}
+
+func TestTxPropagationDeterministic(t *testing.T) {
+	run := func() map[NodeID]sim.Time {
+		net, nodes := testNetwork(t, 15, nil)
+		connectRing(t, net, nodes)
+		rec := make(map[NodeID]sim.Time)
+		net.OnTxFirstSeen = func(id NodeID, h chain.Hash, at sim.Time) { rec[id] = at }
+		if err := nodes[0].SubmitTx(testTx(t, 7)); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("run sizes differ: %d vs %d", len(a), len(b))
+	}
+	for id, at := range a {
+		if b[id] != at {
+			t.Fatalf("node %d time differs: %v vs %v", id, at, b[id])
+		}
+	}
+}
+
+func TestNoDuplicateTxDelivery(t *testing.T) {
+	// In a complete graph every node hears INVs from everyone, but must
+	// download the tx body exactly once.
+	net, nodes := testNetwork(t, 6, nil)
+	for i := range nodes {
+		for j := i + 1; j < len(nodes); j++ {
+			if err := net.Connect(nodes[i].ID(), nodes[j].ID()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := nodes[0].SubmitTx(testTx(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := net.Stats()
+	txMsgs := st.Messages[wire.CmdTx]
+	// 5 receivers -> exactly 5 tx bodies (one each).
+	if txMsgs != 5 {
+		t.Errorf("tx bodies sent = %d, want 5", txMsgs)
+	}
+	getData := st.Messages[wire.CmdGetData]
+	if getData != 5 {
+		t.Errorf("getdata sent = %d, want 5 (one per receiver)", getData)
+	}
+}
+
+func TestVerificationDelayOrdersPropagation(t *testing.T) {
+	// With a huge verification cost, a two-hop neighbour must receive the
+	// tx at least two verification delays after origin.
+	const bigCost = 500 * time.Millisecond
+	net, nodes := testNetwork(t, 3, func(c *Config) {
+		c.VerifyCost = chain.VerifyCostModel{Base: bigCost}
+	})
+	connectRing(t, net, nodes) // ring of 3 = also 2 hops max
+	rec := make(map[NodeID]sim.Time)
+	net.OnTxFirstSeen = func(id NodeID, h chain.Hash, at sim.Time) { rec[id] = at }
+	if err := nodes[0].SubmitTx(testTx(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range nodes[1:] {
+		if rec[nd.ID()] < sim.Time(bigCost) {
+			t.Errorf("node %d received at %v, before one verify delay %v", nd.ID(), rec[nd.ID()], bigCost)
+		}
+	}
+}
+
+func TestValidationFullRejectsInvalidTx(t *testing.T) {
+	key, err := chain.GenerateKey(rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := chain.NewUTXOSet()
+	cb := chain.Coinbase(1, 100_000, key.Address())
+	if err := base.AddCoinbase(cb); err != nil {
+		t.Fatal(err)
+	}
+	net, nodes := testNetwork(t, 2, func(c *Config) {
+		c.Validation = ValidationFull
+		c.BaseUTXO = base
+	})
+	if err := net.Connect(nodes[0].ID(), nodes[1].ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	// An unfunded spend must be rejected at submission.
+	bogus := &chain.Tx{
+		Version: 1,
+		Inputs:  []chain.TxIn{{PrevOut: chain.Outpoint{Index: 5}}},
+		Outputs: []chain.TxOut{{Value: 10, To: key.Address()}},
+	}
+	if err := bogus.SignAllInputs([]*chain.KeyPair{key}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].SubmitTx(bogus); err == nil {
+		t.Error("unfunded tx accepted in full validation mode")
+	}
+
+	// A real spend of the seeded coinbase propagates.
+	valid := &chain.Tx{
+		Version: 1,
+		Inputs:  []chain.TxIn{{PrevOut: chain.Outpoint{TxID: cb.ID(), Index: 0}}},
+		Outputs: []chain.TxOut{{Value: 90_000, To: key.Address()}},
+	}
+	if err := valid.SignAllInputs([]*chain.KeyPair{key}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].SubmitTx(valid); err != nil {
+		t.Fatalf("valid tx rejected: %v", err)
+	}
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := nodes[1].FirstSeen(valid.ID()); !ok {
+		t.Error("valid tx did not propagate in full mode")
+	}
+}
+
+func TestProbeMeasuresRTT(t *testing.T) {
+	net, nodes := testNetwork(t, 2, nil)
+	a, b := nodes[0], nodes[1]
+	base, ok := net.BaseRTT(a.ID(), b.ID())
+	if !ok {
+		t.Fatal("BaseRTT failed")
+	}
+
+	var got time.Duration
+	a.Probe(b.ID(), func(rtt time.Duration) { got = rtt })
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 {
+		t.Fatal("probe returned non-positive RTT")
+	}
+	// The sampled RTT should be near the link base (within noise bounds:
+	// spikes can inflate, so allow generous headroom but require ballpark).
+	if got < base/2 || got > base*5 {
+		t.Errorf("measured RTT %v far from base %v", got, base)
+	}
+	est, ok := a.Estimator(b.ID())
+	if !ok || est.Samples() != 1 {
+		t.Error("estimator not updated by probe")
+	}
+}
+
+func TestProbeNFeedsEstimator(t *testing.T) {
+	net, nodes := testNetwork(t, 2, nil)
+	a, b := nodes[0], nodes[1]
+	var final int
+	a.ProbeN(b.ID(), 5, 10*time.Millisecond, func(est *latency.Estimator) {
+		final = est.Samples()
+	})
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if final != 5 {
+		t.Errorf("estimator samples at done = %d, want 5", final)
+	}
+	est, _ := a.Estimator(b.ID())
+	if !est.Ready() {
+		t.Error("estimator not Ready after 5 probes")
+	}
+}
+
+func TestPingToChurnedNodeIsLost(t *testing.T) {
+	net, nodes := testNetwork(t, 2, nil)
+	a, b := nodes[0], nodes[1]
+	fired := false
+	a.Probe(b.ID(), func(time.Duration) { fired = true })
+	net.RemoveNode(b.ID()) // leaves before the ping arrives
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("probe completed against removed node")
+	}
+	if net.Stats().Dropped == 0 {
+		t.Error("drop not counted")
+	}
+}
+
+func TestGetAddrDiscovery(t *testing.T) {
+	net, nodes := testNetwork(t, 4, nil)
+	hub := nodes[0]
+	for _, nd := range nodes[1:] {
+		if err := net.Connect(hub.ID(), nd.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// nodes[1] asks the hub for addresses; the reply is observable in
+	// stats (ADDR sent) and carries the hub's other peers.
+	nodes[1].Send(hub.ID(), &wire.MsgGetAddr{})
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if net.Stats().Messages[wire.CmdAddr] != 1 {
+		t.Errorf("addr replies = %d, want 1", net.Stats().Messages[wire.CmdAddr])
+	}
+}
+
+func TestResetInventoryAllowsReinjection(t *testing.T) {
+	net, nodes := testNetwork(t, 5, nil)
+	connectRing(t, net, nodes)
+	tx := testTx(t, 4)
+	count := 0
+	net.OnTxFirstSeen = func(NodeID, chain.Hash, sim.Time) { count++ }
+	if err := nodes[0].SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("first run reached %d nodes, want 5", count)
+	}
+	net.ResetInventory()
+	count = 0
+	if err := nodes[1].SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("after reset, tx reached %d nodes, want 5", count)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	net, nodes := testNetwork(t, 3, nil)
+	connectRing(t, net, nodes)
+	if err := nodes[0].SubmitTx(testTx(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := net.Stats()
+	if st.TotalMessages() == 0 || st.TotalBytes() == 0 {
+		t.Fatal("no traffic counted")
+	}
+	if st.Messages[wire.CmdInv] == 0 {
+		t.Error("INV traffic missing")
+	}
+	// Handshake traffic counted at Connect time.
+	if st.Messages[wire.CmdVersion] != 6 { // 3 edges x 2 versions
+		t.Errorf("version msgs = %d, want 6", st.Messages[wire.CmdVersion])
+	}
+	// Snapshot subtraction.
+	prev := st
+	nodes[0].Probe(nodes[1].ID(), nil)
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	delta := net.Stats().Sub(prev)
+	msgs, bytes := delta.PingTraffic()
+	if msgs != 2 || bytes == 0 {
+		t.Errorf("ping delta = %d msgs %d bytes, want 2 msgs", msgs, bytes)
+	}
+	if delta.Messages[wire.CmdInv] != 0 {
+		t.Error("stale INV counts in delta")
+	}
+	if net.Stats().String() == "" {
+		t.Error("Stats.String empty")
+	}
+	net.ResetStats()
+	if net.Stats().TotalMessages() != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestBaseRTTSymmetricStable(t *testing.T) {
+	net, nodes := testNetwork(t, 2, nil)
+	ab, ok1 := net.BaseRTT(nodes[0].ID(), nodes[1].ID())
+	ba, ok2 := net.BaseRTT(nodes[1].ID(), nodes[0].ID())
+	if !ok1 || !ok2 {
+		t.Fatal("BaseRTT lookup failed")
+	}
+	if ab != ba {
+		t.Errorf("BaseRTT asymmetric: %v vs %v", ab, ba)
+	}
+	if _, ok := net.BaseRTT(nodes[0].ID(), 999); ok {
+		t.Error("BaseRTT for unknown node succeeded")
+	}
+}
+
+func TestNodeIDsSorted(t *testing.T) {
+	net, _ := testNetwork(t, 10, nil)
+	ids := net.NodeIDs()
+	if len(ids) != 10 {
+		t.Fatalf("NodeIDs len = %d", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatal("NodeIDs not ascending")
+		}
+	}
+}
+
+func TestValidationModeString(t *testing.T) {
+	if ValidationFull.String() != "full" || ValidationLight.String() != "light" || ValidationNone.String() != "none" {
+		t.Error("ValidationMode strings wrong")
+	}
+	if ValidationMode(9).String() == "" {
+		t.Error("unknown mode should stringify")
+	}
+}
+
+func BenchmarkTxFlood100Nodes(b *testing.B) {
+	net, nodes := testNetwork(b, 100, nil)
+	r := net.Streams().Stream("bench")
+	ids := net.NodeIDs()
+	for _, nd := range nodes {
+		for k := 0; k < 4; k++ {
+			target := ids[r.Intn(len(ids))]
+			_ = net.Connect(nd.ID(), target)
+		}
+	}
+	tx := testTx(b, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ResetInventory()
+		if err := nodes[i%len(nodes)].SubmitTx(tx); err != nil {
+			b.Fatal(err)
+		}
+		if err := net.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestTxPropagationDeterministicRandomGraph(t *testing.T) {
+	// A denser random graph exercises multi-peer announce ordering, which
+	// must be stable across runs for determinism.
+	run := func() map[NodeID]sim.Time {
+		net, nodes := testNetwork(t, 40, nil)
+		r := net.Streams().Stream("wire")
+		ids := net.NodeIDs()
+		for _, nd := range nodes {
+			for k := 0; k < 5; k++ {
+				_ = net.Connect(nd.ID(), ids[r.Intn(len(ids))])
+			}
+		}
+		rec := make(map[NodeID]sim.Time)
+		net.OnTxFirstSeen = func(id NodeID, h chain.Hash, at sim.Time) { rec[id] = at }
+		if err := nodes[0].SubmitTx(testTx(t, 11)); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("run sizes differ: %d vs %d", len(a), len(b))
+	}
+	for id, at := range a {
+		if b[id] != at {
+			t.Fatalf("node %d time differs: %v vs %v", id, at, b[id])
+		}
+	}
+}
+
+func TestDirectRelaySkipsInvRoundTrip(t *testing.T) {
+	build := func(mode RelayMode) (Stats, map[NodeID]sim.Time) {
+		net, nodes := testNetwork(t, 20, func(c *Config) { c.Relay = mode })
+		connectRing(t, net, nodes)
+		rec := make(map[NodeID]sim.Time)
+		net.OnTxFirstSeen = func(id NodeID, h chain.Hash, at sim.Time) { rec[id] = at }
+		if err := nodes[0].SubmitTx(testTx(t, 20)); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return net.Stats(), rec
+	}
+	invStats, invTimes := build(RelayInv)
+	dirStats, dirTimes := build(RelayDirect)
+
+	if dirStats.Messages[wire.CmdGetData] != 0 {
+		t.Errorf("direct mode sent %d GETDATA", dirStats.Messages[wire.CmdGetData])
+	}
+	if invStats.Messages[wire.CmdGetData] == 0 {
+		t.Error("inv mode sent no GETDATA")
+	}
+	// Pipelining must be strictly faster at the last receiver.
+	var invMax, dirMax sim.Time
+	for _, v := range invTimes {
+		if v > invMax {
+			invMax = v
+		}
+	}
+	for _, v := range dirTimes {
+		if v > dirMax {
+			dirMax = v
+		}
+	}
+	if dirMax >= invMax {
+		t.Errorf("direct relay max Δt %v >= inv relay %v", dirMax, invMax)
+	}
+	if len(dirTimes) != 20 {
+		t.Errorf("direct relay reached %d of 20 nodes", len(dirTimes))
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LossProb = 1.5
+	if _, err := NewNetwork(cfg); err == nil {
+		t.Error("accepted LossProb > 1")
+	}
+	cfg = DefaultConfig()
+	cfg.LossProb = -0.1
+	if _, err := NewNetwork(cfg); err == nil {
+		t.Error("accepted negative LossProb")
+	}
+
+	// Heavy loss: some messages must be recorded as Lost, and the flood
+	// can stall short of full coverage.
+	net, nodes := testNetwork(t, 30, func(c *Config) { c.LossProb = 0.4 })
+	connectRing(t, net, nodes)
+	count := 0
+	net.OnTxFirstSeen = func(NodeID, chain.Hash, sim.Time) { count++ }
+	if err := nodes[0].SubmitTx(testTx(t, 21)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if net.Stats().Lost == 0 {
+		t.Error("no messages recorded lost at 40% loss")
+	}
+	if count == 30 {
+		t.Log("flood survived 40% loss on a ring (possible but unlikely)")
+	}
+}
+
+func TestBlockRelay(t *testing.T) {
+	net, nodes := testNetwork(t, 15, func(c *Config) { c.Validation = ValidationLight })
+	connectRing(t, net, nodes)
+
+	key, err := chain.GenerateKey(rand.New(rand.NewSource(50)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := chain.NewChain(chain.ChainConfig{Subsidy: 1000, TargetBits: 4, GenesisTo: key.Address()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, err := ch.NewBlockTemplate(nil, key.Address(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !blk.Mine(1 << 20) {
+		t.Fatal("mining failed")
+	}
+
+	received := make(map[NodeID]sim.Time)
+	net.OnBlockFirstSeen = func(id NodeID, h chain.Hash, at sim.Time) { received[id] = at }
+	if err := nodes[0].SubmitBlock(blk); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(received) != 15 {
+		t.Fatalf("block reached %d of 15 nodes", len(received))
+	}
+	for _, nd := range nodes {
+		if !nd.HasBlock(blk.Header.Hash()) {
+			t.Fatalf("node %d missing block body", nd.ID())
+		}
+	}
+	// Exactly 14 block bodies moved (one per receiver).
+	if got := net.Stats().Messages[wire.CmdBlock]; got != 14 {
+		t.Errorf("block bodies sent = %d, want 14", got)
+	}
+}
+
+func TestBlockRelayRejectsBadPoW(t *testing.T) {
+	net, nodes := testNetwork(t, 3, func(c *Config) { c.Validation = ValidationLight })
+	connectRing(t, net, nodes)
+	key, err := chain.GenerateKey(rand.New(rand.NewSource(51)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := chain.Coinbase(1, 10, key.Address())
+	bad := &chain.Block{
+		Header: chain.BlockHeader{TargetBits: 32, MerkleRoot: chain.MerkleRoot([]*chain.Tx{cb})},
+		Txs:    []*chain.Tx{cb},
+	}
+	if err := nodes[0].SubmitBlock(bad); err == nil {
+		t.Error("block without PoW accepted")
+	}
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if nodes[1].HasBlock(bad.Header.Hash()) {
+		t.Error("invalid block propagated")
+	}
+}
+
+func TestKeepaliveFeedsEstimators(t *testing.T) {
+	net, nodes := testNetwork(t, 4, func(c *Config) { c.PingInterval = 10 * time.Second })
+	connectRing(t, net, nodes)
+	tick := net.StartKeepalive()
+	if tick == nil {
+		t.Fatal("keepalive disabled despite PingInterval")
+	}
+	if err := net.RunUntil(35 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tick.Stop()
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Three rounds of keepalive: estimators should be Ready for peers.
+	for _, nd := range nodes {
+		for _, p := range nd.Peers() {
+			est, ok := nd.Estimator(p)
+			if !ok || !est.Ready() {
+				t.Fatalf("node %d estimator for peer %d not ready after keepalive", nd.ID(), p)
+			}
+		}
+	}
+	msgs, _ := net.Stats().PingTraffic()
+	// 4 nodes x 2 peers x 3 rounds pings + pongs = 48.
+	if msgs != 48 {
+		t.Errorf("ping traffic = %d frames, want 48", msgs)
+	}
+}
+
+func TestKeepaliveDisabled(t *testing.T) {
+	net, _ := testNetwork(t, 2, func(c *Config) { c.PingInterval = 0 })
+	if net.StartKeepalive() != nil {
+		t.Error("keepalive should be nil when disabled")
+	}
+}

@@ -1,0 +1,206 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate every experiment in this repository runs on:
+// a binary-heap scheduler ordered by virtual time, a virtual clock, and a
+// family of named, independently-seeded random streams. Determinism is a
+// hard requirement — given the same seed and the same sequence of schedule
+// calls, a simulation replays identically. Ties in virtual time are broken
+// by schedule order (a monotonically increasing sequence number), never by
+// map iteration or goroutine interleaving.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, measured as a duration since the start
+// of the simulation. It is deliberately a duration rather than a wall-clock
+// time: simulations have no epoch.
+type Time = time.Duration
+
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is invalid and is never returned by Schedule.
+type Handle uint64
+
+// ErrStopped is returned by Run variants when the simulation was stopped
+// explicitly via Stop rather than by exhausting events or reaching a limit.
+var ErrStopped = errors.New("sim: stopped")
+
+// event is a single scheduled callback.
+type event struct {
+	at    Time
+	seq   uint64 // tie-breaker: schedule order
+	fn    func()
+	index int // heap index; -1 once popped or cancelled
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; all scheduling must happen from the goroutine driving
+// Run (typically from within event callbacks).
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	byID    map[Handle]*event
+	stopped bool
+
+	executed uint64 // total events dispatched, for stats and loop guards
+}
+
+// NewScheduler returns an empty scheduler with the clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{byID: make(map[Handle]*event)}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Len returns the number of pending events.
+func (s *Scheduler) Len() int { return len(s.heap) }
+
+// Executed returns the total number of events dispatched so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past (before Now) is a programming error and panics: allowing it would
+// silently reorder causality.
+func (s *Scheduler) At(at Time, fn func()) Handle {
+	if fn == nil {
+		panic("sim: Schedule with nil fn")
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
+	}
+	s.seq++
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.heap, ev)
+	h := Handle(s.seq)
+	s.byID[h] = ev
+	return h
+}
+
+// After schedules fn to run d after the current virtual time. Negative
+// delays are clamped to zero so jittered delays never panic.
+func (s *Scheduler) After(d time.Duration, fn func()) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a pending event. It reports whether the event was still
+// pending (false if it already ran, was cancelled, or the handle is
+// unknown).
+func (s *Scheduler) Cancel(h Handle) bool {
+	ev, ok := s.byID[h]
+	if !ok {
+		return false
+	}
+	delete(s.byID, h)
+	if ev.index < 0 {
+		return false
+	}
+	heap.Remove(&s.heap, ev.index)
+	return true
+}
+
+// Stop halts the simulation: the currently running callback completes, and
+// Run returns ErrStopped without dispatching further events.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// step dispatches the earliest pending event, advancing the clock.
+func (s *Scheduler) step() {
+	ev := heap.Pop(&s.heap).(*event)
+	delete(s.byID, Handle(ev.seq))
+	s.now = ev.at
+	s.executed++
+	ev.fn()
+}
+
+// Run dispatches events until none remain or Stop is called. It returns
+// nil when the event queue drains and ErrStopped when stopped.
+func (s *Scheduler) Run() error {
+	s.stopped = false
+	for len(s.heap) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		s.step()
+	}
+	return nil
+}
+
+// RunUntil dispatches events with timestamps <= limit, then advances the
+// clock to limit. Events scheduled beyond limit remain pending, so the
+// simulation can be resumed. Returns ErrStopped if stopped early.
+func (s *Scheduler) RunUntil(limit Time) error {
+	if limit < s.now {
+		return fmt.Errorf("sim: RunUntil limit %v before now %v", limit, s.now)
+	}
+	s.stopped = false
+	for len(s.heap) > 0 && s.heap[0].at <= limit {
+		if s.stopped {
+			return ErrStopped
+		}
+		s.step()
+	}
+	if !s.stopped && s.now < limit {
+		s.now = limit
+	}
+	if s.stopped {
+		return ErrStopped
+	}
+	return nil
+}
+
+// RunN dispatches at most n events. It returns the number dispatched and
+// ErrStopped if stopped before n events ran.
+func (s *Scheduler) RunN(n int) (int, error) {
+	s.stopped = false
+	ran := 0
+	for ran < n && len(s.heap) > 0 {
+		if s.stopped {
+			return ran, ErrStopped
+		}
+		s.step()
+		ran++
+	}
+	return ran, nil
+}

@@ -1,0 +1,47 @@
+package sim
+
+import "time"
+
+// Ticker schedules a callback at a fixed virtual-time period until stopped.
+// Unlike time.Ticker there is no channel: the callback runs inline in the
+// event loop, which keeps the simulation single-threaded and deterministic.
+type Ticker struct {
+	sched   *Scheduler
+	period  time.Duration
+	fn      func()
+	handle  Handle
+	stopped bool
+}
+
+// NewTicker schedules fn every period, with the first firing one period
+// from now. It panics on a non-positive period, which would otherwise
+// livelock the event loop at a single instant.
+func (s *Scheduler) NewTicker(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{sched: s, period: period, fn: fn}
+	t.handle = s.After(period, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if t.stopped { // fn may stop its own ticker
+		return
+	}
+	t.handle = t.sched.After(t.period, t.tick)
+}
+
+// Stop cancels future firings. Safe to call multiple times and from within
+// the ticker's own callback.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.sched.Cancel(t.handle)
+}

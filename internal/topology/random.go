@@ -1,0 +1,97 @@
+package topology
+
+import (
+	"math/rand"
+
+	"repro/internal/p2p"
+)
+
+// Random is the vanilla Bitcoin neighbour-selection baseline: each node
+// opens its outbound slots to uniformly random reachable nodes, with no
+// proximity criterion of any kind.
+type Random struct {
+	net  *p2p.Network
+	seed *DNSSeed
+	r    *rand.Rand
+	// degree is the outbound connection target per node.
+	degree int
+}
+
+// NewRandom creates the baseline protocol. degree <= 0 defaults to the
+// network's MaxOutbound.
+func NewRandom(net *p2p.Network, seed *DNSSeed, degree int) *Random {
+	if degree <= 0 {
+		degree = net.Config().MaxOutbound
+	}
+	return &Random{
+		net:    net,
+		seed:   seed,
+		r:      net.Streams().Stream("topology/random"),
+		degree: degree,
+	}
+}
+
+// Name implements Protocol.
+func (t *Random) Name() string { return "bitcoin-random" }
+
+// Bootstrap implements Protocol: every node opens `degree` random
+// outbound connections.
+func (t *Random) Bootstrap(ids []p2p.NodeID) error {
+	for _, id := range ids {
+		if node, ok := t.net.Node(id); ok {
+			t.seed.Register(id, node.Location())
+		}
+	}
+	for _, id := range ids {
+		t.fill(id)
+	}
+	return nil
+}
+
+// OnJoin implements Protocol.
+func (t *Random) OnJoin(id p2p.NodeID) {
+	node, ok := t.net.Node(id)
+	if !ok {
+		return
+	}
+	t.seed.Register(id, node.Location())
+	t.fill(id)
+}
+
+// OnLeave implements Protocol.
+func (t *Random) OnLeave(id p2p.NodeID) { t.seed.Remove(id) }
+
+// OnDisconnect implements Protocol: the surviving endpoint refills.
+func (t *Random) OnDisconnect(a, b p2p.NodeID) {
+	if _, ok := t.net.Node(a); ok {
+		t.fill(a)
+	}
+	if _, ok := t.net.Node(b); ok {
+		t.fill(b)
+	}
+}
+
+// fill opens random outbound connections until the node reaches its
+// degree target or candidates are exhausted.
+func (t *Random) fill(id p2p.NodeID) {
+	node, ok := t.net.Node(id)
+	if !ok {
+		return
+	}
+	all := t.seed.All()
+	if len(all) <= 1 {
+		return
+	}
+	// Bounded retries: every failed candidate (full, duplicate, gone)
+	// costs one attempt, mirroring how a real node burns addrman entries.
+	attempts := 0
+	maxAttempts := 10 * t.degree
+	for node.Outbound() < t.degree && attempts < maxAttempts {
+		attempts++
+		target := all[t.r.Intn(len(all))]
+		if target == id {
+			continue
+		}
+		_ = t.net.Connect(id, target)
+	}
+}

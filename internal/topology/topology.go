@@ -1,0 +1,110 @@
+// Package topology defines neighbour-selection protocols for the simulated
+// Bitcoin network and implements the two baselines the paper compares
+// against:
+//
+//   - Random: the vanilla Bitcoin behaviour — "a node connects with nodes
+//     regardless of any proximity criteria" (§I);
+//   - LBC: the authors' earlier Locality Based Clustering protocol [6],
+//     which clusters peers by geographic location (country).
+//
+// The paper's contribution, BCBPT, implements the same Protocol interface
+// in internal/core.
+package topology
+
+import (
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/p2p"
+)
+
+// Protocol is a neighbour-selection policy driving who connects to whom.
+// Implementations receive lifecycle events and edit the overlay through
+// p2p.Network.Connect/Disconnect.
+type Protocol interface {
+	// Name identifies the protocol in experiment output.
+	Name() string
+	// Bootstrap wires the initial population (nodes already added to the
+	// network). It may schedule virtual-time work; it returns once that
+	// work is scheduled (run the network to complete it).
+	Bootstrap(ids []p2p.NodeID) error
+	// OnJoin wires a newly arrived node (already added to the network).
+	OnJoin(id p2p.NodeID)
+	// OnLeave tells the protocol a node is departing, before the network
+	// removes it, so registries can forget the node first.
+	OnLeave(id p2p.NodeID)
+	// OnDisconnect reports a torn-down edge (including those caused by
+	// departures); protocols refill degree here.
+	OnDisconnect(a, b p2p.NodeID)
+}
+
+// DNSSeed is the node-discovery oracle. The paper gives DNS two roles:
+// supplying addresses of reachable nodes, and — for BCBPT — recommending
+// nodes that are geographically close to the joiner ("DNS service nodes
+// should recommend available nodes to the node N based on the proximity in
+// the physical geographical location", §IV.B).
+type DNSSeed struct {
+	locs map[p2p.NodeID]geo.Location
+}
+
+// NewDNSSeed returns an empty seed registry.
+func NewDNSSeed() *DNSSeed {
+	return &DNSSeed{locs: make(map[p2p.NodeID]geo.Location)}
+}
+
+// Register adds (or updates) a reachable node.
+func (d *DNSSeed) Register(id p2p.NodeID, loc geo.Location) { d.locs[id] = loc }
+
+// Remove forgets a node.
+func (d *DNSSeed) Remove(id p2p.NodeID) { delete(d.locs, id) }
+
+// Len returns the number of registered nodes.
+func (d *DNSSeed) Len() int { return len(d.locs) }
+
+// All returns every registered node ID, sorted.
+func (d *DNSSeed) All() []p2p.NodeID {
+	ids := make([]p2p.NodeID, 0, len(d.locs))
+	for id := range d.locs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Recommend returns up to k registered nodes closest to loc by great-
+// circle distance (the "geographical distance calculation methodology" of
+// the paper's ref [6]), excluding the given node. Ties break by ID so
+// results are deterministic.
+func (d *DNSSeed) Recommend(self p2p.NodeID, loc geo.Location, k int) []p2p.NodeID {
+	type cand struct {
+		id p2p.NodeID
+		d  float64
+	}
+	cands := make([]cand, 0, len(d.locs))
+	for id, l := range d.locs {
+		if id == self {
+			continue
+		}
+		cands = append(cands, cand{id: id, d: geo.DistanceMeters(loc.Coord, l.Coord)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].id < cands[j].id
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]p2p.NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].id
+	}
+	return out
+}
+
+// Location returns the registered location of a node.
+func (d *DNSSeed) Location(id p2p.NodeID) (geo.Location, bool) {
+	loc, ok := d.locs[id]
+	return loc, ok
+}

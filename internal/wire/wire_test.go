@@ -1,0 +1,341 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chain"
+)
+
+func testKey(t testing.TB, seed int64) *chain.KeyPair {
+	t.Helper()
+	k, err := chain.GenerateKey(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func sampleAddr(id uint64) NetAddr {
+	var host [16]byte
+	host[15] = byte(id)
+	return NetAddr{NodeID: id, Host: host, Port: 8333}
+}
+
+// allMessages returns one populated instance of every message type.
+func allMessages(t testing.TB) []Message {
+	t.Helper()
+	key := testKey(t, 1)
+	cb := chain.Coinbase(1, 5000, key.Address())
+	ch, err := chain.NewChain(chain.ChainConfig{Subsidy: 100, TargetBits: 2, GenesisTo: key.Address()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Message{
+		&MsgVersion{Protocol: 70015, Self: sampleAddr(7), Height: 42, UserAgent: "bcbpt-test"},
+		&MsgVerack{},
+		&MsgPing{Nonce: 0xDEADBEEF, Pad: bytes.Repeat([]byte{0xAA}, 19)},
+		&MsgPong{Nonce: 0xDEADBEEF},
+		&MsgGetAddr{},
+		&MsgAddr{Addrs: []NetAddr{sampleAddr(1), sampleAddr(2), sampleAddr(3)}},
+		&MsgInv{Items: []InvVect{{Type: InvTx, Hash: cb.ID()}, {Type: InvBlock, Hash: chain.Hash{9}}}},
+		&MsgGetData{Items: []InvVect{{Type: InvTx, Hash: cb.ID()}}},
+		&MsgTx{Tx: cb},
+		&MsgBlock{Block: ch.Tip()},
+		&MsgJoin{Self: sampleAddr(12), MeasuredRTTMicros: 18_500},
+		&MsgCluster{ClusterID: 3, Accepted: true, Members: []NetAddr{sampleAddr(4), sampleAddr(5)}},
+	}
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	for _, msg := range allMessages(t) {
+		t.Run(msg.Command().String(), func(t *testing.T) {
+			buf, err := Encode(msg)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			decoded, n, err := Decode(buf)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if n != len(buf) {
+				t.Errorf("consumed %d of %d bytes", n, len(buf))
+			}
+			if decoded.Command() != msg.Command() {
+				t.Errorf("command = %v, want %v", decoded.Command(), msg.Command())
+			}
+			// Re-encoding the decoded message must be byte-identical:
+			// catches asymmetric encode/decode bugs for every type.
+			buf2, err := Encode(decoded)
+			if err != nil {
+				t.Fatalf("re-Encode: %v", err)
+			}
+			if !bytes.Equal(buf, buf2) {
+				t.Error("round trip is not byte-identical")
+			}
+		})
+	}
+}
+
+func TestRoundTripStructEquality(t *testing.T) {
+	// For plain-struct messages, check deep equality too.
+	msgs := []Message{
+		&MsgVersion{Protocol: 1, Self: sampleAddr(9), Height: 7, UserAgent: "x"},
+		&MsgAddr{Addrs: []NetAddr{sampleAddr(1)}},
+		&MsgPong{Nonce: 77},
+		&MsgJoin{Self: sampleAddr(3), MeasuredRTTMicros: 123},
+		&MsgCluster{ClusterID: 8, Accepted: false, Members: []NetAddr{sampleAddr(2)}},
+	}
+	for _, msg := range msgs {
+		buf, err := Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, _, err := Decode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(msg, decoded) {
+			t.Errorf("%s: decoded %+v, want %+v", msg.Command(), decoded, msg)
+		}
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	buf, err := Encode(&MsgVerack{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0xFF
+	if _, _, err := Decode(buf); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("error = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeRejectsBadChecksum(t *testing.T) {
+	buf, err := Encode(&MsgPong{Nonce: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0xFF
+	if _, _, err := Decode(buf); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("error = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestDecodeRejectsUnknownCommand(t *testing.T) {
+	buf, err := Encode(&MsgVerack{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[4] = 0xEE
+	if _, _, err := Decode(buf); !errors.Is(err, ErrUnknownCommand) {
+		t.Errorf("error = %v, want ErrUnknownCommand", err)
+	}
+}
+
+func TestDecodeRejectsOversizeHeader(t *testing.T) {
+	buf, err := Encode(&MsgVerack{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[5], buf[6], buf[7], buf[8] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, _, err := Decode(buf); !errors.Is(err, ErrOversize) {
+		t.Errorf("error = %v, want ErrOversize", err)
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	if _, _, err := Decode([]byte{1, 2, 3}); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("error = %v, want ErrUnexpectedEOF", err)
+	}
+	buf, err := Encode(&MsgPing{Nonce: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decode(buf[:len(buf)-2]); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("error = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestDecodeTrailingPayloadBytesRejected(t *testing.T) {
+	// Hand-build a verack frame with 1 payload byte: verack expects 0.
+	payload := []byte{0x00}
+	buf := make([]byte, 13+1)
+	copy(buf[0:4], []byte{0xD7, 0xB2, 0xC1, 0xB1}) // Magic little-endian
+	buf[4] = byte(CmdVerack)
+	buf[5] = 1
+	h := chain.DoubleSHA256(payload)
+	copy(buf[9:13], h[:4])
+	copy(buf[13:], payload)
+	if _, _, err := Decode(buf); err == nil {
+		t.Error("verack with payload accepted")
+	}
+}
+
+func TestHostileListLengths(t *testing.T) {
+	// An ADDR message claiming 2^32-1 entries must be rejected without
+	// allocating.
+	payload := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	var m MsgAddr
+	if err := m.decodePayload(payload); err == nil {
+		t.Error("hostile addr count accepted")
+	}
+	var inv MsgInv
+	if err := inv.decodePayload(payload); err == nil {
+		t.Error("hostile inv count accepted")
+	}
+	var cl MsgCluster
+	if err := cl.decodePayload(append(bytes.Repeat([]byte{0}, 9), payload...)); err == nil {
+		t.Error("hostile cluster count accepted")
+	}
+}
+
+func TestInvTypeValidation(t *testing.T) {
+	m := &MsgInv{Items: []InvVect{{Type: InvType(99), Hash: chain.Hash{1}}}}
+	buf := m.encodePayload(nil)
+	var decoded MsgInv
+	if err := decoded.decodePayload(buf); err == nil {
+		t.Error("unknown inv type accepted")
+	}
+}
+
+func TestReadWriteMessageStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := allMessages(t)
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("WriteMessage(%s): %v", m.Command(), err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("ReadMessage: %v", err)
+		}
+		if got.Command() != want.Command() {
+			t.Fatalf("stream order: got %s, want %s", got.Command(), want.Command())
+		}
+	}
+	if _, err := ReadMessage(&buf); err != io.EOF {
+		t.Errorf("after stream drained, err = %v, want EOF", err)
+	}
+}
+
+func TestReadMessageRejectsCorruptStream(t *testing.T) {
+	buf, err := Encode(&MsgPing{Nonce: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[10] ^= 0x55 // corrupt checksum field
+	if _, err := ReadMessage(bytes.NewReader(buf)); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("error = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestEncodedSizeMatchesEncode(t *testing.T) {
+	for _, m := range allMessages(t) {
+		buf, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := EncodedSize(m); got != len(buf) {
+			t.Errorf("%s: EncodedSize = %d, want %d", m.Command(), got, len(buf))
+		}
+	}
+}
+
+func TestVersionUserAgentTruncated(t *testing.T) {
+	long := string(bytes.Repeat([]byte{'a'}, 300))
+	m := &MsgVersion{UserAgent: long}
+	buf, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, _, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ua := decoded.(*MsgVersion).UserAgent; len(ua) != 255 {
+		t.Errorf("user agent length = %d, want 255", len(ua))
+	}
+}
+
+func TestCommandStrings(t *testing.T) {
+	for cmd, want := range commandNames {
+		if cmd.String() != want {
+			t.Errorf("Command(%d).String() = %q, want %q", cmd, cmd.String(), want)
+		}
+	}
+	if Command(200).String() == "" {
+		t.Error("unknown command should still stringify")
+	}
+}
+
+// Property: decoding random garbage never panics and never returns a
+// message together with a nil error for non-frames.
+func TestPropertyDecodeGarbageSafe(t *testing.T) {
+	f := func(data []byte) bool {
+		msg, _, err := Decode(data)
+		return err != nil || msg != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ping pad length round-trips for any size within limits.
+func TestPropertyPingPadRoundTrip(t *testing.T) {
+	f := func(n uint16) bool {
+		m := &MsgPing{Nonce: uint64(n), Pad: make([]byte, int(n)%4096)}
+		buf, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		d, _, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return len(d.(*MsgPing).Pad) == len(m.Pad)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeInv100(b *testing.B) {
+	items := make([]InvVect, 100)
+	for i := range items {
+		items[i] = InvVect{Type: InvTx, Hash: chain.DoubleSHA256([]byte{byte(i)})}
+	}
+	m := &MsgInv{Items: items}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeInv100(b *testing.B) {
+	items := make([]InvVect, 100)
+	for i := range items {
+		items[i] = InvVect{Type: InvTx, Hash: chain.DoubleSHA256([]byte{byte(i)})}
+	}
+	buf, err := Encode(&MsgInv{Items: items})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
