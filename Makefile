@@ -1,0 +1,33 @@
+# Local and CI entry points — .github/workflows/ci.yml invokes exactly
+# these targets, so a green `make ci` locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The engine fans campaigns across goroutines; keep the concurrent
+# packages honest under the race detector.
+race:
+	$(GO) test -race ./internal/sim ./internal/experiment ./internal/measure ./internal/netnode
+
+# Bench smoke: the Figure 3 benchmarks, one iteration each — includes the
+# serial-vs-parallel engine pair, so a scheduling regression shows up as
+# EngineParallel no longer beating EngineSerial on multi-core runners.
+bench:
+	$(GO) test -bench=Figure3 -benchtime=1x -timeout=20m .
+
+fmt:
+	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build fmt vet test race bench

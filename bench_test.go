@@ -12,6 +12,8 @@
 package repro_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
 	"time"
 
@@ -43,15 +45,17 @@ func fastBCBPT(dt time.Duration) core.Config {
 	return cfg
 }
 
-// runCampaign builds one network and measures it, reporting distribution
-// metrics on b.
+// runCampaign measures one network through the campaign engine (a
+// single-replication campaign reproduces the direct Build+Campaign path
+// bit for bit), reporting distribution metrics on b.
 func runCampaign(b *testing.B, spec experiment.Spec, o experiment.Options) measure.Distribution {
 	b.Helper()
-	built, err := experiment.Build(spec)
-	if err != nil {
-		b.Fatalf("build: %v", err)
-	}
-	res, err := built.Campaign(o.Runs, o.Deadline)
+	res, err := experiment.NewRunner(1).RunCampaign(context.Background(), experiment.CampaignSpec{
+		Name:     "bench",
+		Spec:     spec,
+		Runs:     o.Runs,
+		Deadline: o.Deadline,
+	})
 	if err != nil {
 		b.Fatalf("campaign: %v", err)
 	}
@@ -95,6 +99,55 @@ func BenchmarkFigure3BCBPT(b *testing.B) {
 		}, o)
 		reportDist(b, "bcbpt25", d)
 	}
+}
+
+// --- Engine: serial vs parallel full-Figure-3 generation ---
+//
+// The same work queue — three series × two replications, fast BCBPT
+// pacing — run once on a one-worker pool and once on a GOMAXPROCS pool.
+// On ≥ 2 cores the parallel run beats the serial run wall-clock; results
+// are bit-identical either way (see TestEngineDeterministicAcrossWorkerCounts).
+
+func figure3EngineCampaigns(o experiment.Options) []experiment.CampaignSpec {
+	specFor := func(kind experiment.ProtocolKind, cfg core.Config) experiment.Spec {
+		return experiment.Spec{Nodes: o.Nodes, Seed: o.Seed, Protocol: kind, BCBPT: cfg}
+	}
+	return []experiment.CampaignSpec{
+		{Name: "bitcoin", Spec: specFor(experiment.ProtoBitcoin, core.Config{}),
+			Replications: o.Replications, Runs: o.Runs, Deadline: o.Deadline},
+		{Name: "lbc", Spec: specFor(experiment.ProtoLBC, core.Config{}),
+			Replications: o.Replications, Runs: o.Runs, Deadline: o.Deadline},
+		{Name: "bcbpt-25ms", Spec: specFor(experiment.ProtoBCBPT, fastBCBPT(25*time.Millisecond)),
+			Replications: o.Replications, Runs: o.Runs, Deadline: o.Deadline},
+	}
+}
+
+func benchFigure3Engine(b *testing.B, workers int) {
+	o := benchOpts(1)
+	o.Nodes = 200
+	o.Runs = 25
+	o.Replications = 2
+	campaigns := figure3EngineCampaigns(o)
+	r := experiment.NewRunner(workers)
+	for i := 0; i < b.N; i++ {
+		outcomes, err := r.Sweep(context.Background(), campaigns)
+		if err != nil {
+			b.Fatalf("sweep: %v", err)
+		}
+		for _, oc := range outcomes {
+			if oc.Result.Dist.N() == 0 {
+				b.Fatalf("series %s empty", oc.Name)
+			}
+		}
+		b.ReportMetric(float64(outcomes[2].Result.Dist.Median())/1e6, "bcbpt-p50-ms")
+	}
+	b.ReportMetric(float64(workers), "workers")
+}
+
+func BenchmarkFigure3EngineSerial(b *testing.B) { benchFigure3Engine(b, 1) }
+
+func BenchmarkFigure3EngineParallel(b *testing.B) {
+	benchFigure3Engine(b, runtime.GOMAXPROCS(0))
 }
 
 // --- Fig. 4: BCBPT threshold sweep ---

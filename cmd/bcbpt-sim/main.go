@@ -16,9 +16,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 	"time"
 
 	"repro/internal/attack"
@@ -34,66 +39,91 @@ func main() {
 	var (
 		exp         = flag.String("experiment", "figure3", "experiment: figure3|figure4|variance-connections|overhead|eclipse|partition|crawl|doublespend|forks")
 		nodes       = flag.Int("nodes", 1000, "network size (paper: ~5000)")
-		runs        = flag.Int("runs", 200, "measurement injections (paper: ~1000)")
+		runs        = flag.Int("runs", 200, "measurement injections per replication (paper: ~1000)")
 		seed        = flag.Int64("seed", 1, "root random seed")
 		churnOn     = flag.Bool("churn", false, "enable join/leave churn during measurement")
 		threshold   = flag.Duration("dt", 25*time.Millisecond, "BCBPT latency threshold")
 		adversaries = flag.Int("adversaries", 16, "eclipse: adversarial nodes")
 		deadline    = flag.Duration("deadline", 2*time.Minute, "virtual-time deadline per run")
 		csvPath     = flag.String("csv", "", "write figure CDF data to this CSV file (figure3/figure4 only)")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign-engine worker pool size")
+		reps        = flag.Int("replications", 1, "independently seeded networks per series (samples pool)")
+		timeout     = flag.Duration("timeout", 0, "wall-clock budget for the whole experiment (0 = none)")
 	)
 	flag.Parse()
 
 	o := experiment.Options{
-		Nodes:    *nodes,
-		Runs:     *runs,
-		Seed:     *seed,
-		Deadline: *deadline,
-		ChurnOn:  *churnOn,
+		Nodes:        *nodes,
+		Runs:         *runs,
+		Seed:         *seed,
+		Deadline:     *deadline,
+		ChurnOn:      *churnOn,
+		Workers:      *workers,
+		Replications: *reps,
 	}
-	if err := run(*exp, o, *threshold, *adversaries, *csvPath); err != nil {
+
+	// Ctrl-C / SIGTERM cancels the engine cooperatively: completed
+	// replications are still merged and reported as partial results.
+	// Once the first signal has cancelled ctx, stop() restores default
+	// signal handling so a second Ctrl-C force-kills — experiments that
+	// do not consult ctx (eclipse, partition, crawl, doublespend, forks)
+	// must stay killable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sigCtx := ctx // the signal ctx only — a -timeout expiry must not uninstall the handler
+	go func() {
+		<-sigCtx.Done()
+		stop()
+	}()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if err := run(ctx, *exp, o, *threshold, *adversaries, *csvPath); err != nil {
+		if errors.Is(err, experiment.ErrPartialResult) {
+			fmt.Fprintf(os.Stderr, "bcbpt-sim: interrupted, results above are partial (%v)\n", err)
+			os.Exit(2)
+		}
 		fmt.Fprintf(os.Stderr, "bcbpt-sim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, o experiment.Options, dt time.Duration, adversaries int, csvPath string) error {
+func run(ctx context.Context, exp string, o experiment.Options, dt time.Duration, adversaries int, csvPath string) error {
 	start := time.Now()
 	defer func() { fmt.Printf("\n(wall time %v)\n", time.Since(start).Round(time.Millisecond)) }()
 
 	switch exp {
 	case "figure3":
-		fig, err := experiment.Figure3(o)
-		if err != nil {
-			return err
-		}
-		fmt.Println(fig)
-		if err := writeCSV(csvPath, fig); err != nil {
+		fig, err := experiment.Figure3Ctx(ctx, o)
+		if err := printFigure(fig, err, csvPath); err != nil {
 			return err
 		}
 	case "figure4":
-		fig, err := experiment.Figure4(o)
-		if err != nil {
-			return err
-		}
-		fmt.Println(fig)
-		if err := writeCSV(csvPath, fig); err != nil {
+		fig, err := experiment.Figure4Ctx(ctx, o)
+		if err := printFigure(fig, err, csvPath); err != nil {
 			return err
 		}
 	case "variance-connections":
-		res, err := experiment.VarianceVsConnections(o, nil)
+		res, err := experiment.VarianceVsConnectionsCtx(ctx, o, nil)
+		if len(res.Points) > 0 {
+			fmt.Println(res)
+		}
 		if err != nil {
 			return err
 		}
-		fmt.Println(res)
 	case "overhead":
-		results, err := experiment.Overhead(o)
+		results, err := experiment.OverheadCtx(ctx, o)
+		if len(results) > 0 {
+			fmt.Println("== §IV.A — measurement overhead ==")
+			for _, r := range results {
+				fmt.Println(r)
+			}
+		}
 		if err != nil {
 			return err
-		}
-		fmt.Println("== §IV.A — measurement overhead ==")
-		for _, r := range results {
-			fmt.Println(r)
 		}
 	case "eclipse":
 		return runEclipse(o, dt, adversaries)
@@ -109,6 +139,21 @@ func run(exp string, o experiment.Options, dt time.Duration, adversaries int, cs
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	return nil
+}
+
+// printFigure renders a figure (partial figures included — an interrupted
+// sweep still reports the replications that completed) and propagates the
+// sweep error so main can flag partial output.
+func printFigure(fig experiment.FigureResult, sweepErr error, csvPath string) error {
+	if len(fig.Series) > 0 {
+		fmt.Println(fig)
+		if err := writeCSV(csvPath, fig); err != nil {
+			// Join rather than mask: a failed CSV write must not hide
+			// that the figure above is partial (exit-code-2 signal).
+			return errors.Join(err, sweepErr)
+		}
+	}
+	return sweepErr
 }
 
 // writeCSV dumps a figure's CDF series to path (no-op when path is "").

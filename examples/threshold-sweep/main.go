@@ -2,11 +2,18 @@
 // 100}ms, plus a finer sweep showing where the effect saturates. The
 // paper's finding: "less distance threshold performs less variance of
 // delays" because smaller dt bounds each cluster's physical span.
+//
+// The whole grid — seven thresholds × two replications each — goes
+// through the campaign engine as a single work queue (one
+// ThresholdSweepCtx call), so the sweep saturates every core and still
+// produces bit-identical results for any worker count.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
 	"time"
 
 	"repro/internal/experiment"
@@ -14,32 +21,34 @@ import (
 
 func main() {
 	o := experiment.Options{
-		Nodes:    400,
-		Runs:     60,
-		Seed:     3,
-		Deadline: 2 * time.Minute,
+		Nodes:        400,
+		Runs:         60,
+		Seed:         3,
+		Deadline:     2 * time.Minute,
+		Replications: 2,
+		Workers:      runtime.GOMAXPROCS(0),
 	}
 
-	// The paper's Fig. 4 set.
-	fig, err := experiment.Figure4(o)
-	if err != nil {
-		log.Fatalf("figure4: %v", err)
-	}
-	fmt.Println(fig)
+	// The paper's Fig. 4 set plus a finer extension including the Fig. 3
+	// operating point — one engine call schedules all of them together.
+	paperSet := []time.Duration{30 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond}
+	fineSet := []time.Duration{15 * time.Millisecond, 25 * time.Millisecond, 200 * time.Millisecond}
 
-	// Extension: a finer sweep including the Fig. 3 operating point.
-	fine, err := experiment.ThresholdSweep(o, []time.Duration{
-		15 * time.Millisecond,
-		25 * time.Millisecond,
-		50 * time.Millisecond,
-		200 * time.Millisecond,
-	})
+	start := time.Now()
+	fig, err := experiment.ThresholdSweepCtx(context.Background(), o,
+		append(append([]time.Duration(nil), paperSet...), fineSet...))
 	if err != nil {
-		log.Fatalf("fine sweep: %v", err)
+		log.Fatalf("sweep: %v", err)
 	}
+
+	paperFig := experiment.FigureResult{Title: fig.Title, Series: fig.Series[:len(paperSet)]}
+	fmt.Println(paperFig)
+
 	fmt.Println("== extension: finer threshold sweep ==")
-	for _, s := range fine.Series {
+	for _, s := range fig.Series[len(paperSet):] {
 		fmt.Printf("%-14s median=%v std=%v\n",
 			s.Name, s.Dist.Median().Round(time.Millisecond), s.Dist.Std().Round(time.Millisecond))
 	}
+	fmt.Printf("\n(%d campaigns × %d replications on %d workers, wall time %v)\n",
+		len(fig.Series), o.Replications, o.Workers, time.Since(start).Round(time.Millisecond))
 }

@@ -13,6 +13,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -308,7 +309,14 @@ func txFactory(seed int64) func(i int) *chain.Tx {
 // Campaign runs the standard measurement campaign against a built
 // network and returns the pooled Δt distribution.
 func (b *Built) Campaign(runs int, deadline time.Duration) (measure.CampaignResult, error) {
-	return b.Measurer.Run(measure.Campaign{
+	return b.CampaignContext(context.Background(), runs, deadline)
+}
+
+// CampaignContext is Campaign with cooperative cancellation: the campaign
+// stops between injections once ctx is done, returning the partial result
+// together with an error wrapping ctx.Err().
+func (b *Built) CampaignContext(ctx context.Context, runs int, deadline time.Duration) (measure.CampaignResult, error) {
+	return b.Measurer.RunContext(ctx, measure.Campaign{
 		Runs:     runs,
 		Deadline: deadline,
 		MakeTx:   txFactory(1000),

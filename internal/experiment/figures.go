@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -15,8 +17,8 @@ import (
 type Options struct {
 	// Nodes is the network size (default 1000; paper ~5000).
 	Nodes int
-	// Runs is the number of measurement injections (default 200;
-	// paper ~1000).
+	// Runs is the number of measurement injections per replication
+	// (default 200; paper ~1000).
 	Runs int
 	// Seed roots all randomness (default 1).
 	Seed int64
@@ -25,6 +27,11 @@ type Options struct {
 	// ChurnOn enables join/leave dynamics during measurement, as in the
 	// paper's simulator.
 	ChurnOn bool
+	// Workers bounds campaign-engine concurrency (default GOMAXPROCS).
+	Workers int
+	// Replications fans each campaign over this many independently
+	// seeded networks (default 1); samples pool across replications.
+	Replications int
 }
 
 func (o Options) withDefaults() Options {
@@ -40,7 +47,25 @@ func (o Options) withDefaults() Options {
 	if o.Deadline == 0 {
 		o.Deadline = 2 * time.Minute
 	}
+	if o.Replications == 0 {
+		o.Replications = 1
+	}
 	return o
+}
+
+// runner returns the campaign engine configured by the options.
+func (o Options) runner() *Runner { return NewRunner(o.Workers) }
+
+// campaign assembles a CampaignSpec for one series under the shared
+// options.
+func (o Options) campaign(name string, spec Spec) CampaignSpec {
+	return CampaignSpec{
+		Name:         name,
+		Spec:         spec,
+		Replications: o.Replications,
+		Runs:         o.Runs,
+		Deadline:     o.Deadline,
+	}
 }
 
 // Series is one named Δt distribution (a curve of Fig. 3/4).
@@ -89,17 +114,25 @@ func buildSpec(o Options, proto ProtocolKind, bcbpt core.Config) Spec {
 	return spec
 }
 
-// runSeries builds one network and runs the campaign on it.
-func runSeries(name string, spec Spec, o Options) (Series, error) {
-	b, err := Build(spec)
-	if err != nil {
-		return Series{}, fmt.Errorf("experiment: build %s: %w", name, err)
+// sweepFigure runs the campaigns through the engine and assembles the
+// outcomes, in spec order, into a figure. A cancelled sweep returns the
+// partial figure together with the ErrPartialResult-wrapping error, so
+// callers can render what completed.
+func sweepFigure(ctx context.Context, o Options, title string, campaigns []CampaignSpec) (FigureResult, error) {
+	outcomes, err := o.runner().Sweep(ctx, campaigns)
+	if err != nil && !errors.Is(err, ErrPartialResult) {
+		return FigureResult{}, err
 	}
-	res, err := b.Campaign(o.Runs, o.Deadline)
-	if err != nil {
-		return Series{}, fmt.Errorf("experiment: campaign %s: %w", name, err)
+	out := FigureResult{Title: title}
+	for _, oc := range outcomes {
+		if oc.Replications == 0 {
+			// Cancelled before any replication finished: an all-zero
+			// series would masquerade as measured data.
+			continue
+		}
+		out.Series = append(out.Series, Series{Name: oc.Name, Dist: oc.Result.Dist, Lost: oc.Result.Lost})
 	}
-	return Series{Name: name, Dist: res.Dist, Lost: res.Lost}, nil
+	return out, err
 }
 
 // Figure3 regenerates Fig. 3: the Δt(m,n) distribution of the simulated
@@ -107,11 +140,17 @@ func runSeries(name string, spec Spec, o Options) (Series, error) {
 // paper's headline result): BCBPT's distribution sits left of LBC's,
 // which sits left of Bitcoin's.
 func Figure3(o Options) (FigureResult, error) {
+	return Figure3Ctx(context.Background(), o)
+}
+
+// Figure3Ctx is Figure3 on the campaign engine: the three series (and
+// their replications) are scheduled as one work queue.
+func Figure3Ctx(ctx context.Context, o Options) (FigureResult, error) {
 	o = o.withDefaults()
 	bcbptCfg := core.DefaultConfig()
 	bcbptCfg.Threshold = 25 * time.Millisecond
 
-	out := FigureResult{Title: "Fig. 3 — Δt(m,n) distribution: Bitcoin vs LBC vs BCBPT (dt=25ms)"}
+	var campaigns []CampaignSpec
 	for _, p := range []struct {
 		name  string
 		kind  ProtocolKind
@@ -121,39 +160,43 @@ func Figure3(o Options) (FigureResult, error) {
 		{"lbc", ProtoLBC, core.Config{}},
 		{"bcbpt-25ms", ProtoBCBPT, bcbptCfg},
 	} {
-		s, err := runSeries(p.name, buildSpec(o, p.kind, p.bcbpt), o)
-		if err != nil {
-			return FigureResult{}, err
-		}
-		out.Series = append(out.Series, s)
+		campaigns = append(campaigns, o.campaign(p.name, buildSpec(o, p.kind, p.bcbpt)))
 	}
-	return out, nil
+	return sweepFigure(ctx, o,
+		"Fig. 3 — Δt(m,n) distribution: Bitcoin vs LBC vs BCBPT (dt=25ms)", campaigns)
 }
 
 // Figure4 regenerates Fig. 4: BCBPT Δt distributions at thresholds 30,
 // 50 and 100 ms. Expected shape: smaller dt → tighter distribution
 // ("less distance threshold performs less variance of delays", §V.C).
 func Figure4(o Options) (FigureResult, error) {
-	return ThresholdSweep(o, []time.Duration{
+	return Figure4Ctx(context.Background(), o)
+}
+
+// Figure4Ctx is Figure4 on the campaign engine; it owns the paper's
+// canonical threshold set.
+func Figure4Ctx(ctx context.Context, o Options) (FigureResult, error) {
+	return ThresholdSweepCtx(ctx, o, []time.Duration{
 		30 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond,
 	})
 }
 
 // ThresholdSweep generalises Fig. 4 to any threshold set.
 func ThresholdSweep(o Options, thresholds []time.Duration) (FigureResult, error) {
+	return ThresholdSweepCtx(context.Background(), o, thresholds)
+}
+
+// ThresholdSweepCtx schedules the whole threshold set as one engine work
+// queue.
+func ThresholdSweepCtx(ctx context.Context, o Options, thresholds []time.Duration) (FigureResult, error) {
 	o = o.withDefaults()
-	out := FigureResult{Title: "Fig. 4 — BCBPT Δt(m,n) distribution by threshold dt"}
+	var campaigns []CampaignSpec
 	for _, dt := range thresholds {
 		cfg := core.DefaultConfig()
 		cfg.Threshold = dt
-		name := fmt.Sprintf("bcbpt-%v", dt)
-		s, err := runSeries(name, buildSpec(o, ProtoBCBPT, cfg), o)
-		if err != nil {
-			return FigureResult{}, err
-		}
-		out.Series = append(out.Series, s)
+		campaigns = append(campaigns, o.campaign(fmt.Sprintf("bcbpt-%v", dt), buildSpec(o, ProtoBCBPT, cfg)))
 	}
-	return out, nil
+	return sweepFigure(ctx, o, "Fig. 4 — BCBPT Δt(m,n) distribution by threshold dt", campaigns)
 }
 
 // VariancePoint is one (connections, spread) sample of the §V.C claim.
@@ -193,32 +236,47 @@ func (v VarianceResult) String() string {
 // number of connected nodes, whereas BCBPT maintains lower variances of
 // delays regardless of the number of connected nodes."
 func VarianceVsConnections(o Options, connections []int) (VarianceResult, error) {
+	return VarianceVsConnectionsCtx(context.Background(), o, connections)
+}
+
+// VarianceVsConnectionsCtx schedules the full protocol × connection-count
+// grid as one engine work queue.
+func VarianceVsConnectionsCtx(ctx context.Context, o Options, connections []int) (VarianceResult, error) {
 	o = o.withDefaults()
 	if len(connections) == 0 {
 		connections = []int{8, 16, 24, 32, 48, 64}
 	}
-	var out VarianceResult
+	type point struct {
+		proto ProtocolKind
+		k     int
+	}
+	var grid []point
+	var campaigns []CampaignSpec
 	for _, proto := range []ProtocolKind{ProtoBitcoin, ProtoBCBPT} {
 		for _, k := range connections {
 			spec := buildSpec(o, proto, core.DefaultConfig())
 			spec.MeasuringConnections = k
-			b, err := Build(spec)
-			if err != nil {
-				return VarianceResult{}, fmt.Errorf("experiment: variance build %s/%d: %w", proto, k, err)
-			}
-			res, err := b.Campaign(o.Runs, o.Deadline)
-			if err != nil {
-				return VarianceResult{}, err
-			}
-			out.Points = append(out.Points, VariancePoint{
-				Protocol:    string(proto),
-				Connections: k,
-				Std:         res.Dist.Std(),
-				Mean:        res.Dist.Mean(),
-			})
+			grid = append(grid, point{proto: proto, k: k})
+			campaigns = append(campaigns, o.campaign(fmt.Sprintf("%s/%d", proto, k), spec))
 		}
 	}
-	return out, nil
+	outcomes, err := o.runner().Sweep(ctx, campaigns)
+	if err != nil && !errors.Is(err, ErrPartialResult) {
+		return VarianceResult{}, fmt.Errorf("experiment: variance sweep: %w", err)
+	}
+	var out VarianceResult
+	for i, oc := range outcomes {
+		if oc.Replications == 0 {
+			continue // cancelled before this grid point produced data
+		}
+		out.Points = append(out.Points, VariancePoint{
+			Protocol:    string(grid[i].proto),
+			Connections: grid[i].k,
+			Std:         oc.Result.Dist.Std(),
+			Mean:        oc.Result.Dist.Mean(),
+		})
+	}
+	return out, err
 }
 
 // OverheadResult quantifies the measurement overhead of §IV.A.
@@ -245,13 +303,24 @@ func (o OverheadResult) String() string {
 // relative to the random baseline — the cost the paper defers to future
 // work ("this overhead will be evaluated in our future work", §IV.A).
 func Overhead(o Options) ([]OverheadResult, error) {
+	return OverheadCtx(context.Background(), o)
+}
+
+// OverheadCtx runs the two protocol builds concurrently on the engine's
+// pool. Each unit needs its own network handle for before/after traffic
+// stats, so it uses Runner.Each directly rather than the campaign sweep.
+// On cancellation it returns the units that completed together with an
+// error wrapping ErrPartialResult and ctx.Err(), matching Sweep.
+func OverheadCtx(ctx context.Context, o Options) ([]OverheadResult, error) {
 	o = o.withDefaults()
-	var out []OverheadResult
-	for _, proto := range []ProtocolKind{ProtoBitcoin, ProtoBCBPT} {
+	protos := []ProtocolKind{ProtoBitcoin, ProtoBCBPT}
+	slots := make([]OverheadResult, len(protos))
+	completed, unitErr := o.runner().runUnits(ctx, len(protos), func(ctx context.Context, i int) error {
+		proto := protos[i]
 		spec := buildSpec(o, proto, core.DefaultConfig())
 		b, err := Build(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		boot := b.Net.Stats()
 		pingMsgs, pingBytes := boot.PingTraffic()
@@ -264,15 +333,23 @@ func Overhead(o Options) ([]OverheadResult, error) {
 			PingBytes:       pingBytes,
 			PingMsgsPerNode: float64(pingMsgs) / float64(o.Nodes),
 		}
-		campaign, err := b.Campaign(o.Runs, o.Deadline)
-		if err != nil {
-			return nil, err
+		if _, err := b.CampaignContext(ctx, o.Runs, o.Deadline); err != nil {
+			return err
 		}
-		_ = campaign
 		delta := b.Net.Stats().Sub(boot)
 		res.CampaignMsgs = delta.TotalMessages()
 		res.CampaignTxTraffic = delta.TotalBytes()
-		out = append(out, res)
+		slots[i] = res
+		return nil
+	})
+	var out []OverheadResult
+	for i, done := range completed {
+		if done {
+			out = append(out, slots[i])
+		}
 	}
-	return out, nil
+	if unitErr != nil {
+		return out, unitErr
+	}
+	return out, partialError(ctx, len(out) == len(protos))
 }

@@ -1,0 +1,287 @@
+// The campaign engine: the paper's evaluation is built from repeated
+// measuring-node campaigns over independently seeded networks — work that
+// is embarrassingly parallel. Runner fans those replications out across a
+// bounded worker pool while keeping results bit-identical regardless of
+// worker count or completion order:
+//
+//   - every unit of work (one replication of one campaign) is
+//     self-contained: it builds its own network from a seed derived with
+//     sim.DeriveSeed, so no randomness is shared across goroutines;
+//   - results land in pre-indexed slots and merge in replication order,
+//     so scheduling never influences the aggregate;
+//   - cancellation is cooperative: workers stop picking up units and
+//     campaigns stop between injections, returning partial results with
+//     an error wrapping ErrPartialResult and ctx.Err().
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/measure"
+	"repro/internal/sim"
+)
+
+// ErrPartialResult marks a sweep that was cancelled mid-flight: the
+// returned outcomes carry only the replications that completed.
+var ErrPartialResult = errors.New("experiment: partial campaign results")
+
+// CampaignSpec describes one campaign of a sweep: a network Spec measured
+// over Replications independently seeded builds of Runs injections each,
+// pooled into a single result.
+type CampaignSpec struct {
+	// Name labels the campaign in outcomes (series name in figures).
+	Name string
+	// Spec is the network build; Spec.Seed roots replication 0 and seeds
+	// the derivation chain for the rest.
+	Spec Spec
+	// Replications is the number of independently seeded networks
+	// (default 1). Samples pool across replications.
+	Replications int
+	// Runs is the number of measurement injections per replication
+	// (default 200, as Options).
+	Runs int
+	// Deadline bounds each injection in virtual time (default 2 minutes).
+	Deadline time.Duration
+}
+
+func (c CampaignSpec) withDefaults() CampaignSpec {
+	if c.Replications <= 0 {
+		c.Replications = 1
+	}
+	if c.Runs <= 0 {
+		c.Runs = 200
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 2 * time.Minute
+	}
+	return c
+}
+
+// ReplicationSeed returns the root seed of replication i. Replication 0
+// keeps the spec's own seed, so a single-replication campaign reproduces
+// the serial Build+Campaign path exactly; later replications derive
+// FNV-hashed seeds that are stable functions of (base seed, index).
+func (c CampaignSpec) ReplicationSeed(i int) int64 {
+	if i == 0 {
+		return c.Spec.Seed
+	}
+	return sim.DeriveSeed(c.Spec.Seed, fmt.Sprintf("replication/%d", i))
+}
+
+// CampaignOutcome is one campaign's merged result.
+type CampaignOutcome struct {
+	// Name echoes CampaignSpec.Name.
+	Name string
+	// Result pools every completed replication, merged in replication
+	// order.
+	Result measure.CampaignResult
+	// Replications counts the replications that completed (equals the
+	// spec's Replications unless the sweep was cancelled).
+	Replications int
+}
+
+// Runner executes campaign sweeps on a bounded worker pool.
+type Runner struct {
+	// Workers bounds concurrency; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// NewRunner returns a Runner with the given worker bound (<= 0 for
+// GOMAXPROCS).
+func NewRunner(workers int) *Runner { return &Runner{Workers: workers} }
+
+func (r *Runner) workerCount() int {
+	if r == nil || r.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return r.Workers
+}
+
+// Each runs fn(ctx, i) for every i in [0, n) on up to Workers goroutines.
+// Units are handed out in index order; once ctx is cancelled no new unit
+// starts. Each returns only after every started unit has returned. fn is
+// responsible for recording its own results and errors (into per-index
+// slots — Each provides no synchronisation beyond the completion barrier).
+func (r *Runner) Each(ctx context.Context, n int, fn func(ctx context.Context, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := r.workerCount()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: no goroutine or channel overhead.
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			fn(ctx, i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(ctx, i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		// Check ctx before offering the unit: when both a worker and
+		// cancellation are ready the select below picks randomly, and an
+		// already-cancelled pool must not start new work.
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// unitRef addresses one replication of one campaign in a sweep.
+type unitRef struct {
+	campaign    int
+	replication int
+}
+
+// isCancellation reports whether err is a context cancellation rather
+// than a real unit failure.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// runUnits executes n self-contained units on the pool with fail-fast
+// semantics: the first real (non-cancellation) failure cancels the
+// remaining units so a bad spec does not burn the rest of the sweep's
+// wall-clock. It reports which units completed and the lowest-indexed
+// real failure among the units that ran (nil if none) — for a fixed
+// failing spec that choice is stable across worker counts.
+func (r *Runner) runUnits(ctx context.Context, n int, fn func(ctx context.Context, i int) error) ([]bool, error) {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	completed := make([]bool, n)
+	errs := make([]error, n)
+	r.Each(runCtx, n, func(ctx context.Context, i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		if err := fn(ctx, i); err != nil {
+			errs[i] = err
+			if !isCancellation(err) {
+				cancel()
+			}
+			return
+		}
+		completed[i] = true
+	})
+	for i, err := range errs {
+		if err != nil && !isCancellation(err) {
+			return completed, fmt.Errorf("unit %d/%d: %w", i+1, n, err)
+		}
+	}
+	return completed, nil
+}
+
+// partialError wraps ctx.Err() in ErrPartialResult when work is missing;
+// a cancellation that fired after the last unit finished is not partial.
+func partialError(ctx context.Context, allDone bool) error {
+	if err := ctx.Err(); err != nil && !allDone {
+		return fmt.Errorf("%w: %w", ErrPartialResult, err)
+	}
+	return nil
+}
+
+// Sweep schedules every replication of every campaign as one flat work
+// queue — N specs × M replications saturate the pool with no per-spec
+// barriers — and merges each campaign's shards in replication order.
+//
+// Determinism: for a fixed set of specs the returned outcomes are
+// bit-identical for any worker count, because every unit derives all of
+// its randomness from its own replication seed and merging ignores
+// completion order.
+//
+// On cancellation Sweep returns the outcomes merged from the completed
+// replications plus an error wrapping ErrPartialResult and ctx.Err(). A
+// real unit failure cancels the remaining units (fail fast) and returns
+// the lowest-indexed failure alongside the outcomes completed so far.
+func (r *Runner) Sweep(ctx context.Context, campaigns []CampaignSpec) ([]CampaignOutcome, error) {
+	specs := make([]CampaignSpec, len(campaigns))
+	var units []unitRef
+	for ci := range campaigns {
+		specs[ci] = campaigns[ci].withDefaults()
+		for rep := 0; rep < specs[ci].Replications; rep++ {
+			units = append(units, unitRef{campaign: ci, replication: rep})
+		}
+	}
+
+	results := make([]measure.CampaignResult, len(units))
+	completed, unitErr := r.runUnits(ctx, len(units), func(ctx context.Context, i int) error {
+		u := units[i]
+		cs := specs[u.campaign]
+		spec := cs.Spec
+		spec.Seed = cs.ReplicationSeed(u.replication)
+		b, err := Build(spec)
+		if err != nil {
+			return fmt.Errorf("experiment: build %s replication %d: %w", cs.Name, u.replication, err)
+		}
+		res, err := b.CampaignContext(ctx, cs.Runs, cs.Deadline)
+		if err != nil {
+			return fmt.Errorf("experiment: campaign %s replication %d: %w", cs.Name, u.replication, err)
+		}
+		results[i] = res
+		return nil
+	})
+
+	out := make([]CampaignOutcome, len(campaigns))
+	allDone := true
+	base := 0
+	for ci := range specs {
+		shards := make([]measure.CampaignResult, 0, specs[ci].Replications)
+		for rep := 0; rep < specs[ci].Replications; rep++ {
+			if completed[base+rep] {
+				shards = append(shards, results[base+rep])
+			} else {
+				allDone = false
+			}
+		}
+		base += specs[ci].Replications
+		out[ci] = CampaignOutcome{
+			Name:         specs[ci].Name,
+			Result:       measure.MergeCampaignResults(shards...),
+			Replications: len(shards),
+		}
+	}
+	if unitErr != nil {
+		return out, unitErr
+	}
+	// Partiality is a fact about the slots, not the context: a timeout
+	// that fires after the last unit finished delivered complete results.
+	return out, partialError(ctx, allDone)
+}
+
+// RunCampaign runs a single campaign through the engine: its replications
+// fan out across the pool and merge into one result.
+func (r *Runner) RunCampaign(ctx context.Context, cs CampaignSpec) (measure.CampaignResult, error) {
+	out, err := r.Sweep(ctx, []CampaignSpec{cs})
+	if len(out) == 1 {
+		return out[0].Result, err
+	}
+	return measure.CampaignResult{}, err
+}

@@ -1,0 +1,265 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/measure"
+)
+
+// engineOpts keeps engine tests quick: small networks, few runs, several
+// replications so the work queue actually fans out.
+func engineOpts() Options {
+	return Options{Nodes: 40, Runs: 4, Seed: 21, Deadline: 30 * time.Second, Replications: 3}
+}
+
+// sameCampaignResult asserts bitwise-equal merged results.
+func sameCampaignResult(t *testing.T, label string, a, b measure.CampaignResult) {
+	t.Helper()
+	if !a.Dist.Equal(b.Dist) {
+		t.Errorf("%s: distributions differ: %v vs %v", label, a.Dist, b.Dist)
+	}
+	if a.Lost != b.Lost {
+		t.Errorf("%s: lost %d vs %d", label, a.Lost, b.Lost)
+	}
+	if len(a.PerRun) != len(b.PerRun) {
+		t.Fatalf("%s: per-run count %d vs %d", label, len(a.PerRun), len(b.PerRun))
+	}
+	for i := range a.PerRun {
+		if a.PerRun[i].TxID != b.PerRun[i].TxID || a.PerRun[i].InjectedAt != b.PerRun[i].InjectedAt {
+			t.Errorf("%s: run %d differs: %+v vs %+v", label, i, a.PerRun[i], b.PerRun[i])
+		}
+		if len(a.PerRun[i].Deltas) != len(b.PerRun[i].Deltas) {
+			t.Errorf("%s: run %d delta count differs", label, i)
+			continue
+		}
+		for id, d := range a.PerRun[i].Deltas {
+			if b.PerRun[i].Deltas[id] != d {
+				t.Errorf("%s: run %d delta[%d] %v vs %v", label, i, id, d, b.PerRun[i].Deltas[id])
+			}
+		}
+	}
+}
+
+// TestEngineDeterministicAcrossWorkerCounts is the engine's core
+// guarantee: same seed ⇒ identical merged results at 1, 4 and 16 workers.
+func TestEngineDeterministicAcrossWorkerCounts(t *testing.T) {
+	o := engineOpts()
+	campaigns := []CampaignSpec{
+		o.campaign("bitcoin", buildSpec(o, ProtoBitcoin, fastBCBPT(25*time.Millisecond))),
+		o.campaign("bcbpt", buildSpec(o, ProtoBCBPT, fastBCBPT(25*time.Millisecond))),
+	}
+	var baseline []CampaignOutcome
+	for _, workers := range []int{1, 4, 16} {
+		out, err := NewRunner(workers).Sweep(context.Background(), campaigns)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != len(campaigns) {
+			t.Fatalf("workers=%d: outcomes = %d, want %d", workers, len(out), len(campaigns))
+		}
+		if baseline == nil {
+			baseline = out
+			for _, oc := range out {
+				if oc.Result.Dist.N() == 0 {
+					t.Fatalf("campaign %s produced no samples", oc.Name)
+				}
+				if oc.Replications != o.Replications {
+					t.Fatalf("campaign %s completed %d replications, want %d", oc.Name, oc.Replications, o.Replications)
+				}
+			}
+			continue
+		}
+		for i := range out {
+			if out[i].Name != baseline[i].Name {
+				t.Errorf("workers=%d: outcome %d name %q, want %q", workers, i, out[i].Name, baseline[i].Name)
+			}
+			sameCampaignResult(t, fmt.Sprintf("workers=%d campaign=%s", workers, out[i].Name),
+				out[i].Result, baseline[i].Result)
+		}
+	}
+}
+
+// TestEngineSingleReplicationMatchesSerialPath pins back-compatibility:
+// one replication through the engine must reproduce the direct
+// Build+Campaign result bit for bit (replication 0 keeps the base seed).
+func TestEngineSingleReplicationMatchesSerialPath(t *testing.T) {
+	o := engineOpts()
+	o.Replications = 1
+	spec := buildSpec(o, ProtoBitcoin, fastBCBPT(25*time.Millisecond))
+
+	b, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := b.Campaign(o.Runs, o.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engine, err := NewRunner(4).RunCampaign(context.Background(), o.campaign("bitcoin", spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCampaignResult(t, "serial-vs-engine", serial, engine)
+}
+
+// TestEngineReplicationSeedsAreDistinct guards the seed-derivation chain:
+// replications must explore genuinely different networks.
+func TestEngineReplicationSeedsAreDistinct(t *testing.T) {
+	cs := CampaignSpec{Spec: Spec{Seed: 9}}
+	seen := map[int64]int{}
+	for i := 0; i < 100; i++ {
+		s := cs.ReplicationSeed(i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("replications %d and %d share seed %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if cs.ReplicationSeed(0) != 9 {
+		t.Errorf("replication 0 seed = %d, want base seed 9", cs.ReplicationSeed(0))
+	}
+}
+
+// TestEngineCancellation: a cancelled sweep must return promptly with a
+// partial-result error, keeping the replications that completed.
+func TestEngineCancellation(t *testing.T) {
+	o := engineOpts()
+	o.Replications = 8
+	o.Runs = 10
+	campaigns := []CampaignSpec{
+		o.campaign("bitcoin", buildSpec(o, ProtoBitcoin, fastBCBPT(25*time.Millisecond))),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the sweep even starts: nothing may run
+	start := time.Now()
+	out, err := NewRunner(4).Sweep(ctx, campaigns)
+	if err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+	if !errors.Is(err, ErrPartialResult) {
+		t.Errorf("error %v does not wrap ErrPartialResult", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("outcomes = %d, want 1 (partial)", len(out))
+	}
+	if out[0].Replications != 0 || out[0].Result.Dist.N() != 0 {
+		t.Errorf("pre-cancelled sweep completed work: %+v", out[0])
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancelled sweep took %v, want prompt return", elapsed)
+	}
+}
+
+// TestEngineMidFlightCancellation cancels after the first completed unit
+// and checks the engine stops early, keeps completed shards, and reports
+// the partial-result error.
+func TestEngineMidFlightCancellation(t *testing.T) {
+	o := engineOpts()
+	o.Replications = 12
+	campaigns := []CampaignSpec{
+		o.campaign("bitcoin", buildSpec(o, ProtoBitcoin, fastBCBPT(25*time.Millisecond))),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := NewRunner(1) // serial pool: cancellation lands between units
+	var fired atomic.Bool
+	// Cancel from a watcher as soon as the first unit could have finished;
+	// the serial fast path checks ctx between units, so at most a couple
+	// of replications complete.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		fired.Store(true)
+		cancel()
+	}()
+	out, err := r.Sweep(ctx, campaigns)
+	if !fired.Load() {
+		t.Skip("sweep finished before cancellation fired; machine too fast for this race")
+	}
+	if err == nil {
+		// The whole sweep legitimately finished before cancel fired.
+		t.Skip("sweep completed before cancellation")
+	}
+	if !errors.Is(err, ErrPartialResult) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap ErrPartialResult and context.Canceled", err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("outcomes = %d, want 1", len(out))
+	}
+	if out[0].Replications >= o.Replications {
+		t.Errorf("all %d replications completed despite cancellation", out[0].Replications)
+	}
+}
+
+// TestEngineUnitFailureIsDeterministic: a failing spec must surface the
+// lowest-indexed unit's error regardless of worker count.
+func TestEngineUnitFailureIsDeterministic(t *testing.T) {
+	bad := CampaignSpec{Name: "bad", Spec: Spec{Nodes: 2, Seed: 1, Protocol: ProtoBitcoin}, Replications: 2, Runs: 2, Deadline: time.Second}
+	good := CampaignSpec{Name: "good", Spec: Spec{Nodes: 20, Seed: 1, Protocol: ProtoBitcoin}, Replications: 2, Runs: 2, Deadline: 30 * time.Second}
+	var msgs []string
+	for _, workers := range []int{1, 4} {
+		_, err := NewRunner(workers).Sweep(context.Background(), []CampaignSpec{good, bad})
+		if err == nil {
+			t.Fatalf("workers=%d: sweep with invalid spec succeeded", workers)
+		}
+		msgs = append(msgs, err.Error())
+	}
+	if msgs[0] != msgs[1] {
+		t.Errorf("error differs by worker count:\n  %s\n  %s", msgs[0], msgs[1])
+	}
+}
+
+// TestEachBoundsAndCompletes exercises the generic pool primitive.
+func TestEachBoundsAndCompletes(t *testing.T) {
+	const n = 64
+	var ran [n]atomic.Bool
+	var inFlight, peak atomic.Int32
+	NewRunner(4).Each(context.Background(), n, func(ctx context.Context, i int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		ran[i].Store(true)
+		inFlight.Add(-1)
+	})
+	for i := range ran {
+		if !ran[i].Load() {
+			t.Fatalf("unit %d never ran", i)
+		}
+	}
+	if p := peak.Load(); p > 4 {
+		t.Errorf("concurrency peaked at %d, want <= 4", p)
+	}
+}
+
+// TestCampaignContextPartial checks the measure-layer half of prompt
+// cancellation: a campaign stopped mid-flight keeps its completed runs.
+func TestCampaignContextPartial(t *testing.T) {
+	b, err := Build(Spec{Nodes: 30, Seed: 5, Protocol: ProtoBitcoin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := b.CampaignContext(ctx, 10, 30*time.Second)
+	if err == nil {
+		t.Fatal("cancelled campaign returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if len(res.PerRun) != 0 {
+		t.Errorf("pre-cancelled campaign ran %d injections", len(res.PerRun))
+	}
+}

@@ -279,7 +279,10 @@ func TestPropertyEstimatorWithinRange(t *testing.T) {
 		lo, hi := time.Duration(math.MaxInt64), time.Duration(0)
 		n := 0
 		for _, v := range raw {
-			d := time.Duration(v+1) * time.Millisecond
+			// Widen before adding 1: v+1 in uint16 arithmetic wraps to 0
+			// at v=0xffff, producing a non-positive sample Observe
+			// (correctly) ignores but the range bookkeeping would count.
+			d := (time.Duration(v) + 1) * time.Millisecond
 			e.Observe(d)
 			if d < lo {
 				lo = d

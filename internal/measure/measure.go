@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -174,6 +175,14 @@ type CampaignResult struct {
 
 // Run executes the campaign on the measuring node.
 func (m *MeasuringNode) Run(c Campaign) (CampaignResult, error) {
+	return m.RunContext(context.Background(), c)
+}
+
+// RunContext executes the campaign, checking ctx between injections. On
+// cancellation it returns the partial result accumulated so far together
+// with an error wrapping ctx.Err(): runs already measured stay valid, and
+// the caller decides whether a partial distribution is usable.
+func (m *MeasuringNode) RunContext(ctx context.Context, c Campaign) (CampaignResult, error) {
 	if c.Runs <= 0 {
 		return CampaignResult{}, errors.New("measure: campaign needs Runs > 0")
 	}
@@ -183,6 +192,10 @@ func (m *MeasuringNode) Run(c Campaign) (CampaignResult, error) {
 	var out CampaignResult
 	var samples []time.Duration
 	for i := 0; i < c.Runs; i++ {
+		if err := ctx.Err(); err != nil {
+			out.Dist = NewDistribution(samples)
+			return out, fmt.Errorf("measure: campaign stopped after %d of %d runs: %w", i, c.Runs, err)
+		}
 		m.net.ResetInventory()
 		res, err := m.MeasureOnce(c.MakeTx(i), c.Deadline)
 		if err != nil {
@@ -194,4 +207,22 @@ func (m *MeasuringNode) Run(c Campaign) (CampaignResult, error) {
 	}
 	out.Dist = NewDistribution(samples)
 	return out, nil
+}
+
+// MergeCampaignResults combines shard results from independent campaign
+// replications into one pooled result. The merge is deterministic: given
+// the same shards in the same order it produces an identical result, and
+// the pooled Distribution depends only on the multiset of samples — so
+// shards computed by any number of workers, merged in replication order,
+// yield a bit-identical aggregate.
+func MergeCampaignResults(shards ...CampaignResult) CampaignResult {
+	var out CampaignResult
+	dists := make([]Distribution, len(shards))
+	for i, s := range shards {
+		out.PerRun = append(out.PerRun, s.PerRun...)
+		out.Lost += s.Lost
+		dists[i] = s.Dist
+	}
+	out.Dist = MergeDistributions(dists...)
+	return out
 }

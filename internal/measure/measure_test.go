@@ -1,6 +1,8 @@
 package measure
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -356,5 +358,101 @@ func TestWriteSamplesCSV(t *testing.T) {
 	}
 	if lines[1] != "x,1.000" || lines[2] != "x,2.000" {
 		t.Errorf("unexpected rows: %v", lines[1:])
+	}
+}
+
+func TestMergeDistributionsOrderIndependent(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	mk := func(n int) Distribution {
+		s := make([]time.Duration, n)
+		for i := range s {
+			s[i] = time.Duration(r.Intn(1_000_000))
+		}
+		return NewDistribution(s)
+	}
+	a, b, c := mk(13), mk(1), mk(40)
+	abc := MergeDistributions(a, b, c)
+	cba := MergeDistributions(c, b, a)
+	if !abc.Equal(cba) {
+		t.Errorf("merge order changed result: %v vs %v", abc, cba)
+	}
+	if abc.N() != a.N()+b.N()+c.N() {
+		t.Errorf("merged N = %d, want %d", abc.N(), a.N()+b.N()+c.N())
+	}
+	// Merging must equal building the distribution from the pooled
+	// samples directly.
+	pooled := NewDistribution(append(append(a.Samples(), b.Samples()...), c.Samples()...))
+	if !abc.Equal(pooled) {
+		t.Errorf("merge differs from pooled build: %v vs %v", abc, pooled)
+	}
+	if !MergeDistributions().Equal(NewDistribution(nil)) {
+		t.Error("empty merge not the zero distribution")
+	}
+}
+
+func TestMergeCampaignResults(t *testing.T) {
+	net, ids := buildNet(t, 20, 9)
+	wireRandom(t, net, ids)
+	m, err := NewMeasuringNode(net, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(base int) CampaignResult {
+		res, err := m.Run(Campaign{
+			Runs:     3,
+			Deadline: time.Minute,
+			MakeTx:   func(i int) *chain.Tx { return mkTx(t, base+i) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(100), run(200)
+	merged := MergeCampaignResults(a, b)
+	if got, want := len(merged.PerRun), len(a.PerRun)+len(b.PerRun); got != want {
+		t.Errorf("PerRun = %d, want %d", got, want)
+	}
+	if merged.Lost != a.Lost+b.Lost {
+		t.Errorf("Lost = %d, want %d", merged.Lost, a.Lost+b.Lost)
+	}
+	if !merged.Dist.Equal(MergeDistributions(a.Dist, b.Dist)) {
+		t.Error("merged distribution does not pool shard samples")
+	}
+}
+
+func TestRunContextCancelKeepsPartial(t *testing.T) {
+	net, ids := buildNet(t, 20, 11)
+	wireRandom(t, net, ids)
+	m, err := NewMeasuringNode(net, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runsDone := 0
+	res, err := m.RunContext(ctx, Campaign{
+		Runs:     10,
+		Deadline: time.Minute,
+		MakeTx: func(i int) *chain.Tx {
+			runsDone = i
+			if i == 2 {
+				cancel()
+			}
+			return mkTx(t, 300+i)
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled campaign returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	// Cancel fired while building run 2's tx, so runs 0..2 completed and
+	// run 3 never started.
+	if len(res.PerRun) != 3 || runsDone != 2 {
+		t.Errorf("completed %d runs (last MakeTx %d), want 3 runs", len(res.PerRun), runsDone)
+	}
+	if res.Dist.N() == 0 {
+		t.Error("partial result lost its samples")
 	}
 }

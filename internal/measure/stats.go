@@ -50,6 +50,38 @@ func NewDistribution(samples []time.Duration) Distribution {
 // N returns the sample count.
 func (d Distribution) N() int { return len(d.sorted) }
 
+// Samples returns a copy of the sorted sample slice. Exposed so callers
+// (tests, serializers, merge layers) can compare distributions for exact
+// equality without reaching into internals.
+func (d Distribution) Samples() []time.Duration {
+	return append([]time.Duration(nil), d.sorted...)
+}
+
+// Equal reports whether two distributions carry exactly the same samples
+// (and therefore identical derived statistics).
+func (d Distribution) Equal(o Distribution) bool {
+	if len(d.sorted) != len(o.sorted) || d.mean != o.mean || d.std != o.std {
+		return false
+	}
+	for i, v := range d.sorted {
+		if v != o.sorted[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeDistributions pools the samples of the given distributions into
+// one. The result depends only on the multiset of samples, never on the
+// argument order, so sharded computations merge deterministically.
+func MergeDistributions(ds ...Distribution) Distribution {
+	var samples []time.Duration
+	for _, d := range ds {
+		samples = append(samples, d.sorted...)
+	}
+	return NewDistribution(samples)
+}
+
 // Mean returns the arithmetic mean.
 func (d Distribution) Mean() time.Duration { return d.mean }
 

@@ -82,8 +82,9 @@ type Node struct {
 	pingMu  sync.Mutex
 	pending map[uint64]pendingPing
 
-	wg     sync.WaitGroup
-	closed chan struct{}
+	wg       sync.WaitGroup
+	closed   chan struct{}
+	stopOnce sync.Once
 
 	// OnTx, if set, fires when a new transaction is accepted (after
 	// validation). Used by tests and by cmd/bcbptd's logging.
@@ -166,22 +167,21 @@ func (n *Node) Addr() string {
 }
 
 // Stop closes the listener and all connections and waits for goroutines.
+// Safe to call concurrently and repeatedly; every call returns only once
+// shutdown is complete.
 func (n *Node) Stop() {
-	select {
-	case <-n.closed:
-		return
-	default:
-	}
-	close(n.closed)
-	if n.ln != nil {
-		_ = n.ln.Close()
-	}
-	n.mu.Lock()
-	for _, p := range n.peers {
-		_ = p.conn.Close()
-	}
-	n.mu.Unlock()
-	n.wg.Wait()
+	n.stopOnce.Do(func() {
+		close(n.closed)
+		if n.ln != nil {
+			_ = n.ln.Close()
+		}
+		n.mu.Lock()
+		for _, p := range n.peers {
+			_ = p.conn.Close()
+		}
+		n.mu.Unlock()
+		n.wg.Wait()
+	})
 }
 
 // NumPeers returns the live connection count.
@@ -298,6 +298,11 @@ func (n *Node) discoveryLoop() {
 // Connect dials a peer, completes the handshake, and starts serving the
 // connection. Returns the peer's advertised listen address.
 func (n *Node) Connect(addr string) (string, error) {
+	select {
+	case <-n.closed:
+		return "", errors.New("netnode: node stopped")
+	default:
+	}
 	if n.NumPeers() >= n.cfg.MaxPeers {
 		return "", errors.New("netnode: at MaxPeers")
 	}
@@ -312,14 +317,19 @@ func (n *Node) Connect(addr string) (string, error) {
 		return "", err
 	}
 	n.addrs.MarkGood(remote, time.Now())
-	p := n.addPeer(conn, remote)
-	if p == nil {
+	p, err := n.addPeer(conn, remote)
+	if err != nil {
 		_ = conn.Close()
-		return remote, nil // already connected; not an error
+		// A duplicate connection is success — the link exists. Stopped or
+		// at-capacity rejections must not claim a neighbour link that
+		// does not exist.
+		if errors.Is(err, errDuplicatePeer) {
+			return remote, nil
+		}
+		return "", err
 	}
-	n.wg.Add(1)
 	go func() {
-		defer n.wg.Done()
+		defer n.wg.Done() // charged by addPeer
 		n.readLoop(p)
 	}()
 	return remote, nil
@@ -373,17 +383,45 @@ func (n *Node) versionMsg() *wire.MsgVersion {
 	}
 }
 
-// addPeer registers a connection; returns nil if the address is already
-// connected or capacity is reached.
-func (n *Node) addPeer(conn net.Conn, listenAddr string) *peer {
+// addPeer rejection reasons. errDuplicatePeer is benign (the link already
+// exists); the others mean no link exists and callers must not claim one.
+var (
+	errNodeStopped   = errors.New("netnode: node stopped")
+	errAtMaxPeers    = errors.New("netnode: at MaxPeers")
+	errDuplicatePeer = errors.New("netnode: already connected")
+)
+
+// addPeer registers a connection, or reports why it cannot (stopped,
+// duplicate, capacity). On success it has already charged n.wg for the
+// peer's read loop — the caller must run readLoop and then call
+// n.wg.Done(). On failure the caller owns closing the conn.
+//
+// Both the stopped check and the wg.Add must happen under n.mu: Stop
+// closes every registered connection while holding the lock, so a
+// handshake racing with Stop either registers (and charges wg) before
+// Stop's sweep — which then closes the connection, unblocking the read
+// loop Stop's wg.Wait is charged for — or observes closed here and is
+// rejected. Charging wg outside the lock would let a read-loop goroutine
+// start after wg.Wait already returned (a WaitGroup misuse that can
+// panic, and a connection that outlives Stop).
+func (n *Node) addPeer(conn net.Conn, listenAddr string) (*peer, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, dup := n.peers[listenAddr]; dup || len(n.peers) >= n.cfg.MaxPeers {
-		return nil
+	select {
+	case <-n.closed:
+		return nil, errNodeStopped
+	default:
+	}
+	if _, dup := n.peers[listenAddr]; dup {
+		return nil, errDuplicatePeer
+	}
+	if len(n.peers) >= n.cfg.MaxPeers {
+		return nil, errAtMaxPeers
 	}
 	p := &peer{conn: conn, listenAddr: listenAddr, node: n}
 	n.peers[listenAddr] = p
-	return p
+	n.wg.Add(1)
+	return p, nil
 }
 
 // removePeer drops a connection.
@@ -403,11 +441,12 @@ func (n *Node) serveConn(conn net.Conn, initiator bool) {
 		_ = conn.Close()
 		return
 	}
-	p := n.addPeer(conn, remote)
-	if p == nil {
+	p, err := n.addPeer(conn, remote)
+	if err != nil {
 		_ = conn.Close()
 		return
 	}
+	defer n.wg.Done() // charged by addPeer (the serving goroutine holds its own charge too)
 	n.readLoop(p)
 }
 

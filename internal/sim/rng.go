@@ -37,7 +37,7 @@ func (s *Streams) Stream(name string) *rand.Rand {
 	if r, ok := s.streams[name]; ok {
 		return r
 	}
-	r := rand.New(rand.NewSource(deriveSeed(s.seed, name)))
+	r := rand.New(rand.NewSource(DeriveSeed(s.seed, name)))
 	s.streams[name] = r
 	return r
 }
@@ -54,7 +54,11 @@ func (s *Streams) Names() []string {
 	return names
 }
 
-func deriveSeed(root int64, name string) int64 {
+// DeriveSeed maps (root, name) to a child seed via FNV-1a, the same
+// derivation Streams uses for its named streams. Exported so campaign
+// engines can derive independent per-replication root seeds that are
+// stable across runs and uncorrelated with every in-simulation stream.
+func DeriveSeed(root int64, name string) int64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	for i := 0; i < 8; i++ {

@@ -372,7 +372,7 @@ func TestPropertyRunDispatchesAllInOrder(t *testing.T) {
 // Property: derived seeds are stable functions of (root, name).
 func TestPropertyDeriveSeedStable(t *testing.T) {
 	f := func(root int64, name string) bool {
-		return deriveSeed(root, name) == deriveSeed(root, name) && deriveSeed(root, name) != 0
+		return DeriveSeed(root, name) == DeriveSeed(root, name) && DeriveSeed(root, name) != 0
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
