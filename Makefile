@@ -11,16 +11,21 @@ build:
 test:
 	$(GO) test ./...
 
-# The engine fans campaigns across goroutines; keep the concurrent
-# packages honest under the race detector.
+# The engine fans campaigns across goroutines and the build shards its
+# placement/candidate phases; keep the concurrent packages honest under
+# the race detector.
 race:
-	$(GO) test -race ./internal/sim ./internal/experiment ./internal/measure ./internal/netnode
+	$(GO) test -race ./internal/sim ./internal/experiment ./internal/core ./internal/measure ./internal/netnode
 
-# Bench smoke: the Figure 3 benchmarks, one iteration each — includes the
-# serial-vs-parallel engine pair, so a scheduling regression shows up as
-# EngineParallel no longer beating EngineSerial on multi-core runners.
+# Bench smoke: the Figure 3 benchmarks plus the serial-vs-sharded Build
+# pair, one iteration each. The engine pair catches campaign-scheduling
+# regressions (EngineParallel must beat EngineSerial on multi-core
+# runners); the Build pair catches regressions in the sharded
+# construction path (BuildSharded must beat BuildSerial there too).
+# CI stores this output as an artifact and diffs it against the previous
+# run (scripts/benchdiff.sh) to flag wall-clock regressions.
 bench:
-	$(GO) test -bench=Figure3 -benchtime=1x -timeout=20m .
+	$(GO) test -bench='Figure3|^BenchmarkBuild' -benchtime=1x -timeout=20m .
 
 fmt:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \

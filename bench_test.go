@@ -150,6 +150,39 @@ func BenchmarkFigure3EngineParallel(b *testing.B) {
 	benchFigure3Engine(b, runtime.GOMAXPROCS(0))
 }
 
+// --- Tentpole: serial vs sharded single-network build ---
+//
+// One 2000-node BCBPT build, once with the sharded phases pinned to a
+// single worker and once spread over GOMAXPROCS. The dominant host-time
+// cost (per-joiner candidate ranking over the whole registry) shards
+// across cores, so on ≥ 4 cores the sharded build should run ≥ 2x faster
+// than the serial one — while TestBuildShardedDeterminism proves the two
+// produce bit-identical networks.
+
+func benchBuild(b *testing.B, workers int) {
+	cfg := fastBCBPT(25 * time.Millisecond)
+	for i := 0; i < b.N; i++ {
+		built, err := experiment.Build(context.Background(), experiment.Spec{
+			Nodes:        2000,
+			Seed:         1,
+			Protocol:     experiment.ProtoBCBPT,
+			BCBPT:        cfg,
+			BuildWorkers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if built.BCBPT.NumClustered() != 2000 {
+			b.Fatalf("bootstrap clustered %d of 2000", built.BCBPT.NumClustered())
+		}
+		built.Close()
+	}
+	b.ReportMetric(float64(workers), "workers")
+}
+
+func BenchmarkBuildSerial(b *testing.B)  { benchBuild(b, 1) }
+func BenchmarkBuildSharded(b *testing.B) { benchBuild(b, runtime.GOMAXPROCS(0)) }
+
 // --- Fig. 4: BCBPT threshold sweep ---
 
 func benchThreshold(b *testing.B, dt time.Duration) {
@@ -202,7 +235,7 @@ func BenchmarkPingOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var perNode [2]float64
 		for j, proto := range []experiment.ProtocolKind{experiment.ProtoBitcoin, experiment.ProtoBCBPT} {
-			built, err := experiment.Build(experiment.Spec{
+			built, err := experiment.Build(context.Background(), experiment.Spec{
 				Nodes: o.Nodes, Seed: o.Seed, Protocol: proto,
 				BCBPT: fastBCBPT(25 * time.Millisecond),
 			})
@@ -222,7 +255,7 @@ func BenchmarkPingOverhead(b *testing.B) {
 func BenchmarkEclipse(b *testing.B) {
 	o := benchOpts(5)
 	for i := 0; i < b.N; i++ {
-		built, err := experiment.Build(experiment.Spec{
+		built, err := experiment.Build(context.Background(), experiment.Spec{
 			Nodes: o.Nodes, Seed: o.Seed, Protocol: experiment.ProtoBCBPT,
 			BCBPT: fastBCBPT(25 * time.Millisecond),
 		})
@@ -244,7 +277,7 @@ func BenchmarkEclipse(b *testing.B) {
 func BenchmarkPartition(b *testing.B) {
 	o := benchOpts(6)
 	for i := 0; i < b.N; i++ {
-		built, err := experiment.Build(experiment.Spec{
+		built, err := experiment.Build(context.Background(), experiment.Spec{
 			Nodes: o.Nodes, Seed: o.Seed, Protocol: experiment.ProtoBCBPT,
 			BCBPT: fastBCBPT(25 * time.Millisecond),
 		})
@@ -271,7 +304,7 @@ func benchLongLinks(b *testing.B, k int) {
 	cfg := fastBCBPT(25 * time.Millisecond)
 	cfg.LongLinks = k
 	for i := 0; i < b.N; i++ {
-		built, err := experiment.Build(experiment.Spec{
+		built, err := experiment.Build(context.Background(), experiment.Spec{
 			Nodes: o.Nodes, Seed: o.Seed, Protocol: experiment.ProtoBCBPT, BCBPT: cfg,
 		})
 		if err != nil {
@@ -333,7 +366,7 @@ func BenchmarkAblationProbeCount8(b *testing.B) { benchProbeCount(b, 8) }
 
 func benchDoubleSpend(b *testing.B, proto experiment.ProtocolKind) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.DoubleSpend(experiment.DoubleSpendSpec{
+		res, err := experiment.DoubleSpend(context.Background(), experiment.DoubleSpendSpec{
 			Nodes:    200,
 			Seed:     10,
 			Protocol: proto,
@@ -377,7 +410,7 @@ func benchLoss(b *testing.B, loss float64) {
 	o := benchOpts(12)
 	o.Runs = 25
 	for i := 0; i < b.N; i++ {
-		built, err := experiment.Build(experiment.Spec{
+		built, err := experiment.Build(context.Background(), experiment.Spec{
 			Nodes: o.Nodes, Seed: o.Seed, Protocol: experiment.ProtoBCBPT,
 			BCBPT:    fastBCBPT(25 * time.Millisecond),
 			LossProb: loss,
@@ -402,7 +435,7 @@ func BenchmarkAblationLoss20(b *testing.B) { benchLoss(b, 0.20) }
 
 func benchForks(b *testing.B, proto experiment.ProtocolKind) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.ForkRace(experiment.ForkSpec{
+		res, err := experiment.ForkRace(context.Background(), experiment.ForkSpec{
 			Nodes:         200,
 			Seed:          13,
 			Protocol:      proto,

@@ -37,18 +37,19 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("experiment", "figure3", "experiment: figure3|figure4|variance-connections|overhead|eclipse|partition|crawl|doublespend|forks")
-		nodes       = flag.Int("nodes", 1000, "network size (paper: ~5000)")
-		runs        = flag.Int("runs", 200, "measurement injections per replication (paper: ~1000)")
-		seed        = flag.Int64("seed", 1, "root random seed")
-		churnOn     = flag.Bool("churn", false, "enable join/leave churn during measurement")
-		threshold   = flag.Duration("dt", 25*time.Millisecond, "BCBPT latency threshold")
-		adversaries = flag.Int("adversaries", 16, "eclipse: adversarial nodes")
-		deadline    = flag.Duration("deadline", 2*time.Minute, "virtual-time deadline per run")
-		csvPath     = flag.String("csv", "", "write figure CDF data to this CSV file (figure3/figure4 only)")
-		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign-engine worker pool size")
-		reps        = flag.Int("replications", 1, "independently seeded networks per series (samples pool)")
-		timeout     = flag.Duration("timeout", 0, "wall-clock budget for the whole experiment (0 = none)")
+		exp          = flag.String("experiment", "figure3", "experiment: figure3|figure4|variance-connections|overhead|eclipse|partition|crawl|doublespend|forks")
+		nodes        = flag.Int("nodes", 1000, "network size (paper: ~5000)")
+		runs         = flag.Int("runs", 200, "measurement injections per replication (paper: ~1000)")
+		seed         = flag.Int64("seed", 1, "root random seed")
+		churnOn      = flag.Bool("churn", false, "enable join/leave churn during measurement")
+		threshold    = flag.Duration("dt", 25*time.Millisecond, "BCBPT latency threshold")
+		adversaries  = flag.Int("adversaries", 16, "eclipse: adversarial nodes")
+		deadline     = flag.Duration("deadline", 2*time.Minute, "virtual-time deadline per run")
+		csvPath      = flag.String("csv", "", "write figure CDF data to this CSV file (figure3/figure4 only)")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign-engine worker pool size")
+		buildWorkers = flag.Int("build-workers", 0, "worker pool size inside each network build (0 = GOMAXPROCS); any value builds an identical network")
+		reps         = flag.Int("replications", 1, "independently seeded networks per series (samples pool)")
+		timeout      = flag.Duration("timeout", 0, "wall-clock budget for the whole experiment (0 = none)")
 	)
 	flag.Parse()
 
@@ -59,14 +60,16 @@ func main() {
 		Deadline:     *deadline,
 		ChurnOn:      *churnOn,
 		Workers:      *workers,
+		BuildWorkers: *buildWorkers,
 		Replications: *reps,
 	}
 
 	// Ctrl-C / SIGTERM cancels the engine cooperatively: completed
-	// replications are still merged and reported as partial results.
-	// Once the first signal has cancelled ctx, stop() restores default
-	// signal handling so a second Ctrl-C force-kills — experiments that
-	// do not consult ctx (eclipse, partition, crawl, doublespend, forks)
+	// replications are still merged and reported as partial results, and
+	// network builds in progress stop at their next context poll. Once
+	// the first signal has cancelled ctx, stop() restores default signal
+	// handling so a second Ctrl-C force-kills — the phases that still do
+	// not consult ctx (attack settling, doublespend/forks measurement)
 	// must stay killable.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -126,15 +129,15 @@ func run(ctx context.Context, exp string, o experiment.Options, dt time.Duration
 			return err
 		}
 	case "eclipse":
-		return runEclipse(o, dt, adversaries)
+		return runEclipse(ctx, o, dt, adversaries)
 	case "partition":
-		return runPartition(o, dt)
+		return runPartition(ctx, o, dt)
 	case "crawl":
-		return runCrawl(o)
+		return runCrawl(ctx, o)
 	case "doublespend":
-		return runDoubleSpend(o, dt)
+		return runDoubleSpend(ctx, o, dt)
 	case "forks":
-		return runForks(o, dt)
+		return runForks(ctx, o, dt)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
@@ -180,13 +183,13 @@ func writeCSV(path string, fig experiment.FigureResult) error {
 }
 
 // runDoubleSpend races conflicting transactions under each protocol.
-func runDoubleSpend(o experiment.Options, dt time.Duration) error {
+func runDoubleSpend(ctx context.Context, o experiment.Options, dt time.Duration) error {
 	fmt.Println("== extension — double-spend race (the paper's motivating attack) ==")
 	offsets := []time.Duration{0, 50 * time.Millisecond, 150 * time.Millisecond, 500 * time.Millisecond, time.Second}
 	for _, proto := range []experiment.ProtocolKind{experiment.ProtoBitcoin, experiment.ProtoBCBPT} {
 		cfg := core.DefaultConfig()
 		cfg.Threshold = dt
-		res, err := experiment.DoubleSpend(experiment.DoubleSpendSpec{
+		res, err := experiment.DoubleSpend(ctx, experiment.DoubleSpendSpec{
 			Nodes:    o.Nodes,
 			Seed:     o.Seed,
 			Protocol: proto,
@@ -204,12 +207,12 @@ func runDoubleSpend(o experiment.Options, dt time.Duration) error {
 }
 
 // runForks races miners under each protocol and reports fork rates.
-func runForks(o experiment.Options, dt time.Duration) error {
+func runForks(ctx context.Context, o experiment.Options, dt time.Duration) error {
 	fmt.Println("== extension — fork rate vs protocol (ref [9] metric) ==")
 	for _, proto := range []experiment.ProtocolKind{experiment.ProtoBitcoin, experiment.ProtoLBC, experiment.ProtoBCBPT} {
 		cfg := core.DefaultConfig()
 		cfg.Threshold = dt
-		res, err := experiment.ForkRace(experiment.ForkSpec{
+		res, err := experiment.ForkRace(ctx, experiment.ForkSpec{
 			Nodes:         o.Nodes,
 			Seed:          o.Seed,
 			Protocol:      proto,
@@ -227,19 +230,21 @@ func runForks(o experiment.Options, dt time.Duration) error {
 	return nil
 }
 
-// buildBCBPT constructs a BCBPT network for the attack experiments.
-func buildBCBPT(o experiment.Options, dt time.Duration) (*experiment.Built, error) {
+// buildBCBPT constructs a BCBPT network for the attack experiments; ctx
+// cancels a build in progress.
+func buildBCBPT(ctx context.Context, o experiment.Options, dt time.Duration) (*experiment.Built, error) {
 	cfg := core.DefaultConfig()
 	cfg.Threshold = dt
-	return experiment.Build(experiment.Spec{
-		Nodes:    o.Nodes,
-		Seed:     o.Seed,
-		Protocol: experiment.ProtoBCBPT,
-		BCBPT:    cfg,
+	return experiment.Build(ctx, experiment.Spec{
+		Nodes:        o.Nodes,
+		Seed:         o.Seed,
+		Protocol:     experiment.ProtoBCBPT,
+		BCBPT:        cfg,
+		BuildWorkers: o.BuildWorkers,
 	})
 }
 
-func runEclipse(o experiment.Options, dt time.Duration, adversaries int) error {
+func runEclipse(ctx context.Context, o experiment.Options, dt time.Duration, adversaries int) error {
 	fmt.Printf("== §V.C — eclipse exposure (dt=%v) ==\n", dt)
 	var rows []attack.SweepResult
 	for _, budget := range []int{adversaries / 4, adversaries / 2, adversaries, adversaries * 2} {
@@ -249,8 +254,9 @@ func runEclipse(o experiment.Options, dt time.Duration, adversaries int) error {
 		const trials = 3
 		row := attack.SweepResult{Adversaries: budget, Trials: trials}
 		for trial := 0; trial < trials; trial++ {
-			b, err := buildBCBPT(experiment.Options{
+			b, err := buildBCBPT(ctx, experiment.Options{
 				Nodes: o.Nodes, Seed: o.Seed + int64(trial), Runs: o.Runs, Deadline: o.Deadline,
+				BuildWorkers: o.BuildWorkers,
 			}, dt)
 			if err != nil {
 				return err
@@ -275,11 +281,11 @@ func runEclipse(o experiment.Options, dt time.Duration, adversaries int) error {
 	return nil
 }
 
-func runPartition(o experiment.Options, dt time.Duration) error {
+func runPartition(ctx context.Context, o experiment.Options, dt time.Duration) error {
 	fmt.Printf("== §V.C — partition exposure by threshold ==\n")
 	fmt.Printf("%10s %10s %10s %10s %10s\n", "dt", "clusters", "minCut", "meanCut", "isolated")
 	for _, th := range []time.Duration{15 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond} {
-		b, err := buildBCBPT(o, th)
+		b, err := buildBCBPT(ctx, o, th)
 		if err != nil {
 			return err
 		}
@@ -292,7 +298,7 @@ func runPartition(o experiment.Options, dt time.Duration) error {
 	return nil
 }
 
-func runCrawl(o experiment.Options) error {
+func runCrawl(ctx context.Context, o experiment.Options) error {
 	fmt.Println("== crawler — ping/pong RTT census (methodology of refs [5],[12]) ==")
 	pcfg := p2p.DefaultConfig()
 	pcfg.Seed = o.Seed
@@ -308,7 +314,7 @@ func runCrawl(o experiment.Options) error {
 		ids[i] = net.AddNode(placer.Place(r)).ID()
 	}
 	proto := topology.NewRandom(net, topology.NewDNSSeed(), 0)
-	if err := proto.Bootstrap(ids); err != nil {
+	if err := proto.Bootstrap(ctx, ids); err != nil {
 		return err
 	}
 	crawler, err := measure.NewCrawler(net, ids[0])

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -59,7 +60,17 @@ func main() {
 	if *seedsFlag != "" {
 		seeds = strings.Split(*seedsFlag, ",")
 	}
-	if err := node.JoinCluster(seeds, *probes); err != nil {
+	// SIGINT/SIGTERM during the join (seed probing can block on slow or
+	// filtered hosts for seconds) cancels it instead of leaving a daemon
+	// stuck half-joined; after the join the same context just waits for
+	// the shutdown signal.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := node.JoinCluster(ctx, seeds, *probes); err != nil {
+		if ctx.Err() != nil {
+			logger.Printf("join cancelled by signal, shutting down")
+			return
+		}
 		logger.Fatalf("join: %v", err)
 	}
 	logger.Printf("cluster %d, %d peers: %v", node.ClusterID(), node.NumPeers(), node.PeerAddrs())
@@ -69,9 +80,7 @@ func main() {
 		}
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	s := <-sig
+	<-ctx.Done()
 	fmt.Fprintf(os.Stderr, "\n")
-	logger.Printf("received %v, shutting down", s)
+	logger.Printf("received shutdown signal, shutting down")
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -18,7 +19,7 @@ import (
 func build(seed int64, dt time.Duration) *experiment.Built {
 	cfg := core.DefaultConfig()
 	cfg.Threshold = dt
-	b, err := experiment.Build(experiment.Spec{
+	b, err := experiment.Build(context.Background(), experiment.Spec{
 		Nodes:    300,
 		Seed:     seed,
 		Protocol: experiment.ProtoBCBPT,

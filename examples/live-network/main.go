@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"log"
@@ -34,12 +35,15 @@ func main() {
 	}
 
 	// Node 0 founds the cluster; the rest join through it, learning each
-	// other from the CLUSTER member lists.
-	if err := nodes[0].JoinCluster(nil, 3); err != nil {
+	// other from the CLUSTER member lists. The timeout bounds the whole
+	// TCP join phase so a wedged peer cannot hang the example.
+	joinCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := nodes[0].JoinCluster(joinCtx, nil, 3); err != nil {
 		log.Fatalf("found cluster: %v", err)
 	}
 	for i := 1; i < n; i++ {
-		if err := nodes[i].JoinCluster([]string{nodes[0].Addr()}, 3); err != nil {
+		if err := nodes[i].JoinCluster(joinCtx, []string{nodes[0].Addr()}, 3); err != nil {
 			log.Fatalf("join %d: %v", i, err)
 		}
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -14,7 +15,7 @@ import (
 
 func main() {
 	cfg := core.DefaultConfig() // dt = 25ms, the paper's Fig. 3 setting
-	built, err := experiment.Build(experiment.Spec{
+	built, err := experiment.Build(context.Background(), experiment.Spec{
 		Nodes:    200,
 		Seed:     7,
 		Protocol: experiment.ProtoBCBPT,

@@ -17,6 +17,7 @@
 package attack
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -104,7 +105,7 @@ func Eclipse(net *p2p.Network, proto *core.BCBPT, victim p2p.NodeID, spec Eclips
 		bad[node.ID()] = true
 		proto.OnJoin(node.ID())
 	}
-	if err := net.RunUntil(net.Now() + spec.SettleTime); err != nil {
+	if err := net.RunUntil(context.Background(), net.Now()+spec.SettleTime); err != nil {
 		return EclipseResult{}, err
 	}
 

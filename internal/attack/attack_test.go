@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -34,10 +35,10 @@ func buildBCBPTWorld(t testing.TB, n int, seed int64, dt time.Duration) (*p2p.Ne
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := proto.Bootstrap(ids); err != nil {
+	if err := proto.Bootstrap(context.Background(), ids); err != nil {
 		t.Fatal(err)
 	}
-	if err := net.RunUntil(proto.BootstrapDeadline(n)); err != nil {
+	if err := net.RunUntil(context.Background(), proto.BootstrapDeadline(n)); err != nil {
 		t.Fatal(err)
 	}
 	return net, proto, ids

@@ -26,13 +26,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"time"
 
 	"repro/internal/geo"
 	"repro/internal/p2p"
+	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/wire"
 )
@@ -61,6 +64,15 @@ type Config struct {
 	// JoinStagger is the bootstrap spacing between node joins. The
 	// paper's experiment lets each node run discovery every 100ms.
 	JoinStagger time.Duration
+	// JoinLanes is how many nodes join per JoinStagger tick during
+	// bootstrap. 1 reproduces the strictly serial join sequence; 0 picks
+	// a population-derived default (serial below ~500 nodes, wider lanes
+	// at paper scale so a 5000-node bootstrap does not spend 500s of
+	// virtual time joining one node at a time). The lane count is a
+	// protocol parameter, never a host-parallelism knob: it is a pure
+	// function of the configuration and population, so results are
+	// independent of how many build workers compute them.
+	JoinLanes int
 	// DecisionSlack bounds how long a joiner waits for probe replies
 	// beyond the probing schedule itself before deciding.
 	DecisionSlack time.Duration
@@ -97,6 +109,9 @@ func (c Config) Validate() error {
 	if c.LongLinks < 0 {
 		return fmt.Errorf("core: LongLinks = %d, must be >= 0", c.LongLinks)
 	}
+	if c.JoinLanes < 0 {
+		return fmt.Errorf("core: JoinLanes = %d, must be >= 0", c.JoinLanes)
+	}
 	if c.MemberSample < 1 {
 		return fmt.Errorf("core: MemberSample = %d, must be >= 1", c.MemberSample)
 	}
@@ -131,6 +146,16 @@ type BCBPT struct {
 
 	intra int
 
+	// workers bounds the host-side goroutines Bootstrap uses for its
+	// sharded candidate precompute. It affects wall-clock only, never
+	// results (the precompute is a pure function of the registry).
+	workers int
+
+	// recs holds per-node candidate rankings precomputed by Bootstrap,
+	// consumed one-shot by each node's join. Nodes joining later (churn
+	// arrivals) fall back to a live DNS recommendation.
+	recs map[p2p.NodeID][]p2p.NodeID
+
 	clusterOf map[p2p.NodeID]ClusterID
 	members   map[ClusterID][]p2p.NodeID
 	nextID    ClusterID
@@ -160,10 +185,21 @@ func New(net *p2p.Network, seed *topology.DNSSeed, cfg Config) (*BCBPT, error) {
 		cfg:       cfg,
 		r:         net.Streams().Stream("topology/bcbpt"),
 		intra:     intra,
+		workers:   runtime.GOMAXPROCS(0),
 		clusterOf: make(map[p2p.NodeID]ClusterID),
 		members:   make(map[ClusterID][]p2p.NodeID),
 		joining:   make(map[p2p.NodeID]bool),
 	}, nil
+}
+
+// SetBuildWorkers bounds the goroutines Bootstrap's sharded precompute
+// may use (<= 0 restores the GOMAXPROCS default). Purely a wall-clock
+// knob: every worker count produces bit-identical networks.
+func (b *BCBPT) SetBuildWorkers(w int) {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	b.workers = w
 }
 
 // Name implements topology.Protocol.
@@ -193,31 +229,109 @@ func (b *BCBPT) Clusters() map[ClusterID][]p2p.NodeID {
 // NumClustered returns how many nodes have completed clustering.
 func (b *BCBPT) NumClustered() int { return len(b.clusterOf) }
 
-// Bootstrap implements topology.Protocol: nodes join one by one, spaced
-// by JoinStagger, each executing the full measure-then-join procedure in
-// virtual time. Run the network afterwards to let it complete; see
-// BootstrapDeadline.
-func (b *BCBPT) Bootstrap(ids []p2p.NodeID) error {
+// lanesFor resolves the effective join-lane width for an n-node
+// bootstrap: the configured JoinLanes, or a population-derived default —
+// serial below 512 nodes (matching the paper's one-at-a-time discovery
+// loop at experiment scale), then one extra lane per 512 nodes capped at
+// 16 so paper-scale virtual bootstrap time stays in the tens of seconds.
+func (c Config) lanesFor(n int) int {
+	lanes := c.JoinLanes
+	if lanes == 0 {
+		lanes = 1 + n/512
+		if lanes > 16 {
+			lanes = 16
+		}
+	}
+	if n > 0 && lanes > n {
+		lanes = n
+	}
+	return lanes
+}
+
+// recsShardSize is how many nodes one precompute shard ranks. Shard
+// boundaries are a pure function of the population (never of the worker
+// count), so the sharded precompute is bit-identical for any concurrency.
+const recsShardSize = 128
+
+// Bootstrap implements topology.Protocol: nodes join in JoinLanes-wide
+// waves spaced by JoinStagger, each executing the full measure-then-join
+// procedure in virtual time (within a wave, lower IDs join first — the
+// scheduler breaks virtual-time ties by schedule order). Run the network
+// afterwards to let it complete; see BootstrapDeadline.
+//
+// Before scheduling any join, Bootstrap precomputes every node's DNS
+// candidate ranking — the dominant host-time cost of a large build — in
+// population-derived shards spread across the worker pool configured by
+// SetBuildWorkers. ctx cancels the precompute between shards; a cancelled
+// Bootstrap returns an error wrapping ctx.Err() having scheduled nothing.
+func (b *BCBPT) Bootstrap(ctx context.Context, ids []p2p.NodeID) error {
 	for _, id := range ids {
 		if node, ok := b.net.Node(id); ok {
 			b.seed.Register(id, node.Location())
 			b.installHandler(node)
 		}
 	}
+	if err := b.precomputeRecs(ctx, ids); err != nil {
+		return err
+	}
+	lanes := b.cfg.lanesFor(len(ids))
 	for i, id := range ids {
 		id := id
-		b.net.Scheduler().After(time.Duration(i)*b.cfg.JoinStagger, func() {
+		b.net.Scheduler().After(time.Duration(i/lanes)*b.cfg.JoinStagger, func() {
 			b.startJoin(id)
 		})
 	}
 	return nil
 }
 
+// precomputeRecs ranks every bootstrap node's DNS candidates over the
+// full registry snapshot, sharded across the build worker pool. Each
+// shard calls the exact routine the live join path uses, so a consumed
+// precomputed ranking is indistinguishable from one computed at join
+// time; the registry is read-only for the duration.
+func (b *BCBPT) precomputeRecs(ctx context.Context, ids []p2p.NodeID) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	locs := make([]geo.Location, len(ids))
+	for i, id := range ids {
+		if node, ok := b.net.Node(id); ok {
+			locs[i] = node.Location()
+		}
+	}
+	slots := make([][]p2p.NodeID, len(ids))
+	shards := (len(ids) + recsShardSize - 1) / recsShardSize
+	err := sim.ParallelFor(ctx, shards, b.workers, func(s int) {
+		lo := s * recsShardSize
+		hi := lo + recsShardSize
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		for i := lo; i < hi; i++ {
+			slots[i] = b.seed.Recommend(ids[i], locs[i], 4*b.cfg.Candidates)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("core: bootstrap candidate precompute (%d shards): %w", shards, err)
+	}
+	b.recs = make(map[p2p.NodeID][]p2p.NodeID, len(ids))
+	for i, id := range ids {
+		b.recs[id] = slots[i]
+	}
+	return nil
+}
+
 // BootstrapDeadline estimates the virtual time by which an n-node
-// bootstrap has settled.
+// bootstrap has settled, derived from the lane-sharded join schedule:
+// the last wave starts at floor((n-1)/lanes) staggers, then needs its
+// probing window plus slack to decide.
 func (b *BCBPT) BootstrapDeadline(n int) time.Duration {
 	probing := time.Duration(b.cfg.ProbeCount)*b.cfg.ProbeGap + 2*b.cfg.DecisionSlack
-	return time.Duration(n)*b.cfg.JoinStagger + probing + 5*time.Second
+	waves := 0
+	if n > 0 {
+		waves = (n - 1) / b.cfg.lanesFor(n)
+	}
+	return time.Duration(waves)*b.cfg.JoinStagger + probing + 5*time.Second
 }
 
 // OnJoin implements topology.Protocol.
@@ -323,10 +437,19 @@ func (b *BCBPT) startJoin(id p2p.NodeID) {
 }
 
 // candidates returns up to Candidates clustered nodes, geographically
-// nearest first (the DNS recommendation of §IV.B).
+// nearest first (the DNS recommendation of §IV.B). Bootstrap nodes
+// consume the ranking precomputed over the bootstrap registry snapshot
+// (one-shot — the snapshot goes stale once churn begins); everyone else
+// gets a live recommendation.
 func (b *BCBPT) candidates(id p2p.NodeID, loc geo.Location) []p2p.NodeID {
-	// Ask for extra because unclustered recommendations are filtered out.
-	recs := b.seed.Recommend(id, loc, 4*b.cfg.Candidates)
+	recs, precomputed := b.recs[id]
+	if precomputed {
+		delete(b.recs, id)
+	} else {
+		// Ask for extra because unclustered recommendations are filtered
+		// out.
+		recs = b.seed.Recommend(id, loc, 4*b.cfg.Candidates)
+	}
 	out := make([]p2p.NodeID, 0, b.cfg.Candidates)
 	for _, r := range recs {
 		if _, clustered := b.clusterOf[r]; !clustered {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -43,10 +44,10 @@ func buildWorld(t testing.TB, n int, seed int64, mutate func(*Config)) (*p2p.Net
 // bootstrap runs the full join procedure to completion.
 func bootstrap(t testing.TB, net *p2p.Network, proto *BCBPT, ids []p2p.NodeID) {
 	t.Helper()
-	if err := proto.Bootstrap(ids); err != nil {
+	if err := proto.Bootstrap(context.Background(), ids); err != nil {
 		t.Fatal(err)
 	}
-	if err := net.RunUntil(proto.BootstrapDeadline(len(ids))); err != nil {
+	if err := net.RunUntil(context.Background(), proto.BootstrapDeadline(len(ids))); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -249,7 +250,7 @@ func TestLateJoinerEntersExistingCluster(t *testing.T) {
 		Coord: geo.Coord{LatDeg: 50.11, LonDeg: 8.68}, City: "Frankfurt", Country: "DE", Region: "EU",
 	})
 	proto.OnJoin(nd.ID())
-	if err := net.RunUntil(net.Now() + 10*time.Second); err != nil {
+	if err := net.RunUntil(context.Background(), net.Now()+10*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	c, ok := proto.ClusterOf(nd.ID())
@@ -277,7 +278,7 @@ func TestIsolatedJoinerFoundsCluster(t *testing.T) {
 	})
 	foundedBefore := proto.Stats().Founded
 	proto.OnJoin(nd.ID())
-	if err := net.RunUntil(net.Now() + 10*time.Second); err != nil {
+	if err := net.RunUntil(context.Background(), net.Now()+10*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	c, ok := proto.ClusterOf(nd.ID())
@@ -304,7 +305,7 @@ func TestLeaveRequiresNoProtocolAction(t *testing.T) {
 	leaver := ids[5]
 	proto.OnLeave(leaver)
 	net.RemoveNode(leaver)
-	if err := net.RunUntil(net.Now() + 5*time.Second); err != nil {
+	if err := net.RunUntil(context.Background(), net.Now()+5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := proto.ClusterOf(leaver); ok {
@@ -329,7 +330,7 @@ func TestChurnedJoinerDoesNotCorruptRegistry(t *testing.T) {
 	proto.OnJoin(nd.ID())
 	proto.OnLeave(nd.ID())
 	net.RemoveNode(nd.ID())
-	if err := net.RunUntil(net.Now() + 10*time.Second); err != nil {
+	if err := net.RunUntil(context.Background(), net.Now()+10*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := proto.ClusterOf(nd.ID()); ok {
@@ -361,7 +362,7 @@ func TestMaintenanceMigratesMisplacedNode(t *testing.T) {
 
 	tick := proto.StartMaintenance(50 * time.Millisecond)
 	defer tick.Stop()
-	if err := net.RunUntil(net.Now() + 5*time.Minute); err != nil {
+	if err := net.RunUntil(context.Background(), net.Now()+5*time.Minute); err != nil {
 		t.Fatal(err)
 	}
 	got, ok := proto.ClusterOf(victim)
@@ -414,14 +415,112 @@ func TestRejectedJoinFallsBack(t *testing.T) {
 func BenchmarkBootstrap200(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		net, proto, ids := buildWorld(b, 200, 14, nil)
-		if err := proto.Bootstrap(ids); err != nil {
+		if err := proto.Bootstrap(context.Background(), ids); err != nil {
 			b.Fatal(err)
 		}
-		if err := net.RunUntil(proto.BootstrapDeadline(len(ids))); err != nil {
+		if err := net.RunUntil(context.Background(), proto.BootstrapDeadline(len(ids))); err != nil {
 			b.Fatal(err)
 		}
 		if proto.NumClustered() != len(ids) {
 			b.Fatal("bootstrap incomplete")
+		}
+	}
+}
+
+// TestBootstrapDeadlineLanes pins the deadline to the lane-sharded join
+// schedule: with explicit lanes the deadline must cover exactly the last
+// wave's start plus the probing window, and the auto-lane default must
+// shrink a paper-scale bootstrap well below the old serial estimate.
+func TestBootstrapDeadlineLanes(t *testing.T) {
+	mk := func(mutate func(*Config)) *BCBPT {
+		net, err := p2p.NewNetwork(p2p.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		proto, err := New(net, topology.NewDNSSeed(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return proto
+	}
+
+	serial := mk(func(c *Config) { c.JoinLanes = 1 })
+	probing := time.Duration(serial.cfg.ProbeCount)*serial.cfg.ProbeGap + 2*serial.cfg.DecisionSlack
+	const n = 2048
+	wantSerial := time.Duration(n-1)*serial.cfg.JoinStagger + probing + 5*time.Second
+	if got := serial.BootstrapDeadline(n); got != wantSerial {
+		t.Errorf("serial deadline = %v, want %v", got, wantSerial)
+	}
+
+	laned := mk(func(c *Config) { c.JoinLanes = 8 })
+	wantLaned := time.Duration((n-1)/8)*laned.cfg.JoinStagger + probing + 5*time.Second
+	if got := laned.BootstrapDeadline(n); got != wantLaned {
+		t.Errorf("8-lane deadline = %v, want %v", got, wantLaned)
+	}
+
+	auto := mk(nil)
+	if got := auto.BootstrapDeadline(n); got >= wantSerial/2 {
+		t.Errorf("auto-lane deadline %v has not left the serial join sequence (%v)", got, wantSerial)
+	}
+	// Small populations keep the serial schedule: the deadline must not
+	// assume lanes the schedule does not use.
+	if got, want := auto.BootstrapDeadline(300), auto.BootstrapDeadline(300); got != want {
+		t.Errorf("deadline unstable: %v vs %v", got, want)
+	}
+	if auto.cfg.lanesFor(300) != 1 {
+		t.Errorf("auto lanes for 300 nodes = %d, want serial", auto.cfg.lanesFor(300))
+	}
+}
+
+// TestBootstrapLanedClusteringCompletes runs a laned bootstrap to its
+// derived deadline and requires every node clustered — i.e. the deadline
+// genuinely covers the sharded schedule it advertises.
+func TestBootstrapLanedClusteringCompletes(t *testing.T) {
+	net, proto, ids := buildWorld(t, 300, 21, func(c *Config) { c.JoinLanes = 6 })
+	bootstrap(t, net, proto, ids)
+	if got := proto.NumClustered(); got != len(ids) {
+		t.Errorf("clustered %d of %d nodes by the laned deadline", got, len(ids))
+	}
+}
+
+// TestBootstrapPrecomputeMatchesLive verifies the sharded candidate
+// precompute is invisible to the protocol: a world bootstrapped with the
+// precompute (any worker count) matches one where the precompute results
+// were discarded so every join ranked its candidates live.
+func TestBootstrapPrecomputeMatchesLive(t *testing.T) {
+	run := func(workers int, dropPrecompute bool) map[p2p.NodeID]ClusterID {
+		net, proto, ids := buildWorld(t, 180, 33, nil)
+		proto.SetBuildWorkers(workers)
+		if err := proto.Bootstrap(context.Background(), ids); err != nil {
+			t.Fatal(err)
+		}
+		if dropPrecompute {
+			proto.recs = nil // force the live Recommend path at join time
+		}
+		if err := net.RunUntil(context.Background(), proto.BootstrapDeadline(len(ids))); err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[p2p.NodeID]ClusterID, len(ids))
+		for _, id := range ids {
+			c, ok := proto.ClusterOf(id)
+			if !ok {
+				t.Fatalf("node %d never clustered", id)
+			}
+			out[id] = c
+		}
+		return out
+	}
+	live := run(1, true)
+	for _, workers := range []int{1, 4, 16} {
+		pre := run(workers, false)
+		for id, c := range live {
+			if pre[id] != c {
+				t.Fatalf("workers=%d: node %d cluster %d, live path gives %d", workers, id, pre[id], c)
+			}
 		}
 	}
 }

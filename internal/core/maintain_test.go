@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -16,11 +17,11 @@ func TestMaintenanceTickerRotatesSafely(t *testing.T) {
 	// Run several full rotations; no migrations are required, but the
 	// network must stay consistent (every node clustered, registry and
 	// graph in sync).
-	if err := net.RunUntil(net.Now() + 30*time.Second); err != nil {
+	if err := net.RunUntil(context.Background(), net.Now()+30*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	tick.Stop()
-	if err := net.RunUntil(net.Now() + 5*time.Second); err != nil {
+	if err := net.RunUntil(context.Background(), net.Now()+5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	if proto.NumClustered() != net.NumNodes() {
@@ -72,11 +73,11 @@ func TestMaintenanceWithChurnStaysConsistent(t *testing.T) {
 		net.RemoveNode(victim)
 		nd := net.AddNode(placer.Place(r))
 		proto.OnJoin(nd.ID())
-		if err := net.RunUntil(net.Now() + 5*time.Second); err != nil {
+		if err := net.RunUntil(context.Background(), net.Now()+5*time.Second); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := net.RunUntil(net.Now() + 10*time.Second); err != nil {
+	if err := net.RunUntil(context.Background(), net.Now()+10*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	// Registry only references live nodes.

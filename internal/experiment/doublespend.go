@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -76,8 +77,9 @@ func (r DoubleSpendResult) String() string {
 	return b.String()
 }
 
-// DoubleSpend runs the race sweep for one protocol.
-func DoubleSpend(spec DoubleSpendSpec) (DoubleSpendResult, error) {
+// DoubleSpend runs the race sweep for one protocol. ctx cancels the
+// network build; the race itself runs to completion once built.
+func DoubleSpend(ctx context.Context, spec DoubleSpendSpec) (DoubleSpendResult, error) {
 	if spec.Trials <= 0 {
 		spec.Trials = 5
 	}
@@ -108,7 +110,7 @@ func DoubleSpend(spec DoubleSpendSpec) (DoubleSpendResult, error) {
 		outpoints = append(outpoints, chain.Outpoint{TxID: cb.ID(), Index: 0})
 	}
 
-	built, err := Build(Spec{
+	built, err := Build(ctx, Spec{
 		Nodes:      spec.Nodes,
 		Seed:       spec.Seed,
 		Protocol:   spec.Protocol,
@@ -184,7 +186,7 @@ func raceOnce(net *p2p.Network, victimID, attackerID p2p.NodeID,
 	start := net.Now()
 	net.Scheduler().After(0, func() { _ = vNode.SubmitTx(txV) })
 	net.Scheduler().After(offset, func() { _ = aNode.SubmitTx(txA) })
-	if err := net.RunUntil(start + sim.Time(deadline)); err != nil {
+	if err := net.RunUntil(context.Background(), start+sim.Time(deadline)); err != nil {
 		return 0, false, err
 	}
 

@@ -1,12 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 	"time"
 )
 
 func TestDoubleSpendRaceBasics(t *testing.T) {
-	res, err := DoubleSpend(DoubleSpendSpec{
+	res, err := DoubleSpend(context.Background(), DoubleSpendSpec{
 		Nodes:    60,
 		Seed:     21,
 		Protocol: ProtoBitcoin,
@@ -39,7 +40,7 @@ func TestDoubleSpendShareFallsWithOffset(t *testing.T) {
 	}
 	// The defining relationship: the longer the victim tx's head start,
 	// the smaller the attacker's share of the network.
-	res, err := DoubleSpend(DoubleSpendSpec{
+	res, err := DoubleSpend(context.Background(), DoubleSpendSpec{
 		Nodes:    80,
 		Seed:     22,
 		Protocol: ProtoBitcoin,
@@ -71,7 +72,7 @@ func TestDoubleSpendBCBPTShrinksWindow(t *testing.T) {
 	// smaller share — the paper's security argument, end to end.
 	const offset = 150 * time.Millisecond
 	run := func(kind ProtocolKind) float64 {
-		res, err := DoubleSpend(DoubleSpendSpec{
+		res, err := DoubleSpend(context.Background(), DoubleSpendSpec{
 			Nodes:    80,
 			Seed:     23,
 			Protocol: kind,

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/measure"
 	"repro/internal/p2p"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -48,9 +50,16 @@ type Spec struct {
 	Seed int64
 	// Protocol selects neighbour selection.
 	Protocol ProtocolKind
-	// BCBPT configures the BCBPT protocol (ignored otherwise). Zero
-	// value means core.DefaultConfig.
+	// BCBPT configures the BCBPT protocol (ignored otherwise). The zero
+	// value means core.DefaultConfig; any non-zero configuration is used
+	// exactly as given (a partially filled config fails validation loudly
+	// rather than being silently replaced).
 	BCBPT core.Config
+	// BuildWorkers bounds the goroutines the build may use for its
+	// sharded phases (geo placement, BCBPT candidate ranking). <= 0
+	// means GOMAXPROCS; 1 forces the serial path. Purely a wall-clock
+	// knob: every worker count produces a bit-identical network.
+	BuildWorkers int
 	// Churn, when non-nil, enables join/leave dynamics during the
 	// measurement phase.
 	Churn *churn.Model
@@ -81,9 +90,55 @@ type Built struct {
 	ChurnDriver *churn.Driver
 }
 
+// buildWorkers resolves the sharding concurrency for a spec.
+func (s Spec) buildWorkers() int {
+	if s.BuildWorkers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return s.BuildWorkers
+}
+
+// placementShardSize is how many nodes one placement shard covers. Each
+// shard draws from its own random stream derived via sim.DeriveSeed from
+// (spec seed, shard index), and shard boundaries depend only on the
+// population — so placements are a pure function of the spec, identical
+// for every worker count including the serial path.
+const placementShardSize = 512
+
+// shardedPlacements samples the bootstrap population's locations across
+// the build worker pool.
+func shardedPlacements(ctx context.Context, placer *geo.Placer, seed int64, n, workers int) ([]geo.Location, error) {
+	locs := make([]geo.Location, n)
+	shards := (n + placementShardSize - 1) / placementShardSize
+	err := sim.ParallelFor(ctx, shards, workers, func(s int) {
+		r := rand.New(rand.NewSource(sim.DeriveSeed(seed, fmt.Sprintf("placement/shard/%d", s))))
+		lo := s * placementShardSize
+		hi := lo + placementShardSize
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			locs[i] = placer.Place(r)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: placement (%d shards): %w", shards, err)
+	}
+	return locs, nil
+}
+
 // Build constructs and bootstraps a network per spec. On return the
 // overlay is wired and virtual time has advanced past bootstrap.
-func Build(spec Spec) (*Built, error) {
+//
+// ctx cancels the build cooperatively at every expensive phase —
+// placement sharding, candidate precompute, and the virtual-time
+// bootstrap run — returning promptly with an error wrapping ctx.Err().
+// The placement and BCBPT candidate-ranking phases shard across up to
+// Spec.BuildWorkers goroutines; the resulting network is bit-identical
+// for every worker count. On any error the partially built network is
+// closed before returning, so a failed build leaves no scheduled work,
+// no running goroutines, and nothing pinning node state alive.
+func Build(ctx context.Context, spec Spec) (*Built, error) {
 	if spec.Nodes < 3 {
 		return nil, errors.New("experiment: need at least 3 nodes")
 	}
@@ -100,49 +155,66 @@ func Build(spec Spec) (*Built, error) {
 	if err != nil {
 		return nil, err
 	}
+	b := &Built{Net: net, Seed: topology.NewDNSSeed()}
+	if err := b.build(ctx, spec); err != nil {
+		b.Close()
+		return nil, err
+	}
+	return b, nil
+}
+
+// build runs the construction phases against an already-allocated
+// network. Split out of Build so every error path funnels through the
+// single Close in Build — each early return here used to abandon a
+// half-bootstrapped network with its event queue still loaded.
+func (b *Built) build(ctx context.Context, spec Spec) error {
+	net := b.Net
+	seed := b.Seed
 	placer := geo.DefaultPlacer()
-	r := net.Streams().Stream("placement")
+	locs, err := shardedPlacements(ctx, placer, spec.Seed, spec.Nodes, spec.buildWorkers())
+	if err != nil {
+		return err
+	}
 	ids := make([]p2p.NodeID, spec.Nodes)
 	for i := range ids {
-		ids[i] = net.AddNode(placer.Place(r)).ID()
+		ids[i] = net.AddNode(locs[i]).ID()
 	}
 
-	seed := topology.NewDNSSeed()
-	b := &Built{Net: net, Seed: seed}
 	switch spec.Protocol {
 	case ProtoBitcoin, "":
 		b.Protocol = topology.NewRandom(net, seed, 0)
-		if err := b.Protocol.Bootstrap(ids); err != nil {
-			return nil, err
+		if err := b.Protocol.Bootstrap(ctx, ids); err != nil {
+			return err
 		}
 	case ProtoLBC:
 		b.Protocol = topology.NewLBC(net, seed, topology.LBCConfig{})
-		if err := b.Protocol.Bootstrap(ids); err != nil {
-			return nil, err
+		if err := b.Protocol.Bootstrap(ctx, ids); err != nil {
+			return err
 		}
 	case ProtoBCBPT:
 		cfg := spec.BCBPT
-		if cfg.Threshold == 0 {
+		if cfg == (core.Config{}) {
 			cfg = core.DefaultConfig()
 		}
 		proto, err := core.New(net, seed, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		proto.SetBuildWorkers(spec.BuildWorkers)
 		b.BCBPT = proto
 		b.Protocol = proto
-		if err := proto.Bootstrap(ids); err != nil {
-			return nil, err
+		if err := proto.Bootstrap(ctx, ids); err != nil {
+			return err
 		}
-		if err := net.RunUntil(proto.BootstrapDeadline(len(ids))); err != nil {
-			return nil, err
+		if err := net.RunUntil(ctx, proto.BootstrapDeadline(len(ids))); err != nil {
+			return err
 		}
 		if proto.NumClustered() != len(ids) {
-			return nil, fmt.Errorf("experiment: bootstrap clustered %d of %d nodes",
+			return fmt.Errorf("experiment: bootstrap clustered %d of %d nodes",
 				proto.NumClustered(), len(ids))
 		}
 	default:
-		return nil, fmt.Errorf("experiment: unknown protocol %q", spec.Protocol)
+		return fmt.Errorf("experiment: unknown protocol %q", spec.Protocol)
 	}
 	net.OnDisconnect = b.Protocol.OnDisconnect
 
@@ -151,20 +223,23 @@ func Build(spec Spec) (*Built, error) {
 	mID := bestConnected(net)
 	if spec.MeasuringConnections > 0 {
 		if err := forceDegree(net, b, mID, spec.MeasuringConnections); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	measurer, err := measure.NewMeasuringNode(net, mID)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	b.Measurer = measurer
 
 	if spec.Churn != nil {
 		drv, err := churn.NewDriver(*spec.Churn, net.Scheduler(), net.Streams().Stream("churn"))
 		if err != nil {
-			return nil, err
+			return err
 		}
+		// Churn arrivals keep their own serial placement stream: they are
+		// placed one at a time inside the single-threaded event loop.
+		r := net.Streams().Stream("placement")
 		drv.OnLeave = func(id uint64) {
 			nid := p2p.NodeID(id)
 			if nid == mID {
@@ -186,7 +261,23 @@ func Build(spec Spec) (*Built, error) {
 		drv.Start()
 		b.ChurnDriver = drv
 	}
-	return b, nil
+	return nil
+}
+
+// Close releases a built (or part-built) network: churn stops scheduling
+// sessions and the network drops its pending event queue and hooks. Build
+// calls it on every error path; callers that are done measuring may call
+// it too. Idempotent.
+func (b *Built) Close() {
+	if b == nil {
+		return
+	}
+	if b.ChurnDriver != nil {
+		b.ChurnDriver.Stop()
+	}
+	if b.Net != nil {
+		b.Net.Close()
+	}
 }
 
 // bestConnected returns the live node with the most peers (ties to the

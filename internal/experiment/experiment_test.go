@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -24,10 +25,10 @@ func fastBCBPT(dt time.Duration) core.Config {
 }
 
 func TestBuildValidation(t *testing.T) {
-	if _, err := Build(Spec{Nodes: 2}); err == nil {
+	if _, err := Build(context.Background(), Spec{Nodes: 2}); err == nil {
 		t.Error("accepted 2-node network")
 	}
-	if _, err := Build(Spec{Nodes: 10, Protocol: "nonsense"}); err == nil {
+	if _, err := Build(context.Background(), Spec{Nodes: 10, Protocol: "nonsense"}); err == nil {
 		t.Error("accepted unknown protocol")
 	}
 }
@@ -36,7 +37,7 @@ func TestBuildEachProtocol(t *testing.T) {
 	for _, proto := range []ProtocolKind{ProtoBitcoin, ProtoLBC, ProtoBCBPT} {
 		proto := proto
 		t.Run(string(proto), func(t *testing.T) {
-			b, err := Build(Spec{
+			b, err := Build(context.Background(), Spec{
 				Nodes:    80,
 				Seed:     7,
 				Protocol: proto,
@@ -63,7 +64,7 @@ func TestBuildEachProtocol(t *testing.T) {
 }
 
 func TestCampaignProducesSamples(t *testing.T) {
-	b, err := Build(Spec{Nodes: 60, Seed: 8, Protocol: ProtoBitcoin})
+	b, err := Build(context.Background(), Spec{Nodes: 60, Seed: 8, Protocol: ProtoBitcoin})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestForceDegree(t *testing.T) {
 			Protocol:             ProtoBitcoin,
 			MeasuringConnections: k,
 		}
-		b, err := Build(spec)
+		b, err := Build(context.Background(), spec)
 		if err != nil {
 			t.Fatalf("k=%d: %v", k, err)
 		}
@@ -104,7 +105,7 @@ func TestChurnKeepsPopulationRoughlyStable(t *testing.T) {
 		t.Fatal(err)
 	}
 	spec := Spec{Nodes: 100, Seed: 10, Protocol: ProtoBitcoin, Churn: &m}
-	b, err := Build(spec)
+	b, err := Build(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestChurnKeepsPopulationRoughlyStable(t *testing.T) {
 		t.Fatal("churn driver missing")
 	}
 	start := b.Net.NumNodes()
-	if err := b.Net.RunUntil(b.Net.Now() + 10*time.Minute); err != nil {
+	if err := b.Net.RunUntil(context.Background(), b.Net.Now()+10*time.Minute); err != nil {
 		t.Fatal(err)
 	}
 	b.ChurnDriver.Stop()
@@ -147,7 +148,7 @@ func TestFigure3Shape(t *testing.T) {
 	stds := map[string]time.Duration{}
 	for name, s := range series {
 		spec := buildSpec(o, s.kind, s.cfg)
-		b, err := Build(spec)
+		b, err := Build(context.Background(), spec)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -178,7 +179,7 @@ func TestFigure4Shape(t *testing.T) {
 	var medians []time.Duration
 	for _, dt := range []time.Duration{30 * time.Millisecond, 100 * time.Millisecond} {
 		spec := buildSpec(o, ProtoBCBPT, fastBCBPT(dt))
-		b, err := Build(spec)
+		b, err := Build(context.Background(), spec)
 		if err != nil {
 			t.Fatalf("dt=%v: %v", dt, err)
 		}
@@ -204,7 +205,7 @@ func TestVarianceVsConnectionsShape(t *testing.T) {
 	spread := func(kind ProtocolKind, k int) time.Duration {
 		spec := buildSpec(o, kind, fastBCBPT(25*time.Millisecond))
 		spec.MeasuringConnections = k
-		b, err := Build(spec)
+		b, err := Build(context.Background(), spec)
 		if err != nil {
 			t.Fatalf("%s/%d: %v", kind, k, err)
 		}
@@ -233,7 +234,7 @@ func TestOverheadShowsBCBPTPingCost(t *testing.T) {
 	results := make(map[string]OverheadResult)
 	for _, proto := range []ProtocolKind{ProtoBitcoin, ProtoBCBPT} {
 		spec := buildSpec(o, proto, fastBCBPT(25*time.Millisecond))
-		b, err := Build(spec)
+		b, err := Build(context.Background(), spec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -259,7 +260,7 @@ func TestFigureResultString(t *testing.T) {
 	}
 	o := Options{Nodes: 60, Runs: 5, Seed: 3, Deadline: 30 * time.Second}
 	spec := buildSpec(o, ProtoBitcoin, core.Config{})
-	b, err := Build(spec)
+	b, err := Build(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +297,7 @@ func TestChurnDuringCampaignStillMeasures(t *testing.T) {
 		MinSession:   30 * time.Second,
 	}
 	spec := Spec{Nodes: 100, Seed: 11, Protocol: ProtoBitcoin, Churn: &m}
-	b, err := Build(spec)
+	b, err := Build(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}

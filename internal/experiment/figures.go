@@ -29,6 +29,10 @@ type Options struct {
 	ChurnOn bool
 	// Workers bounds campaign-engine concurrency (default GOMAXPROCS).
 	Workers int
+	// BuildWorkers bounds the sharding concurrency inside each network
+	// build (see Spec.BuildWorkers; <= 0 means GOMAXPROCS). Results are
+	// identical for any value.
+	BuildWorkers int
 	// Replications fans each campaign over this many independently
 	// seeded networks (default 1); samples pool across replications.
 	Replications int
@@ -102,10 +106,11 @@ func (f FigureResult) String() string {
 // buildSpec assembles a Spec for one protocol under the shared options.
 func buildSpec(o Options, proto ProtocolKind, bcbpt core.Config) Spec {
 	spec := Spec{
-		Nodes:    o.Nodes,
-		Seed:     o.Seed,
-		Protocol: proto,
-		BCBPT:    bcbpt,
+		Nodes:        o.Nodes,
+		Seed:         o.Seed,
+		Protocol:     proto,
+		BCBPT:        bcbpt,
+		BuildWorkers: o.BuildWorkers,
 	}
 	if o.ChurnOn {
 		m := defaultChurn(o.Nodes)
@@ -318,7 +323,7 @@ func OverheadCtx(ctx context.Context, o Options) ([]OverheadResult, error) {
 	completed, unitErr := o.runner().runUnits(ctx, len(protos), func(ctx context.Context, i int) error {
 		proto := protos[i]
 		spec := buildSpec(o, proto, core.DefaultConfig())
-		b, err := Build(spec)
+		b, err := Build(ctx, spec)
 		if err != nil {
 			return err
 		}

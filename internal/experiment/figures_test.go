@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -127,14 +128,14 @@ func TestOverheadPipeline(t *testing.T) {
 
 func TestBuildRelayAndLossPlumbing(t *testing.T) {
 	// Spec.Relay and Spec.LossProb must reach the p2p config.
-	b, err := Build(Spec{Nodes: 10, Seed: 3, Protocol: ProtoBitcoin, LossProb: 0.1})
+	b, err := Build(context.Background(), Spec{Nodes: 10, Seed: 3, Protocol: ProtoBitcoin, LossProb: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := b.Net.Config().LossProb; got != 0.1 {
 		t.Errorf("LossProb = %v, want 0.1", got)
 	}
-	b, err = Build(Spec{Nodes: 10, Seed: 3, Protocol: ProtoBitcoin, Relay: 1})
+	b, err = Build(context.Background(), Spec{Nodes: 10, Seed: 3, Protocol: ProtoBitcoin, Relay: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -68,8 +69,9 @@ func (r ForkResult) String() string {
 		r.Coverage90.Percentile(90).Round(time.Millisecond))
 }
 
-// ForkRace runs the mining race under one protocol.
-func ForkRace(spec ForkSpec) (ForkResult, error) {
+// ForkRace runs the mining race under one protocol. ctx cancels the
+// network build; the race itself runs to completion once built.
+func ForkRace(ctx context.Context, spec ForkSpec) (ForkResult, error) {
 	if spec.Miners < 2 {
 		return ForkResult{}, errors.New("experiment: need at least 2 miners")
 	}
@@ -79,7 +81,7 @@ func ForkRace(spec ForkSpec) (ForkResult, error) {
 	if spec.BlockInterval <= 0 {
 		spec.BlockInterval = 10 * time.Second
 	}
-	built, err := Build(Spec{
+	built, err := Build(ctx, Spec{
 		Nodes:    spec.Nodes,
 		Seed:     spec.Seed,
 		Protocol: spec.Protocol,
@@ -162,7 +164,7 @@ func ForkRace(spec ForkSpec) (ForkResult, error) {
 
 	// Run long enough for all finds plus final propagation.
 	deadline := time.Duration(spec.Blocks+2)*spec.BlockInterval + 2*time.Minute
-	if err := net.RunUntil(net.Now() + sim.Time(deadline)); err != nil {
+	if err := net.RunUntil(context.Background(), net.Now()+sim.Time(deadline)); err != nil {
 		return ForkResult{}, err
 	}
 

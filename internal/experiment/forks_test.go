@@ -1,21 +1,22 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 	"time"
 )
 
 func TestForkRaceValidation(t *testing.T) {
-	if _, err := ForkRace(ForkSpec{Nodes: 50, Miners: 1, Blocks: 5}); err == nil {
+	if _, err := ForkRace(context.Background(), ForkSpec{Nodes: 50, Miners: 1, Blocks: 5}); err == nil {
 		t.Error("accepted one miner")
 	}
-	if _, err := ForkRace(ForkSpec{Nodes: 50, Miners: 3, Blocks: 0}); err == nil {
+	if _, err := ForkRace(context.Background(), ForkSpec{Nodes: 50, Miners: 3, Blocks: 0}); err == nil {
 		t.Error("accepted zero blocks")
 	}
 }
 
 func TestForkRaceBasics(t *testing.T) {
-	res, err := ForkRace(ForkSpec{
+	res, err := ForkRace(context.Background(), ForkSpec{
 		Nodes:         60,
 		Seed:          31,
 		Protocol:      ProtoBitcoin,
@@ -51,7 +52,7 @@ func TestForkRateRisesWithShorterInterval(t *testing.T) {
 	// Decker-Wattenhofer: fork probability grows as the block interval
 	// approaches the propagation delay.
 	rate := func(interval time.Duration) float64 {
-		res, err := ForkRace(ForkSpec{
+		res, err := ForkRace(context.Background(), ForkSpec{
 			Nodes:         80,
 			Seed:          32,
 			Protocol:      ProtoBitcoin,
@@ -89,7 +90,7 @@ func TestForkRateLongLinkTradeoff(t *testing.T) {
 		cfg := fastBCBPT(100 * time.Millisecond)
 		cfg.LongLinks = longLinks
 		cfg.IntraLinks = 6
-		res, err := ForkRace(ForkSpec{
+		res, err := ForkRace(context.Background(), ForkSpec{
 			Nodes:         100,
 			Seed:          33,
 			Protocol:      ProtoBCBPT,

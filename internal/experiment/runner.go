@@ -237,7 +237,7 @@ func (r *Runner) Sweep(ctx context.Context, campaigns []CampaignSpec) ([]Campaig
 		cs := specs[u.campaign]
 		spec := cs.Spec
 		spec.Seed = cs.ReplicationSeed(u.replication)
-		b, err := Build(spec)
+		b, err := Build(ctx, spec)
 		if err != nil {
 			return fmt.Errorf("experiment: build %s replication %d: %w", cs.Name, u.replication, err)
 		}

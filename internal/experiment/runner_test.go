@@ -92,7 +92,7 @@ func TestEngineSingleReplicationMatchesSerialPath(t *testing.T) {
 	o.Replications = 1
 	spec := buildSpec(o, ProtoBitcoin, fastBCBPT(25*time.Millisecond))
 
-	b, err := Build(spec)
+	b, err := Build(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestEachBoundsAndCompletes(t *testing.T) {
 // TestCampaignContextPartial checks the measure-layer half of prompt
 // cancellation: a campaign stopped mid-flight keeps its completed runs.
 func TestCampaignContextPartial(t *testing.T) {
-	b, err := Build(Spec{Nodes: 30, Seed: 5, Protocol: ProtoBitcoin})
+	b, err := Build(context.Background(), Spec{Nodes: 30, Seed: 5, Protocol: ProtoBitcoin})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -77,7 +78,7 @@ func (c *Crawler) Crawl(pingsPer int, gap, deadline time.Duration) (CrawlResult,
 		}
 	}
 	start := c.net.Now()
-	if err := c.net.RunUntil(start + sim.Time(deadline)); err != nil && !errors.Is(err, sim.ErrStopped) {
+	if err := c.net.RunUntil(context.Background(), start+sim.Time(deadline)); err != nil && !errors.Is(err, sim.ErrStopped) {
 		return CrawlResult{}, err
 	}
 	for _, t := range targets {

@@ -81,8 +81,10 @@ var ErrNoConnections = errors.New("measure: measuring node has no connections")
 // MeasureOnce injects one transaction to a single randomly chosen
 // connection (per Fig. 2: "the transaction is propagated from node m to
 // one connected node only") and runs the network until every connection
-// has received it or deadline virtual time has passed.
-func (m *MeasuringNode) MeasureOnce(tx *chain.Tx, deadline time.Duration) (RunResult, error) {
+// has received it or deadline virtual time has passed. ctx cancels the
+// run mid-flood: the partial run is discarded and the error wraps
+// ctx.Err().
+func (m *MeasuringNode) MeasureOnce(ctx context.Context, tx *chain.Tx, deadline time.Duration) (RunResult, error) {
 	peers := m.node.Peers()
 	if len(peers) == 0 {
 		return RunResult{}, ErrNoConnections
@@ -130,7 +132,7 @@ func (m *MeasuringNode) MeasureOnce(tx *chain.Tx, deadline time.Duration) (RunRe
 		_ = firstNode.SubmitTx(tx)
 	})
 
-	err := m.net.RunUntil(start + sim.Time(deadline))
+	err := m.net.RunUntil(ctx, start+sim.Time(deadline))
 	if err != nil && !errors.Is(err, sim.ErrStopped) {
 		return RunResult{}, err
 	}
@@ -138,7 +140,7 @@ func (m *MeasuringNode) MeasureOnce(tx *chain.Tx, deadline time.Duration) (RunRe
 	// early; later runs must not inherit a half-flooded network. Letting
 	// the flood finish keeps runs independent after ResetInventory.
 	if errors.Is(err, sim.ErrStopped) {
-		if err := m.net.RunUntil(start + sim.Time(deadline)); err != nil && !errors.Is(err, sim.ErrStopped) {
+		if err := m.net.RunUntil(ctx, start+sim.Time(deadline)); err != nil && !errors.Is(err, sim.ErrStopped) {
 			return RunResult{}, err
 		}
 	}
@@ -178,10 +180,13 @@ func (m *MeasuringNode) Run(c Campaign) (CampaignResult, error) {
 	return m.RunContext(context.Background(), c)
 }
 
-// RunContext executes the campaign, checking ctx between injections. On
-// cancellation it returns the partial result accumulated so far together
-// with an error wrapping ctx.Err(): runs already measured stay valid, and
-// the caller decides whether a partial distribution is usable.
+// RunContext executes the campaign, checking ctx between injections and
+// inside each injection's event loop. On cancellation it returns the
+// partial result accumulated from the runs that completed, together with
+// an error wrapping ctx.Err(): runs already measured stay valid, and the
+// caller decides whether a partial distribution is usable. A run cut off
+// mid-flood contributes no samples (a half-measured run would bias the
+// distribution towards its fastest connections).
 func (m *MeasuringNode) RunContext(ctx context.Context, c Campaign) (CampaignResult, error) {
 	if c.Runs <= 0 {
 		return CampaignResult{}, errors.New("measure: campaign needs Runs > 0")
@@ -197,8 +202,12 @@ func (m *MeasuringNode) RunContext(ctx context.Context, c Campaign) (CampaignRes
 			return out, fmt.Errorf("measure: campaign stopped after %d of %d runs: %w", i, c.Runs, err)
 		}
 		m.net.ResetInventory()
-		res, err := m.MeasureOnce(c.MakeTx(i), c.Deadline)
+		res, err := m.MeasureOnce(ctx, c.MakeTx(i), c.Deadline)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				out.Dist = NewDistribution(samples)
+				return out, fmt.Errorf("measure: campaign stopped during run %d of %d: %w", i+1, c.Runs, err)
+			}
 			return CampaignResult{}, fmt.Errorf("measure: run %d: %w", i, err)
 		}
 		out.PerRun = append(out.PerRun, res)

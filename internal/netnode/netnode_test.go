@@ -1,6 +1,7 @@
 package netnode
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -153,7 +154,7 @@ func TestJoinClusterOverTCP(t *testing.T) {
 	j1 := startNode(t, func(c *Config) { c.Threshold = time.Second })
 	j2 := startNode(t, func(c *Config) { c.Threshold = time.Second })
 
-	if err := j1.JoinCluster([]string{seed.Addr()}, 3); err != nil {
+	if err := j1.JoinCluster(context.Background(), []string{seed.Addr()}, 3); err != nil {
 		t.Fatal(err)
 	}
 	if j1.ClusterID() == 0 {
@@ -162,7 +163,7 @@ func TestJoinClusterOverTCP(t *testing.T) {
 	if j1.ClusterID() != seed.ClusterID() {
 		t.Errorf("j1 cluster %d != seed cluster %d", j1.ClusterID(), seed.ClusterID())
 	}
-	if err := j2.JoinCluster([]string{seed.Addr()}, 3); err != nil {
+	if err := j2.JoinCluster(context.Background(), []string{seed.Addr()}, 3); err != nil {
 		t.Fatal(err)
 	}
 	if j2.ClusterID() != seed.ClusterID() {
@@ -191,7 +192,7 @@ func TestJoinClusterThresholdRejection(t *testing.T) {
 	// founds its own cluster.
 	seed := startNode(t, func(c *Config) { c.Threshold = time.Nanosecond })
 	j := startNode(t, func(c *Config) { c.Threshold = time.Nanosecond })
-	if err := j.JoinCluster([]string{seed.Addr()}, 3); err != nil {
+	if err := j.JoinCluster(context.Background(), []string{seed.Addr()}, 3); err != nil {
 		t.Fatal(err)
 	}
 	if j.ClusterID() == 0 {
@@ -204,13 +205,13 @@ func TestJoinClusterThresholdRejection(t *testing.T) {
 
 func TestJoinClusterDeadSeeds(t *testing.T) {
 	j := startNode(t, nil)
-	if err := j.JoinCluster([]string{"127.0.0.1:1"}, 2); err != nil {
+	if err := j.JoinCluster(context.Background(), []string{"127.0.0.1:1"}, 2); err != nil {
 		t.Fatal(err)
 	}
 	if j.ClusterID() == 0 {
 		t.Error("joiner with dead seeds should found a cluster")
 	}
-	if err := j.JoinCluster(nil, 2); err != nil {
+	if err := j.JoinCluster(context.Background(), nil, 2); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package netnode
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -266,7 +267,12 @@ func (n *Node) ProbeAddr(addr string, count int) (time.Duration, error) {
 // address, pick the closest whose RTT is under the threshold, JOIN its
 // cluster and connect to the returned members. If no candidate qualifies
 // the node founds its own cluster (ID derived from its node ID).
-func (n *Node) JoinCluster(seeds []string, probes int) error {
+//
+// ctx cancels the join: probing stops between seeds and the CLUSTER-reply
+// wait is abandoned, returning an error wrapping ctx.Err() without
+// founding a cluster (the caller decides whether a cancelled join should
+// fall back to founding).
+func (n *Node) JoinCluster(ctx context.Context, seeds []string, probes int) error {
 	if len(seeds) == 0 {
 		return n.foundCluster()
 	}
@@ -276,6 +282,9 @@ func (n *Node) JoinCluster(seeds []string, probes int) error {
 	}
 	var cands []cand
 	for _, s := range seeds {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("netnode: join interrupted while probing seeds: %w", err)
+		}
 		rtt, err := n.ProbeAddr(s, probes)
 		if err != nil {
 			continue // unreachable seeds are skipped, like dead DNS entries
@@ -345,6 +354,8 @@ func (n *Node) JoinCluster(seeds []string, probes int) error {
 		return nil
 	case <-time.After(n.cfg.HandshakeTimeout):
 		return n.foundCluster()
+	case <-ctx.Done():
+		return fmt.Errorf("netnode: join interrupted awaiting CLUSTER reply: %w", ctx.Err())
 	case <-n.closed:
 		return errors.New("netnode: node stopped")
 	}

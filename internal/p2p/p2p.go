@@ -12,6 +12,7 @@
 package p2p
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -476,5 +477,30 @@ func (n *Network) StartKeepalive() *sim.Ticker {
 // Run drains the event queue.
 func (n *Network) Run() error { return n.sched.Run() }
 
-// RunUntil processes events up to the virtual-time limit.
-func (n *Network) RunUntil(limit sim.Time) error { return n.sched.RunUntil(limit) }
+// RunUntil processes events up to the virtual-time limit, polling ctx so
+// a long run — a large BCBPT bootstrap, a deep measurement campaign — is
+// promptly cancellable. On cancellation it returns an error wrapping
+// ctx.Err() with the virtual time reached; pending events stay queued.
+func (n *Network) RunUntil(ctx context.Context, limit sim.Time) error {
+	if err := n.sched.RunUntilCtx(ctx, limit); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("p2p: run interrupted at t=%v: %w", n.sched.Now(), err)
+		}
+		return err
+	}
+	return nil
+}
+
+// Close releases a network that will not run again: it stops the
+// scheduler, drops every pending event (whose closures otherwise pin
+// nodes and messages live), and detaches the measurement and topology
+// hooks. Build harnesses call it on their error paths so an abandoned
+// half-bootstrapped network cannot keep state alive or resume by
+// accident. Close is idempotent; node state stays readable.
+func (n *Network) Close() {
+	n.sched.Stop()
+	n.sched.Clear()
+	n.OnTxFirstSeen = nil
+	n.OnBlockFirstSeen = nil
+	n.OnDisconnect = nil
+}

@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -711,7 +712,7 @@ func TestKeepaliveFeedsEstimators(t *testing.T) {
 	if tick == nil {
 		t.Fatal("keepalive disabled despite PingInterval")
 	}
-	if err := net.RunUntil(35 * time.Second); err != nil {
+	if err := net.RunUntil(context.Background(), 35*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	tick.Stop()

@@ -11,6 +11,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -171,13 +172,33 @@ func (s *Scheduler) Run() error {
 // clock to limit. Events scheduled beyond limit remain pending, so the
 // simulation can be resumed. Returns ErrStopped if stopped early.
 func (s *Scheduler) RunUntil(limit Time) error {
+	return s.RunUntilCtx(context.Background(), limit)
+}
+
+// ctxCheckInterval is how many events RunUntilCtx dispatches between
+// context polls: frequent enough that cancellation of a large build is
+// prompt (well under a millisecond of virtual work per poll), rare enough
+// that the poll cost vanishes against event dispatch.
+const ctxCheckInterval = 1024
+
+// RunUntilCtx is RunUntil with cooperative cancellation: every
+// ctxCheckInterval events the context is polled, and a done context stops
+// dispatch and returns ctx.Err(). The clock stays wherever dispatch
+// stopped, so the caller sees how far the simulation got; pending events
+// remain queued.
+func (s *Scheduler) RunUntilCtx(ctx context.Context, limit Time) error {
 	if limit < s.now {
 		return fmt.Errorf("sim: RunUntil limit %v before now %v", limit, s.now)
 	}
 	s.stopped = false
-	for len(s.heap) > 0 && s.heap[0].at <= limit {
+	for n := 0; len(s.heap) > 0 && s.heap[0].at <= limit; n++ {
 		if s.stopped {
 			return ErrStopped
+		}
+		if n%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 		}
 		s.step()
 	}
@@ -188,6 +209,18 @@ func (s *Scheduler) RunUntil(limit Time) error {
 		return ErrStopped
 	}
 	return nil
+}
+
+// Clear drops every pending event without running it. The clock does not
+// move. Abandoned simulations call this so queued closures (and whatever
+// state they capture) become collectable immediately.
+func (s *Scheduler) Clear() {
+	for i := range s.heap {
+		s.heap[i].index = -1
+		s.heap[i] = nil
+	}
+	s.heap = s.heap[:0]
+	s.byID = make(map[Handle]*event)
 }
 
 // RunN dispatches at most n events. It returns the number dispatched and

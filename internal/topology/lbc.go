@@ -1,6 +1,8 @@
 package topology
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -95,8 +97,9 @@ func (t *LBC) clusterKey(id p2p.NodeID, countryCount map[string]int) string {
 }
 
 // Bootstrap implements Protocol: group by country (small countries by
-// region), then wire intra-cluster plus long links.
-func (t *LBC) Bootstrap(ids []p2p.NodeID) error {
+// region), then wire intra-cluster plus long links. ctx is polled between
+// batches of nodes during the wiring pass.
+func (t *LBC) Bootstrap(ctx context.Context, ids []p2p.NodeID) error {
 	countryCount := make(map[string]int)
 	for _, id := range ids {
 		if node, ok := t.net.Node(id); ok {
@@ -108,7 +111,12 @@ func (t *LBC) Bootstrap(ids []p2p.NodeID) error {
 		key := t.clusterKey(id, countryCount)
 		t.assign(id, key)
 	}
-	for _, id := range ids {
+	for i, id := range ids {
+		if i%bootstrapCtxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("topology: lbc bootstrap interrupted at node %d of %d: %w", i, len(ids), err)
+			}
+		}
 		t.fill(id)
 	}
 	return nil

@@ -1,6 +1,8 @@
 package topology
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 
 	"repro/internal/p2p"
@@ -34,15 +36,24 @@ func NewRandom(net *p2p.Network, seed *DNSSeed, degree int) *Random {
 // Name implements Protocol.
 func (t *Random) Name() string { return "bitcoin-random" }
 
+// bootstrapCtxStride is how many nodes a Bootstrap wires between context
+// polls; wiring is cheap per node, so a coarse stride keeps the poll free.
+const bootstrapCtxStride = 256
+
 // Bootstrap implements Protocol: every node opens `degree` random
-// outbound connections.
-func (t *Random) Bootstrap(ids []p2p.NodeID) error {
+// outbound connections. ctx is polled between batches of nodes.
+func (t *Random) Bootstrap(ctx context.Context, ids []p2p.NodeID) error {
 	for _, id := range ids {
 		if node, ok := t.net.Node(id); ok {
 			t.seed.Register(id, node.Location())
 		}
 	}
-	for _, id := range ids {
+	for i, id := range ids {
+		if i%bootstrapCtxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("topology: random bootstrap interrupted at node %d of %d: %w", i, len(ids), err)
+			}
+		}
 		t.fill(id)
 	}
 	return nil

@@ -12,6 +12,7 @@
 package topology
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/geo"
@@ -26,8 +27,11 @@ type Protocol interface {
 	Name() string
 	// Bootstrap wires the initial population (nodes already added to the
 	// network). It may schedule virtual-time work; it returns once that
-	// work is scheduled (run the network to complete it).
-	Bootstrap(ids []p2p.NodeID) error
+	// work is scheduled (run the network to complete it). Bootstrap does
+	// host-time work proportional to the population (wiring, candidate
+	// ranking), so it polls ctx and returns an error wrapping ctx.Err()
+	// when cancelled mid-way.
+	Bootstrap(ctx context.Context, ids []p2p.NodeID) error
 	// OnJoin wires a newly arrived node (already added to the network).
 	OnJoin(id p2p.NodeID)
 	// OnLeave tells the protocol a node is departing, before the network
@@ -45,6 +49,10 @@ type Protocol interface {
 // the physical geographical location", §IV.B).
 type DNSSeed struct {
 	locs map[p2p.NodeID]geo.Location
+	// all caches the sorted ID listing between membership changes: link
+	// refill consults All on every disconnect, and rebuilding the sort
+	// per call dominated large-build profiles.
+	all []p2p.NodeID
 }
 
 // NewDNSSeed returns an empty seed registry.
@@ -53,22 +61,36 @@ func NewDNSSeed() *DNSSeed {
 }
 
 // Register adds (or updates) a reachable node.
-func (d *DNSSeed) Register(id p2p.NodeID, loc geo.Location) { d.locs[id] = loc }
+func (d *DNSSeed) Register(id p2p.NodeID, loc geo.Location) {
+	if _, known := d.locs[id]; !known {
+		d.all = nil
+	}
+	d.locs[id] = loc
+}
 
 // Remove forgets a node.
-func (d *DNSSeed) Remove(id p2p.NodeID) { delete(d.locs, id) }
+func (d *DNSSeed) Remove(id p2p.NodeID) {
+	if _, known := d.locs[id]; known {
+		d.all = nil
+	}
+	delete(d.locs, id)
+}
 
 // Len returns the number of registered nodes.
 func (d *DNSSeed) Len() int { return len(d.locs) }
 
-// All returns every registered node ID, sorted.
+// All returns every registered node ID, sorted. The slice is shared until
+// the next Register/Remove; callers must not mutate it.
 func (d *DNSSeed) All() []p2p.NodeID {
-	ids := make([]p2p.NodeID, 0, len(d.locs))
-	for id := range d.locs {
-		ids = append(ids, id)
+	if d.all == nil {
+		ids := make([]p2p.NodeID, 0, len(d.locs))
+		for id := range d.locs {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		d.all = ids
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return d.all
 }
 
 // Recommend returns up to k registered nodes closest to loc by great-

@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/geo"
@@ -105,7 +106,7 @@ func TestDNSSeedRecommendNearest(t *testing.T) {
 func TestRandomBootstrapDegreeAndConnectivity(t *testing.T) {
 	net, ids := buildNetwork(t, 200, 1)
 	proto := NewRandom(net, NewDNSSeed(), 0)
-	if err := proto.Bootstrap(ids); err != nil {
+	if err := proto.Bootstrap(context.Background(), ids); err != nil {
 		t.Fatal(err)
 	}
 	deg := net.Config().MaxOutbound
@@ -123,7 +124,7 @@ func TestRandomBootstrapDegreeAndConnectivity(t *testing.T) {
 func TestRandomRefillAfterDisconnect(t *testing.T) {
 	net, ids := buildNetwork(t, 50, 2)
 	proto := NewRandom(net, NewDNSSeed(), 4)
-	if err := proto.Bootstrap(ids); err != nil {
+	if err := proto.Bootstrap(context.Background(), ids); err != nil {
 		t.Fatal(err)
 	}
 	net.OnDisconnect = proto.OnDisconnect
@@ -142,7 +143,7 @@ func TestRandomChurnFlow(t *testing.T) {
 	net, ids := buildNetwork(t, 60, 3)
 	seed := NewDNSSeed()
 	proto := NewRandom(net, seed, 4)
-	if err := proto.Bootstrap(ids); err != nil {
+	if err := proto.Bootstrap(context.Background(), ids); err != nil {
 		t.Fatal(err)
 	}
 	net.OnDisconnect = proto.OnDisconnect
@@ -173,7 +174,7 @@ func TestRandomChurnFlow(t *testing.T) {
 func TestLBCClustersByCountry(t *testing.T) {
 	net, ids := buildNetwork(t, 400, 4)
 	proto := NewLBC(net, NewDNSSeed(), LBCConfig{})
-	if err := proto.Bootstrap(ids); err != nil {
+	if err := proto.Bootstrap(context.Background(), ids); err != nil {
 		t.Fatal(err)
 	}
 	clusters := proto.Clusters()
@@ -211,7 +212,7 @@ func TestLBCClustersByCountry(t *testing.T) {
 func TestLBCMostLinksAreIntraCluster(t *testing.T) {
 	net, ids := buildNetwork(t, 300, 5)
 	proto := NewLBC(net, NewDNSSeed(), LBCConfig{})
-	if err := proto.Bootstrap(ids); err != nil {
+	if err := proto.Bootstrap(context.Background(), ids); err != nil {
 		t.Fatal(err)
 	}
 	intra, inter := 0, 0
@@ -239,7 +240,7 @@ func TestLBCJoinLeave(t *testing.T) {
 	net, ids := buildNetwork(t, 150, 6)
 	seed := NewDNSSeed()
 	proto := NewLBC(net, seed, LBCConfig{})
-	if err := proto.Bootstrap(ids); err != nil {
+	if err := proto.Bootstrap(context.Background(), ids); err != nil {
 		t.Fatal(err)
 	}
 	net.OnDisconnect = proto.OnDisconnect
@@ -275,7 +276,7 @@ func TestLBCGeographicProximityOfClusters(t *testing.T) {
 	// than cross-cluster pairs on average.
 	net, ids := buildNetwork(t, 300, 7)
 	proto := NewLBC(net, NewDNSSeed(), LBCConfig{})
-	if err := proto.Bootstrap(ids); err != nil {
+	if err := proto.Bootstrap(context.Background(), ids); err != nil {
 		t.Fatal(err)
 	}
 	var intraSum, interSum float64

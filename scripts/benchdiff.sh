@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# benchdiff.sh OLD NEW [threshold-pct]
+#
+# Compares two `go test -bench` outputs and flags wall-clock regressions:
+# any benchmark whose ns/op grew by more than threshold-pct (default 30%)
+# is reported. Exits 0 always — CI surfaces the report as warnings rather
+# than failing the build, because single-iteration smoke numbers on
+# shared runners are noisy; the artifact history is the durable record.
+set -eu
+
+old="${1:?usage: benchdiff.sh OLD NEW [threshold-pct]}"
+new="${2:?usage: benchdiff.sh OLD NEW [threshold-pct]}"
+threshold="${3:-30}"
+
+if [ ! -f "$old" ]; then
+    echo "benchdiff: no previous bench output at $old (first run?); nothing to diff"
+    exit 0
+fi
+
+awk -v threshold="$threshold" '
+    # go test bench lines: "BenchmarkName-8   <iters>   <ns> ns/op   ..."
+    FNR == 1 { file++ }
+    /^Benchmark/ && / ns\/op/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
+        for (i = 2; i <= NF; i++) {
+            if ($(i+1) == "ns/op") { ns = $i; break }
+        }
+        if (file == 1) old[name] = ns
+        else           new[name] = ns
+    }
+    END {
+        worst = 0
+        for (name in new) {
+            if (!(name in old) || old[name] == 0) {
+                printf "new       %-40s %12.0f ns/op\n", name, new[name]
+                continue
+            }
+            delta = (new[name] - old[name]) * 100.0 / old[name]
+            if (delta > worst) worst = delta
+            marker = "ok "
+            if (delta > threshold)       marker = "REGRESSION"
+            else if (delta < -threshold) marker = "improved"
+            printf "%-10s %-40s %12.0f -> %12.0f ns/op (%+.1f%%)\n", marker, name, old[name], new[name], delta
+            if (delta > threshold)
+                printf "::warning title=Bench regression::%s slowed %.1f%% (%.0f -> %.0f ns/op)\n", name, delta, old[name], new[name]
+        }
+        for (name in old)
+            if (!(name in new))
+                printf "gone      %-40s (was %12.0f ns/op)\n", name, old[name]
+        if (worst > threshold)
+            printf "benchdiff: worst regression %+.1f%% exceeds %s%% threshold\n", worst, threshold
+    }
+' "$old" "$new"
