@@ -17,15 +17,20 @@ test:
 race:
 	$(GO) test -race ./internal/sim ./internal/experiment ./internal/core ./internal/measure ./internal/netnode
 
-# Bench smoke: the Figure 3 benchmarks plus the serial-vs-sharded Build
-# pair, one iteration each. The engine pair catches campaign-scheduling
+# Bench smoke: the Figure 3 benchmarks, the serial-vs-sharded Build pair,
+# the arena-vs-reference scheduler pair, and the 2000-node flood, one
+# iteration each (the scheduler microbenches get real benchtime via their
+# internal loops). The engine pair catches campaign-scheduling
 # regressions (EngineParallel must beat EngineSerial on multi-core
 # runners); the Build pair catches regressions in the sharded
-# construction path (BuildSharded must beat BuildSerial there too).
-# CI stores this output as an artifact and diffs it against the previous
-# run (scripts/benchdiff.sh) to flag wall-clock regressions.
+# construction path; the scheduler and flood benches run with -benchmem
+# so allocs/op lands in the artifact — SchedulerArena must stay at
+# 0 allocs/op. CI stores this output as an artifact and diffs it against
+# the previous run (scripts/benchdiff.sh), flagging wall-clock regressions
+# beyond 30% and ANY allocs/op increase.
 bench:
-	$(GO) test -bench='Figure3|^BenchmarkBuild' -benchtime=1x -timeout=20m .
+	$(GO) test -bench='Figure3|^BenchmarkBuild|^BenchmarkFlood' -benchmem -benchtime=1x -timeout=20m .
+	$(GO) test -bench='^BenchmarkScheduler' -benchmem -benchtime=100000x .
 
 fmt:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \

@@ -13,15 +13,18 @@ package repro_test
 
 import (
 	"context"
+	"math/rand"
 	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/chain"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/measure"
 	"repro/internal/p2p"
+	"repro/internal/sim"
 )
 
 // benchOpts is the shared scale for benchmark runs: large enough that the
@@ -182,6 +185,129 @@ func benchBuild(b *testing.B, workers int) {
 
 func BenchmarkBuildSerial(b *testing.B)  { benchBuild(b, 1) }
 func BenchmarkBuildSharded(b *testing.B) { benchBuild(b, runtime.GOMAXPROCS(0)) }
+
+// --- Tentpole: arena event kernel vs the pre-arena reference kernel ---
+//
+// The same steady-state workload — a rolling window of scheduled events
+// with a 25% cancellation rate, dispatched in batches — run once on the
+// arena Scheduler and once on ReferenceScheduler (the pre-arena kernel:
+// pointer heap nodes, a byID map, heap.Remove cancellation). Run with
+// -benchmem: the arena kernel must report 0 allocs/op after warm-up and
+// at least ~2x the reference's throughput; benchdiff.sh flags any
+// allocs/op regression here.
+
+// schedulerBenchKernel abstracts the two kernels for the shared workload.
+type schedulerBenchKernel interface {
+	After(d time.Duration, fn func()) sim.Handle
+	Cancel(h sim.Handle) bool
+	RunN(n int) (int, error)
+	Run() error
+	Len() int
+}
+
+func benchSchedulerKernel(b *testing.B, s schedulerBenchKernel) {
+	b.Helper()
+	fn := func() {}
+	// Warm to the rolling window's high-water mark so the arena kernel's
+	// steady state is measured, not its growth phase.
+	for i := 0; i < 8192; i++ {
+		s.After(time.Duration(i%1000)*time.Microsecond, fn)
+	}
+	_, _ = s.RunN(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pending [4]sim.Handle
+	for i := 0; i < b.N; i++ {
+		h := s.After(time.Duration(i%1000)*time.Microsecond, fn)
+		if i%4 == 3 {
+			// Cancel one in-flight event per four scheduled: flood-like
+			// cancellation pressure (timeouts, superseded probes).
+			s.Cancel(pending[i%len(pending)])
+		}
+		pending[i%len(pending)] = h
+		if s.Len() > 8192 {
+			_, _ = s.RunN(4096)
+		}
+	}
+	b.StopTimer()
+	_ = s.Run()
+}
+
+func BenchmarkSchedulerArena(b *testing.B)     { benchSchedulerKernel(b, sim.NewScheduler()) }
+func BenchmarkSchedulerReference(b *testing.B) { benchSchedulerKernel(b, sim.NewReferenceScheduler()) }
+
+// --- Tentpole: flood hot path ---
+//
+// One 2000-node network flooded through the measuring-node methodology,
+// one injection per iteration with inventory reset in between — the inner
+// loop of every campaign. Run with -benchmem: with the arena kernel's
+// AfterCall events, pooled delivery/verify payloads, shared per-hash INV
+// messages and in-place inventory resets, steady-state allocs/op here is
+// the flood's allocation budget and benchdiff.sh flags regressions.
+
+func BenchmarkFlood2000(b *testing.B) {
+	built, err := experiment.Build(context.Background(), experiment.Spec{
+		Nodes:    2000,
+		Seed:     1,
+		Protocol: experiment.ProtoBitcoin,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer built.Close()
+	key, err := chain.GenerateKey(rand.New(rand.NewSource(99)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		built.Net.ResetInventory()
+		tx := chain.Coinbase(uint64(i)+1, 1000, key.Address())
+		res, err := built.Measurer.MeasureOnce(context.Background(), tx, 2*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Deltas) == 0 {
+			b.Fatal("flood reached no connections")
+		}
+	}
+}
+
+// --- Tentpole: exact vs streaming campaign pooling ---
+//
+// The same single-network campaign pooled exactly (every Δt retained)
+// and into the bounded StreamingDistribution sketch. The streaming run
+// reports sketch-bytes/op — its fixed memory footprint — next to the
+// exact run's samples; wall clock should be indistinguishable.
+
+func benchCampaignPooling(b *testing.B, streaming bool) {
+	o := benchOpts(14)
+	built, err := experiment.Build(context.Background(), experiment.Spec{
+		Nodes: o.Nodes, Seed: o.Seed, Protocol: experiment.ProtoBitcoin,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer built.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var res measure.CampaignResult
+		if streaming {
+			res, err = built.CampaignStreaming(context.Background(), o.Runs, o.Deadline)
+		} else {
+			res, err = built.Campaign(o.Runs, o.Deadline)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Dist.N()), "samples")
+		b.ReportMetric(float64(res.Dist.Retained()), "retained-samples")
+	}
+}
+
+func BenchmarkCampaignExact(b *testing.B)     { benchCampaignPooling(b, false) }
+func BenchmarkCampaignStreaming(b *testing.B) { benchCampaignPooling(b, true) }
 
 // --- Fig. 4: BCBPT threshold sweep ---
 

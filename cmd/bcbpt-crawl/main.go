@@ -23,8 +23,9 @@ import (
 
 func main() {
 	var (
-		targets = flag.String("targets", "", "comma-separated addresses to crawl")
-		pings   = flag.Int("pings", 5, "pings per target")
+		targets   = flag.String("targets", "", "comma-separated addresses to crawl")
+		pings     = flag.Int("pings", 5, "pings per target")
+		streaming = flag.Bool("streaming", false, "fold RTTs into a bounded-memory sketch (~1% quantile error) instead of retaining every sample; use for very large crawls")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "bcbpt-crawl: ", log.LstdFlags)
@@ -47,6 +48,10 @@ func main() {
 	addrs := strings.Split(*targets, ",")
 	sort.Strings(addrs)
 	var samples []time.Duration
+	var sketch *measure.StreamingDistribution
+	if *streaming {
+		sketch = measure.NewStreamingDistribution()
+	}
 	reachable := 0
 	for _, addr := range addrs {
 		rtt, err := node.ProbeAddr(strings.TrimSpace(addr), *pings)
@@ -55,10 +60,17 @@ func main() {
 			continue
 		}
 		reachable++
-		samples = append(samples, rtt)
+		if sketch != nil {
+			sketch.Add(rtt)
+		} else {
+			samples = append(samples, rtt)
+		}
 		fmt.Printf("%-24s min-rtt %v\n", addr, rtt)
 	}
 	dist := measure.NewDistribution(samples)
+	if sketch != nil {
+		dist = sketch.Dist()
+	}
 	fmt.Printf("\nreachable: %d/%d\n", reachable, len(addrs))
 	if dist.N() > 0 {
 		fmt.Printf("rtt distribution: %s\n", dist)

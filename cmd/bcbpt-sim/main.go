@@ -23,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -50,6 +51,9 @@ func main() {
 		buildWorkers = flag.Int("build-workers", 0, "worker pool size inside each network build (0 = GOMAXPROCS); any value builds an identical network")
 		reps         = flag.Int("replications", 1, "independently seeded networks per series (samples pool)")
 		timeout      = flag.Duration("timeout", 0, "wall-clock budget for the whole experiment (0 = none)")
+		streaming    = flag.Bool("streaming", false, "pool samples into bounded-memory sketches (~1% quantile error) instead of retaining every Δt; use for paper-scale sweeps")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file (diagnose hot-path regressions from a release binary)")
+		memProfile   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -62,6 +66,15 @@ func main() {
 		Workers:      *workers,
 		BuildWorkers: *buildWorkers,
 		Replications: *reps,
+		Streaming:    *streaming,
+	}
+
+	// Profiles flush explicitly before every exit path: main leaves via
+	// os.Exit, which would skip deferred writers.
+	flushProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bcbpt-sim: %v\n", err)
+		os.Exit(1)
 	}
 
 	// Ctrl-C / SIGTERM cancels the engine cooperatively: completed
@@ -84,14 +97,58 @@ func main() {
 		defer cancel()
 	}
 
-	if err := run(ctx, *exp, o, *threshold, *adversaries, *csvPath); err != nil {
-		if errors.Is(err, experiment.ErrPartialResult) {
-			fmt.Fprintf(os.Stderr, "bcbpt-sim: interrupted, results above are partial (%v)\n", err)
+	runErr := run(ctx, *exp, o, *threshold, *adversaries, *csvPath)
+	flushProfiles()
+	if runErr != nil {
+		if errors.Is(runErr, experiment.ErrPartialResult) {
+			fmt.Fprintf(os.Stderr, "bcbpt-sim: interrupted, results above are partial (%v)\n", runErr)
 			os.Exit(2)
 		}
-		fmt.Fprintf(os.Stderr, "bcbpt-sim: %v\n", err)
+		fmt.Fprintf(os.Stderr, "bcbpt-sim: %v\n", runErr)
 		os.Exit(1)
 	}
+}
+
+// startProfiles starts a CPU profile and/or arms a heap-profile write,
+// returning a flush function to call before exit. Both paths are for
+// diagnosing hot-path regressions from a release binary without a test
+// harness: -cpuprofile for dispatch throughput, -memprofile for
+// allocation regressions (the steady-state event kernel and flood path
+// are designed to allocate nothing).
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Fprintf(os.Stderr, "(CPU profile written to %s)\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bcbpt-sim: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // profile live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "bcbpt-sim: memprofile: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "(heap profile written to %s)\n", memPath)
+		}
+	}, nil
 }
 
 func run(ctx context.Context, exp string, o experiment.Options, dt time.Duration, adversaries int, csvPath string) error {

@@ -47,6 +47,11 @@ type CampaignSpec struct {
 	Runs int
 	// Deadline bounds each injection in virtual time (default 2 minutes).
 	Deadline time.Duration
+	// Streaming pools each replication's samples into a bounded-memory
+	// sketch instead of retaining them all (see measure.Campaign.Streaming
+	// and StreamingDistribution). Shard results and their merge stay
+	// deterministic and order-independent; per-run results are dropped.
+	Streaming bool
 }
 
 func (c CampaignSpec) withDefaults() CampaignSpec {
@@ -241,7 +246,7 @@ func (r *Runner) Sweep(ctx context.Context, campaigns []CampaignSpec) ([]Campaig
 		if err != nil {
 			return fmt.Errorf("experiment: build %s replication %d: %w", cs.Name, u.replication, err)
 		}
-		res, err := b.CampaignContext(ctx, cs.Runs, cs.Deadline)
+		res, err := b.campaignContext(ctx, cs.Runs, cs.Deadline, cs.Streaming)
 		if err != nil {
 			return fmt.Errorf("experiment: campaign %s replication %d: %w", cs.Name, u.replication, err)
 		}

@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSweepStreamingBoundedMemory is the bounded-memory acceptance
+// contract: a Figure-3-shaped sweep run with Streaming enabled produces
+// sketch-backed pooled distributions that retain zero raw samples and no
+// per-run results — O(buckets) per replication instead of
+// O(runs × connections) — while still pooling every measured sample
+// (same N and Lost as the exact sweep) and staying deterministic across
+// worker counts.
+func TestSweepStreamingBoundedMemory(t *testing.T) {
+	o := engineOpts()
+	o.Streaming = true
+	campaigns := []CampaignSpec{
+		o.campaign("bitcoin", buildSpec(o, ProtoBitcoin, fastBCBPT(25*time.Millisecond))),
+		o.campaign("bcbpt", buildSpec(o, ProtoBCBPT, fastBCBPT(25*time.Millisecond))),
+	}
+
+	exactOpts := engineOpts() // same seeds, exact pooling
+	exactCampaigns := []CampaignSpec{
+		exactOpts.campaign("bitcoin", buildSpec(exactOpts, ProtoBitcoin, fastBCBPT(25*time.Millisecond))),
+		exactOpts.campaign("bcbpt", buildSpec(exactOpts, ProtoBCBPT, fastBCBPT(25*time.Millisecond))),
+	}
+	exact, err := NewRunner(2).Sweep(context.Background(), exactCampaigns)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var baseline []CampaignOutcome
+	for _, workers := range []int{1, 4} {
+		out, err := NewRunner(workers).Sweep(context.Background(), campaigns)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, oc := range out {
+			d := oc.Result.Dist
+			if !d.Streaming() {
+				t.Fatalf("workers=%d: campaign %s pooled exactly despite Streaming", workers, oc.Name)
+			}
+			if d.Retained() != 0 {
+				t.Fatalf("workers=%d: campaign %s retained %d raw samples", workers, oc.Name, d.Retained())
+			}
+			if len(oc.Result.PerRun) != 0 {
+				t.Fatalf("workers=%d: campaign %s retained %d per-run results", workers, oc.Name, len(oc.Result.PerRun))
+			}
+			// Same samples measured, just summarised: N and Lost match the
+			// exact sweep bit for bit.
+			if d.N() != exact[i].Result.Dist.N() || oc.Result.Lost != exact[i].Result.Lost {
+				t.Fatalf("workers=%d: campaign %s pooled n=%d lost=%d, exact n=%d lost=%d",
+					workers, oc.Name, d.N(), oc.Result.Lost, exact[i].Result.Dist.N(), exact[i].Result.Lost)
+			}
+			if d.N() == 0 {
+				t.Fatalf("workers=%d: campaign %s empty", workers, oc.Name)
+			}
+		}
+		if baseline == nil {
+			baseline = out
+			continue
+		}
+		for i := range out {
+			if !out[i].Result.Dist.Equal(baseline[i].Result.Dist) {
+				t.Errorf("workers=%d: campaign %s sketch differs from 1-worker baseline", workers, out[i].Name)
+			}
+		}
+	}
+}
+
+// TestCampaignStreamingMethod exercises the Built-level entry point.
+func TestCampaignStreamingMethod(t *testing.T) {
+	b, err := Build(context.Background(), Spec{Nodes: 30, Seed: 5, Protocol: ProtoBitcoin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	res, err := b.CampaignStreaming(context.Background(), 3, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Dist.Streaming() || res.Dist.Retained() != 0 || res.Dist.N() == 0 {
+		t.Fatalf("streaming campaign: streaming=%v retained=%d n=%d",
+			res.Dist.Streaming(), res.Dist.Retained(), res.Dist.N())
+	}
+}

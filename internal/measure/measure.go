@@ -163,13 +163,23 @@ type Campaign struct {
 	// MakeTx supplies the transaction for run i. Transactions must have
 	// distinct IDs across runs.
 	MakeTx func(i int) *chain.Tx
+	// Streaming switches the campaign onto the bounded-memory measurement
+	// path: Δt samples fold into a StreamingDistribution as each run
+	// completes (O(buckets) memory instead of O(Runs × connections)) and
+	// per-run results are not retained. The exactness escape hatch is the
+	// default: leave Streaming false and the campaign pools every sample
+	// exactly, as tests and small campaigns expect.
+	Streaming bool
 }
 
 // CampaignResult aggregates a campaign.
 type CampaignResult struct {
-	// Dist pools every Δt(m,n) sample.
+	// Dist pools every Δt(m,n) sample — exactly, or as a bounded sketch
+	// when the campaign ran with Streaming set.
 	Dist Distribution
 	// PerRun keeps each run's result for variance-vs-connection analyses.
+	// Empty in Streaming mode, whose point is not to retain per-sample
+	// state.
 	PerRun []RunResult
 	// Lost counts connection-runs that missed the deadline.
 	Lost int
@@ -196,25 +206,42 @@ func (m *MeasuringNode) RunContext(ctx context.Context, c Campaign) (CampaignRes
 	}
 	var out CampaignResult
 	var samples []time.Duration
+	var sketch *StreamingDistribution
+	if c.Streaming {
+		sketch = NewStreamingDistribution()
+	}
+	pool := func() Distribution {
+		if c.Streaming {
+			return sketch.Dist()
+		}
+		return NewDistribution(samples)
+	}
 	for i := 0; i < c.Runs; i++ {
 		if err := ctx.Err(); err != nil {
-			out.Dist = NewDistribution(samples)
+			out.Dist = pool()
 			return out, fmt.Errorf("measure: campaign stopped after %d of %d runs: %w", i, c.Runs, err)
 		}
 		m.net.ResetInventory()
 		res, err := m.MeasureOnce(ctx, c.MakeTx(i), c.Deadline)
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				out.Dist = NewDistribution(samples)
+				out.Dist = pool()
 				return out, fmt.Errorf("measure: campaign stopped during run %d of %d: %w", i+1, c.Runs, err)
 			}
 			return CampaignResult{}, fmt.Errorf("measure: run %d: %w", i, err)
 		}
-		out.PerRun = append(out.PerRun, res)
 		out.Lost += len(res.Missing)
+		if c.Streaming {
+			// Fold and forget: neither the samples nor the run survive.
+			for _, id := range sortedIDs(res.Deltas) {
+				sketch.Add(res.Deltas[id])
+			}
+			continue
+		}
+		out.PerRun = append(out.PerRun, res)
 		samples = append(samples, res.All()...)
 	}
-	out.Dist = NewDistribution(samples)
+	out.Dist = pool()
 	return out, nil
 }
 

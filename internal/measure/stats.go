@@ -13,12 +13,26 @@ import (
 	"time"
 )
 
-// Distribution summarises a sample of durations. Build one with
-// NewDistribution; it is immutable afterwards.
+// Distribution summarises a sample of durations. It has two backing
+// representations behind one API:
+//
+//   - exact: built with NewDistribution, retaining every (sorted) sample —
+//     O(samples) memory, bit-exact statistics. The right choice for tests
+//     and small campaigns, and the default everywhere.
+//   - streaming: built with StreamingDistribution.Dist, retaining a fixed
+//     log-bucket sketch — O(buckets) memory, ~1% value accuracy on
+//     quantiles/std, exact N/mean/min/max. The choice for paper-scale
+//     sweeps whose pooled samples would not fit in memory.
+//
+// Both kinds are immutable once built, merge deterministically and
+// order-independently via MergeDistributions, and render identically
+// through CDF/ASCIICDF/CSV. Use Streaming to tell them apart.
 type Distribution struct {
 	sorted []time.Duration
 	mean   time.Duration
 	std    time.Duration
+	// sketch, when non-nil, backs the distribution instead of sorted.
+	sketch *StreamingDistribution
 }
 
 // NewDistribution copies and summarises samples. Empty input yields a
@@ -48,18 +62,44 @@ func NewDistribution(samples []time.Duration) Distribution {
 }
 
 // N returns the sample count.
-func (d Distribution) N() int { return len(d.sorted) }
+func (d Distribution) N() int {
+	if d.sketch != nil {
+		return d.sketch.N()
+	}
+	return len(d.sorted)
+}
+
+// Streaming reports whether the distribution is sketch-backed (bounded
+// memory, ~1% value accuracy) rather than exact.
+func (d Distribution) Streaming() bool { return d.sketch != nil }
+
+// Retained returns how many raw samples the distribution holds in memory:
+// N() for an exact distribution, 0 for a sketch-backed one. Memory-bound
+// tests assert against it.
+func (d Distribution) Retained() int { return len(d.sorted) }
 
 // Samples returns a copy of the sorted sample slice. Exposed so callers
 // (tests, serializers, merge layers) can compare distributions for exact
-// equality without reaching into internals.
+// equality without reaching into internals. Sketch-backed distributions
+// retain no samples and return nil.
 func (d Distribution) Samples() []time.Duration {
+	if d.sketch != nil {
+		return nil
+	}
 	return append([]time.Duration(nil), d.sorted...)
 }
 
-// Equal reports whether two distributions carry exactly the same samples
-// (and therefore identical derived statistics).
+// Equal reports whether two distributions carry exactly the same state:
+// identical samples for exact distributions, bit-identical sketch state
+// for streaming ones. An exact and a streaming distribution are never
+// equal, even over the same samples.
 func (d Distribution) Equal(o Distribution) bool {
+	if (d.sketch != nil) != (o.sketch != nil) {
+		return false
+	}
+	if d.sketch != nil {
+		return d.sketch.equal(o.sketch)
+	}
 	if len(d.sorted) != len(o.sorted) || d.mean != o.mean || d.std != o.std {
 		return false
 	}
@@ -71,10 +111,33 @@ func (d Distribution) Equal(o Distribution) bool {
 	return true
 }
 
-// MergeDistributions pools the samples of the given distributions into
-// one. The result depends only on the multiset of samples, never on the
-// argument order, so sharded computations merge deterministically.
+// MergeDistributions pools the given distributions into one. The result
+// depends only on the multiset of samples, never on the argument order,
+// so sharded computations merge deterministically. If every input is
+// exact the merge is exact; if any input is sketch-backed the merge is a
+// sketch (exact inputs fold their samples into it bucket-wise, which is
+// itself order-independent).
 func MergeDistributions(ds ...Distribution) Distribution {
+	streaming := false
+	for _, d := range ds {
+		if d.sketch != nil {
+			streaming = true
+			break
+		}
+	}
+	if streaming {
+		s := NewStreamingDistribution()
+		for _, d := range ds {
+			if d.sketch != nil {
+				s.Merge(d.sketch)
+				continue
+			}
+			for _, v := range d.sorted {
+				s.Add(v)
+			}
+		}
+		return s.Dist()
+	}
 	var samples []time.Duration
 	for _, d := range ds {
 		samples = append(samples, d.sorted...)
@@ -96,25 +159,36 @@ func (d Distribution) Variance() float64 {
 	return s * s
 }
 
-// Min returns the smallest sample (0 if empty).
+// Min returns the smallest sample (0 if empty). Exact for both kinds.
 func (d Distribution) Min() time.Duration {
+	if d.sketch != nil {
+		return d.sketch.Min()
+	}
 	if len(d.sorted) == 0 {
 		return 0
 	}
 	return d.sorted[0]
 }
 
-// Max returns the largest sample (0 if empty).
+// Max returns the largest sample (0 if empty). Exact for both kinds.
 func (d Distribution) Max() time.Duration {
+	if d.sketch != nil {
+		return d.sketch.Max()
+	}
 	if len(d.sorted) == 0 {
 		return 0
 	}
 	return d.sorted[len(d.sorted)-1]
 }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) using linear
-// interpolation between closest ranks.
+// Percentile returns the p-th percentile (0 <= p <= 100): linear
+// interpolation between closest ranks for exact distributions, the
+// closest-rank bucket representative (~1% value accuracy) for streaming
+// ones.
 func (d Distribution) Percentile(p float64) time.Duration {
+	if d.sketch != nil {
+		return d.sketch.Percentile(p)
+	}
 	n := len(d.sorted)
 	if n == 0 {
 		return 0
@@ -141,7 +215,7 @@ func (d Distribution) Median() time.Duration { return d.Percentile(50) }
 // CDF returns (value, cumulative fraction) pairs at the given number of
 // evenly spaced quantiles — the series Figs. 3 and 4 plot.
 func (d Distribution) CDF(points int) []CDFPoint {
-	if points < 2 || len(d.sorted) == 0 {
+	if points < 2 || d.N() == 0 {
 		return nil
 	}
 	out := make([]CDFPoint, points)
@@ -162,8 +236,10 @@ type CDFPoint struct {
 }
 
 // Histogram buckets the samples into n equal-width bins over [Min, Max].
+// For streaming distributions each log bucket contributes its count at
+// its representative value.
 func (d Distribution) Histogram(bins int) []HistBin {
-	if bins < 1 || len(d.sorted) == 0 {
+	if bins < 1 || d.N() == 0 {
 		return nil
 	}
 	lo, hi := d.Min(), d.Max()
@@ -176,12 +252,23 @@ func (d Distribution) Histogram(bins int) []HistBin {
 		out[i].Low = lo + time.Duration(i)*width
 		out[i].High = out[i].Low + width
 	}
-	for _, v := range d.sorted {
+	place := func(v time.Duration, count int) {
 		idx := int((v - lo) / width)
 		if idx >= bins {
 			idx = bins - 1
 		}
-		out[idx].Count++
+		out[idx].Count += count
+	}
+	if d.sketch != nil {
+		for i, c := range d.sketch.counts {
+			if c != 0 {
+				place(d.sketch.clampRep(i), int(c))
+			}
+		}
+		return out
+	}
+	for _, v := range d.sorted {
+		place(v, 1)
 	}
 	return out
 }

@@ -1,0 +1,244 @@
+package measure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/chain"
+)
+
+// relErr is the |a-b|/b relative error (b != 0).
+func relErr(a, b time.Duration) float64 {
+	if b == 0 {
+		return math.Abs(float64(a))
+	}
+	return math.Abs(float64(a)-float64(b)) / math.Abs(float64(b))
+}
+
+// sketchTolerance is the asserted accuracy bound: the documented
+// per-sample value error is sketchRelativeError (~1%); closest-rank vs
+// interpolated percentile semantics add at most one bucket more.
+const sketchTolerance = 3 * sketchRelativeError
+
+func randomSamples(r *rand.Rand, n int) []time.Duration {
+	s := make([]time.Duration, n)
+	for i := range s {
+		// Span microseconds to minutes — the range Δt and RTT samples live in.
+		exp := 3 + r.Float64()*8 // 10^3 .. 10^11 ns
+		s[i] = time.Duration(math.Pow(10, exp))
+	}
+	return s
+}
+
+// TestStreamingTracksExact is the error-bound contract: on the same
+// pooled samples the sketch's quantiles and std stay within the
+// documented relative error of NewDistribution, and N/mean/min/max are
+// (near-)exact.
+func TestStreamingTracksExact(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for round := 0; round < 50; round++ {
+		samples := randomSamples(r, 1+r.Intn(2000))
+		exact := NewDistribution(samples)
+		s := NewStreamingDistribution()
+		for _, v := range samples {
+			s.Add(v)
+		}
+		d := s.Dist()
+		if !d.Streaming() || d.Retained() != 0 {
+			t.Fatal("sketch-backed distribution retained samples")
+		}
+		if d.N() != exact.N() {
+			t.Fatalf("N = %d, exact %d", d.N(), exact.N())
+		}
+		if d.Min() != exact.Min() || d.Max() != exact.Max() {
+			t.Fatalf("min/max = %v/%v, exact %v/%v", d.Min(), d.Max(), exact.Min(), exact.Max())
+		}
+		// Mean is integer-exact in the sketch; NewDistribution's float64
+		// pathway may round the last nanoseconds.
+		if relErr(d.Mean(), exact.Mean()) > 1e-9 {
+			t.Fatalf("mean = %v, exact %v", d.Mean(), exact.Mean())
+		}
+		if relErr(d.Std(), exact.Std()) > sketchTolerance {
+			t.Fatalf("std = %v, exact %v (rel %.4f)", d.Std(), exact.Std(), relErr(d.Std(), exact.Std()))
+		}
+		for _, p := range []float64{1, 10, 25, 50, 75, 90, 99} {
+			if e := relErr(d.Percentile(p), exact.Percentile(p)); e > sketchTolerance {
+				t.Fatalf("p%.0f = %v, exact %v (rel %.4f)", p, d.Percentile(p), exact.Percentile(p), e)
+			}
+		}
+	}
+}
+
+// TestStreamingMergeOrderIndependent is the determinism contract: any
+// permutation of shard merges yields a bit-identical sketch, and matches
+// folding the pooled samples into one sketch directly.
+func TestStreamingMergeOrderIndependent(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	mkSketch := func(samples []time.Duration) *StreamingDistribution {
+		s := NewStreamingDistribution()
+		for _, v := range samples {
+			s.Add(v)
+		}
+		return s
+	}
+	for round := 0; round < 20; round++ {
+		shards := make([][]time.Duration, 3)
+		var pooled []time.Duration
+		for i := range shards {
+			shards[i] = randomSamples(r, 1+r.Intn(200))
+			pooled = append(pooled, shards[i]...)
+		}
+		a, b, c := mkSketch(shards[0]), mkSketch(shards[1]), mkSketch(shards[2])
+		abc := NewStreamingDistribution()
+		abc.Merge(a)
+		abc.Merge(b)
+		abc.Merge(c)
+		cba := NewStreamingDistribution()
+		cba.Merge(c)
+		cba.Merge(b)
+		cba.Merge(a)
+		if !abc.Dist().Equal(cba.Dist()) {
+			t.Fatal("merge order changed sketch state")
+		}
+		if !abc.Dist().Equal(mkSketch(pooled).Dist()) {
+			t.Fatal("merged sketch differs from direct pooled fold")
+		}
+		// The Distribution-level merge must agree too, including with
+		// exact distributions mixed in (their samples fold bucket-wise).
+		mixed1 := MergeDistributions(a.Dist(), NewDistribution(shards[1]), c.Dist())
+		mixed2 := MergeDistributions(c.Dist(), a.Dist(), NewDistribution(shards[1]))
+		if !mixed1.Equal(mixed2) {
+			t.Fatal("mixed exact/sketch merge is order-dependent")
+		}
+		if !mixed1.Streaming() {
+			t.Fatal("merge containing a sketch did not stay sketch-backed")
+		}
+	}
+}
+
+// TestStreamingMergeMatchesAddProperty quick-checks that AddN, Add and
+// Merge agree for arbitrary durations, including zero and negatives
+// (which clamp to the zero bucket).
+func TestStreamingMergeMatchesAddProperty(t *testing.T) {
+	f := func(raw []int64) bool {
+		a := NewStreamingDistribution()
+		b := NewStreamingDistribution()
+		whole := NewStreamingDistribution()
+		for i, v := range raw {
+			d := time.Duration(v)
+			if i%2 == 0 {
+				a.Add(d)
+			} else {
+				b.Add(d)
+			}
+			whole.Add(d)
+		}
+		a.Merge(b)
+		return a.Dist().Equal(whole.Dist())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamingEmptyAndZero(t *testing.T) {
+	s := NewStreamingDistribution()
+	d := s.Dist()
+	if d.N() != 0 || d.Mean() != 0 || d.Std() != 0 || d.Percentile(50) != 0 || d.Min() != 0 || d.Max() != 0 {
+		t.Error("empty sketch not zero-valued")
+	}
+	s.Add(0)
+	s.Add(-time.Second) // clamps to the zero bucket
+	d = s.Dist()
+	if d.N() != 2 || d.Max() != 0 || d.Percentile(50) != 0 {
+		t.Errorf("zero-bucket handling: n=%d max=%v p50=%v", d.N(), d.Max(), d.Percentile(50))
+	}
+	if s.Buckets() != sketchBuckets {
+		t.Errorf("Buckets = %d, want %d", s.Buckets(), sketchBuckets)
+	}
+}
+
+// TestStreamingTopBucketDoesNotWrap pins the documented [1ns, 2^63ns)
+// coverage: a sample near MaxInt64 lands in the top bucket, whose raw
+// geometric midpoint exceeds MaxInt64 — the representative must clamp
+// instead of wrapping negative (which clampRep would then silently pull
+// up to min, misreporting huge samples as tiny ones).
+func TestStreamingTopBucketDoesNotWrap(t *testing.T) {
+	s := NewStreamingDistribution()
+	huge := time.Duration(math.MaxInt64)
+	s.Add(time.Nanosecond)
+	s.Add(huge)
+	s.Add(huge)
+	d := s.Dist()
+	if d.Max() != huge {
+		t.Fatalf("Max = %v, want %v", d.Max(), huge)
+	}
+	if p := d.Percentile(90); p < huge/2 {
+		t.Errorf("p90 = %v collapsed toward min; top bucket representative wrapped", p)
+	}
+}
+
+func TestExactAndSketchNeverEqual(t *testing.T) {
+	samples := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	exact := NewDistribution(samples)
+	s := NewStreamingDistribution()
+	for _, v := range samples {
+		s.Add(v)
+	}
+	if exact.Equal(s.Dist()) || s.Dist().Equal(exact) {
+		t.Error("exact and sketch-backed distributions compared equal")
+	}
+}
+
+// TestCampaignStreamingBoundedMemory runs the same campaign exactly and
+// streaming, and asserts the streaming result (a) retains no raw samples
+// and no per-run results, (b) has a fixed sketch footprint, and (c) stays
+// within the documented error of the exact pooled distribution.
+func TestCampaignStreamingBoundedMemory(t *testing.T) {
+	campaign := func(streaming bool) CampaignResult {
+		net, ids := buildNet(t, 30, 21)
+		wireRandom(t, net, ids)
+		m, err := NewMeasuringNode(net, ids[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(Campaign{
+			Runs:      8,
+			Deadline:  time.Minute,
+			MakeTx:    func(i int) *chain.Tx { return mkTx(t, 500+i) },
+			Streaming: streaming,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	exact := campaign(false)
+	stream := campaign(true)
+
+	if !stream.Dist.Streaming() {
+		t.Fatal("streaming campaign produced an exact distribution")
+	}
+	if stream.Dist.Retained() != 0 {
+		t.Fatalf("streaming campaign retained %d samples", stream.Dist.Retained())
+	}
+	if len(stream.PerRun) != 0 {
+		t.Fatalf("streaming campaign retained %d per-run results", len(stream.PerRun))
+	}
+	if stream.Dist.N() != exact.Dist.N() || stream.Lost != exact.Lost {
+		t.Fatalf("streaming (n=%d lost=%d) vs exact (n=%d lost=%d)",
+			stream.Dist.N(), stream.Lost, exact.Dist.N(), exact.Lost)
+	}
+	if relErr(stream.Dist.Median(), exact.Dist.Median()) > sketchTolerance {
+		t.Errorf("streaming median %v strays from exact %v", stream.Dist.Median(), exact.Dist.Median())
+	}
+
+	// Shard merging stays deterministic and bounded.
+	merged := MergeCampaignResults(stream, stream)
+	if !merged.Dist.Streaming() || merged.Dist.N() != 2*stream.Dist.N() {
+		t.Error("merged streaming shards lost sketch backing or samples")
+	}
+}

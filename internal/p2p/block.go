@@ -48,16 +48,22 @@ func (nd *Node) acceptBlock(b *chain.Block, from NodeID) error {
 }
 
 // announceBlock sends a block INV to every peer not known to have it.
+// As with transaction announce, one immutable MsgInv is shared by every
+// recipient.
 func (nd *Node) announceBlock(h chain.Hash, except NodeID) {
 	holders := nd.peerInv[h]
-	for _, peerID := range nd.Peers() {
+	var inv *wire.MsgInv
+	for _, peerID := range nd.sortedPeers() {
 		if peerID == except {
 			continue
 		}
 		if _, knows := holders[peerID]; knows {
 			continue
 		}
-		nd.net.send(nd.id, peerID, &wire.MsgInv{Items: []wire.InvVect{{Type: wire.InvBlock, Hash: h}}})
+		if inv == nil {
+			inv = &wire.MsgInv{Items: []wire.InvVect{{Type: wire.InvBlock, Hash: h}}}
+		}
+		nd.net.send(nd.id, peerID, inv)
 	}
 }
 
@@ -97,14 +103,7 @@ func (nd *Node) handleBlock(from NodeID, m *wire.MsgBlock) {
 		utxoLen = nd.mempool.Len()
 	}
 	cost := nd.net.cfg.VerifyCost.BlockCost(b, utxoLen)
-	nodeID := nd.id
-	nd.net.sched.After(cost, func() {
-		node, ok := nd.net.nodes[nodeID]
-		if !ok {
-			return
-		}
-		_ = node.acceptBlock(b, from)
-	})
+	nd.net.sched.AfterCall(cost, runVerify, nd.net.newVerifyJob(nd.id, from, nil, b))
 }
 
 // HasBlock reports whether the node holds the block.

@@ -30,6 +30,12 @@ type Node struct {
 	net *Network
 
 	peers map[NodeID]*peerState
+	// peerList caches the sorted peer IDs; peersValid is flipped off on
+	// every connect/disconnect. The flood hot path walks the peer set once
+	// per (node, hash), so rebuilding the sorted order per call would
+	// allocate per announcement.
+	peerList   []NodeID
+	peersValid bool
 
 	// known maps every accepted inventory hash to its first-seen time.
 	known map[chain.Hash]sim.Time
@@ -41,6 +47,8 @@ type Node struct {
 	// it (because they announced or sent it to us), so we never announce
 	// back. This is the standard Bitcoin relay optimisation.
 	peerInv map[chain.Hash]map[NodeID]struct{}
+	// invSetPool recycles peerInv inner sets across ResetInventory calls.
+	invSetPool []map[NodeID]struct{}
 	// requested marks hashes we have asked for, to avoid duplicate
 	// GETDATAs while one is in flight.
 	requested map[chain.Hash]struct{}
@@ -82,14 +90,43 @@ func (nd *Node) ID() NodeID { return nd.id }
 // Location returns the node's (self-reported) geographic placement.
 func (nd *Node) Location() geo.Location { return nd.loc }
 
-// Peers returns the connected peer IDs in ascending order.
-func (nd *Node) Peers() []NodeID {
-	ids := make([]NodeID, 0, len(nd.peers))
-	for id := range nd.peers {
-		ids = append(ids, id)
+// sortedPeers returns the cached ascending peer list, rebuilding it in
+// place after a connectivity change. The returned slice is shared: it is
+// valid until the next connect/disconnect and must not be mutated or
+// retained — internal read-only iteration only.
+func (nd *Node) sortedPeers() []NodeID {
+	if nd.peersValid {
+		return nd.peerList
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	nd.peerList = nd.peerList[:0]
+	for id := range nd.peers {
+		nd.peerList = append(nd.peerList, id)
+	}
+	sort.Slice(nd.peerList, func(i, j int) bool { return nd.peerList[i] < nd.peerList[j] })
+	nd.peersValid = true
+	return nd.peerList
+}
+
+// invalidatePeers marks the cached peer list stale after a connectivity
+// change.
+func (nd *Node) invalidatePeers() { nd.peersValid = false }
+
+// Peers returns the connected peer IDs in ascending order. The slice is
+// the caller's to keep.
+func (nd *Node) Peers() []NodeID {
+	return append([]NodeID(nil), nd.sortedPeers()...)
+}
+
+// EachPeer calls f for every connected peer in ascending ID order,
+// stopping early if f returns false. Unlike Peers it allocates nothing —
+// topology maintenance loops that count or scan neighbours per candidate
+// use it on their hot paths. f must not connect or disconnect peers.
+func (nd *Node) EachPeer(f func(NodeID) bool) {
+	for _, id := range nd.sortedPeers() {
+		if !f(id) {
+			return
+		}
+	}
 }
 
 // NumPeers returns the number of connections.
@@ -170,10 +207,16 @@ func (nd *Node) acceptTx(tx *chain.Tx, from NodeID) error {
 // RelayDirect mode (the refs [9]/[10] pipelining ablation). Iteration is
 // in sorted peer order: delivery delays draw from a shared random stream,
 // so a stable order is required for run-to-run determinism.
+//
+// One message value is shared by every recipient of this announcement —
+// messages are immutable after send, so a 2000-node flood builds one
+// MsgInv (or MsgTx) per hash rather than one per (peer, hash) pair.
 func (nd *Node) announce(h chain.Hash, except NodeID) {
 	holders := nd.peerInv[h]
 	direct := nd.net.cfg.Relay == RelayDirect
-	for _, peerID := range nd.Peers() {
+	var inv *wire.MsgInv
+	var txMsg *wire.MsgTx
+	for _, peerID := range nd.sortedPeers() {
 		if peerID == except {
 			continue
 		}
@@ -182,20 +225,32 @@ func (nd *Node) announce(h chain.Hash, except NodeID) {
 		}
 		if direct {
 			if tx, ok := nd.txData[h]; ok {
+				if txMsg == nil {
+					txMsg = &wire.MsgTx{Tx: tx}
+				}
 				nd.markPeerHas(peerID, h)
-				nd.net.send(nd.id, peerID, &wire.MsgTx{Tx: tx})
+				nd.net.send(nd.id, peerID, txMsg)
 				continue
 			}
 		}
-		nd.net.send(nd.id, peerID, &wire.MsgInv{Items: []wire.InvVect{{Type: wire.InvTx, Hash: h}}})
+		if inv == nil {
+			inv = &wire.MsgInv{Items: []wire.InvVect{{Type: wire.InvTx, Hash: h}}}
+		}
+		nd.net.send(nd.id, peerID, inv)
 	}
 }
 
-// markPeerHas records that a peer is known to hold a hash.
+// markPeerHas records that a peer is known to hold a hash. Inner sets are
+// recycled through invSetPool across ResetInventory calls.
 func (nd *Node) markPeerHas(peer NodeID, h chain.Hash) {
 	set, ok := nd.peerInv[h]
 	if !ok {
-		set = make(map[NodeID]struct{})
+		if last := len(nd.invSetPool) - 1; last >= 0 {
+			set = nd.invSetPool[last]
+			nd.invSetPool = nd.invSetPool[:last]
+		} else {
+			set = make(map[NodeID]struct{}, 8)
+		}
 		nd.peerInv[h] = set
 	}
 	set[peer] = struct{}{}
@@ -296,14 +351,7 @@ func (nd *Node) handleTx(from NodeID, m *wire.MsgTx) {
 		utxoLen = nd.mempool.Len()
 	}
 	cost := nd.net.cfg.VerifyCost.TxCost(tx, utxoLen)
-	nodeID := nd.id
-	nd.net.sched.After(cost, func() {
-		node, ok := nd.net.nodes[nodeID]
-		if !ok {
-			return
-		}
-		_ = node.acceptTx(tx, from) // invalid txs die here, by design
-	})
+	nd.net.sched.AfterCall(cost, runVerify, nd.net.newVerifyJob(nd.id, from, tx, nil))
 }
 
 // --- ping measurement ---
@@ -375,7 +423,7 @@ func (nd *Node) handlePong(from NodeID, m *wire.MsgPong) {
 // handleGetAddr replies with a sample of this node's peer addresses —
 // "the normal Bitcoin network nodes discovery mechanism" (§IV.B).
 func (nd *Node) handleGetAddr(from NodeID) {
-	peers := nd.Peers()
+	peers := nd.sortedPeers()
 	addrs := make([]wire.NetAddr, 0, len(peers))
 	for _, id := range peers {
 		if id == from {

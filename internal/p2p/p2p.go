@@ -136,6 +136,22 @@ type Network struct {
 	nextID NodeID
 	links  map[linkKey]latency.Link
 
+	// Hot-path random streams, resolved once at construction so delivery
+	// never pays the Streams map lookup. Stream derivation is a pure
+	// function of (seed, name), so pre-resolving changes nothing.
+	lossRng     *rand.Rand
+	deliveryRng *rand.Rand
+	linksRng    *rand.Rand
+
+	// deliveryPool and verifyPool recycle the payload structs behind the
+	// scheduler's AfterCall events: a 2000-node flood schedules one
+	// delivery per in-flight message and one verify job per (node, tx)
+	// first-sight, and pooling them (with the arena kernel's closure-free
+	// AfterCall) keeps the steady-state flood at zero allocations per
+	// event instead of one closure per (peer, hash) pair.
+	deliveryPool []*delivery
+	verifyPool   []*verifyJob
+
 	stats Stats
 
 	// OnTxFirstSeen fires when a node accepts a transaction it had not
@@ -173,13 +189,17 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	streams := sim.NewStreams(cfg.Seed)
 	return &Network{
-		cfg:     cfg,
-		sched:   sim.NewScheduler(),
-		streams: sim.NewStreams(cfg.Seed),
-		model:   model,
-		nodes:   make(map[NodeID]*Node),
-		links:   make(map[linkKey]latency.Link),
+		cfg:         cfg,
+		sched:       sim.NewScheduler(),
+		streams:     streams,
+		model:       model,
+		nodes:       make(map[NodeID]*Node),
+		links:       make(map[linkKey]latency.Link),
+		lossRng:     streams.Stream("loss"),
+		deliveryRng: streams.Stream("delivery"),
+		linksRng:    streams.Stream("links"),
 	}, nil
 }
 
@@ -204,9 +224,6 @@ func (n *Network) Now() sim.Time { return n.sched.Now() }
 // NumNodes returns the number of live nodes.
 func (n *Network) NumNodes() int { return len(n.nodes) }
 
-// rng returns the named random stream.
-func (n *Network) rng(name string) *rand.Rand { return n.streams.Stream(name) }
-
 // AddNode creates a node at the given location and returns it.
 func (n *Network) AddNode(loc geo.Location) *Node {
 	n.nextID++
@@ -216,8 +233,8 @@ func (n *Network) AddNode(loc geo.Location) *Node {
 		loc:     loc,
 		net:     n,
 		peers:   make(map[NodeID]*peerState),
-		known:   make(map[chain.Hash]sim.Time),
-		peerInv: make(map[chain.Hash]map[NodeID]struct{}),
+		known:   make(map[chain.Hash]sim.Time, 16),
+		peerInv: make(map[chain.Hash]map[NodeID]struct{}, 16),
 		pending: make(map[uint64]pendingPing),
 	}
 	if n.cfg.Validation == ValidationFull {
@@ -261,8 +278,10 @@ func (n *Network) RemoveNode(id NodeID) {
 	delete(n.nodes, id)
 	for _, peerID := range node.Peers() {
 		delete(node.peers, peerID)
+		node.invalidatePeers()
 		if nb, ok := n.nodes[peerID]; ok {
 			delete(nb.peers, id)
+			nb.invalidatePeers()
 		}
 		if n.OnDisconnect != nil {
 			n.OnDisconnect(id, peerID)
@@ -276,7 +295,7 @@ func (n *Network) link(a, b *Node) latency.Link {
 	if l, ok := n.links[key]; ok {
 		return l
 	}
-	l := n.model.NewLink(n.rng("links"), a.loc.Coord, b.loc.Coord)
+	l := n.model.NewLink(n.linksRng, a.loc.Coord, b.loc.Coord)
 	n.links[key] = l
 	return l
 }
@@ -296,6 +315,43 @@ func (n *Network) BaseRTT(a, b NodeID) (time.Duration, bool) {
 	return n.link(na, nb).Base(), true
 }
 
+// delivery is the pooled payload behind one in-flight message event.
+type delivery struct {
+	net *Network
+	src NodeID
+	dst NodeID
+	msg wire.Message
+}
+
+// runDelivery is the static dispatch target for delivery events: no
+// closure is allocated per message. The payload struct is returned to the
+// pool before the message is handled, so handlers that immediately send
+// (relay) reuse it for their own deliveries.
+func runDelivery(a any) {
+	d := a.(*delivery)
+	n, src, dst, msg := d.net, d.src, d.dst, d.msg
+	d.msg = nil
+	n.deliveryPool = append(n.deliveryPool, d)
+	// The destination may have churned away mid-flight.
+	node, ok := n.nodes[dst]
+	if !ok {
+		n.stats.Dropped++
+		return
+	}
+	node.handleMessage(src, msg)
+}
+
+// newDelivery pops a pooled payload (or allocates on first use).
+func (n *Network) newDelivery(src, dst NodeID, msg wire.Message) *delivery {
+	if last := len(n.deliveryPool) - 1; last >= 0 {
+		d := n.deliveryPool[last]
+		n.deliveryPool = n.deliveryPool[:last]
+		d.src, d.dst, d.msg = src, dst, msg
+		return d
+	}
+	return &delivery{net: n, src: src, dst: dst, msg: msg}
+}
+
 // deliver schedules msg to arrive at dst after serialization on the
 // sender's uplink plus the link's sampled one-way delay. The uplink is a
 // serial resource: concurrent sends queue behind each other (the rate(r)
@@ -305,7 +361,7 @@ func (n *Network) BaseRTT(a, b NodeID) (time.Duration, bool) {
 func (n *Network) deliver(src, dst *Node, msg wire.Message) {
 	size := wire.EncodedSize(msg)
 	n.stats.count(msg.Command(), size)
-	if n.cfg.LossProb > 0 && n.rng("loss").Float64() < n.cfg.LossProb {
+	if n.cfg.LossProb > 0 && n.lossRng.Float64() < n.cfg.LossProb {
 		n.stats.Lost++
 		return
 	}
@@ -315,18 +371,8 @@ func (n *Network) deliver(src, dst *Node, msg wire.Message) {
 		start = src.uplinkFreeAt
 	}
 	src.uplinkFreeAt = start + txTime
-	delay := (start + txTime - n.sched.Now()) + n.link(src, dst).SampleOneWay(n.rng("delivery"))
-	srcID := src.id
-	dstID := dst.id
-	n.sched.After(delay, func() {
-		// The destination may have churned away mid-flight.
-		node, ok := n.nodes[dstID]
-		if !ok {
-			n.stats.Dropped++
-			return
-		}
-		node.handleMessage(srcID, msg)
-	})
+	delay := (start + txTime - n.sched.Now()) + n.link(src, dst).SampleOneWay(n.deliveryRng)
+	n.sched.AfterCall(delay, runDelivery, n.newDelivery(src.id, dst.id, msg))
 }
 
 // send looks up both endpoints and delivers; it silently drops if either
@@ -401,6 +447,8 @@ func (n *Network) connect(a, b NodeID, enforceOutbound bool) error {
 	n.stats.count(wire.CmdVerack, verackSize)
 	na.peers[b] = &peerState{outbound: true}
 	nb.peers[a] = &peerState{outbound: false}
+	na.invalidatePeers()
+	nb.invalidatePeers()
 	return nil
 }
 
@@ -425,24 +473,70 @@ func (n *Network) Disconnect(a, b NodeID) {
 // teardown removes the edge from both sides and fires OnDisconnect.
 func (n *Network) teardown(na *Node, b NodeID) {
 	delete(na.peers, b)
+	na.invalidatePeers()
 	if nb, ok := n.nodes[b]; ok {
 		delete(nb.peers, na.id)
+		nb.invalidatePeers()
 	}
 	if n.OnDisconnect != nil {
 		n.OnDisconnect(na.id, b)
 	}
 }
 
+// verifyJob is the pooled payload behind a deferred verification event:
+// a transaction or block whose modelled verification delay has elapsed.
+type verifyJob struct {
+	net   *Network
+	node  NodeID
+	from  NodeID
+	tx    *chain.Tx
+	block *chain.Block
+}
+
+// runVerify is the static dispatch target for verification events.
+func runVerify(a any) {
+	j := a.(*verifyJob)
+	n, nodeID, from, tx, block := j.net, j.node, j.from, j.tx, j.block
+	j.tx, j.block = nil, nil
+	n.verifyPool = append(n.verifyPool, j)
+	node, ok := n.nodes[nodeID]
+	if !ok {
+		return
+	}
+	if tx != nil {
+		_ = node.acceptTx(tx, from) // invalid txs die here, by design
+		return
+	}
+	_ = node.acceptBlock(block, from)
+}
+
+// newVerifyJob pops a pooled payload (or allocates on first use).
+func (n *Network) newVerifyJob(node, from NodeID, tx *chain.Tx, block *chain.Block) *verifyJob {
+	if last := len(n.verifyPool) - 1; last >= 0 {
+		j := n.verifyPool[last]
+		n.verifyPool = n.verifyPool[:last]
+		j.node, j.from, j.tx, j.block = node, from, tx, block
+		return j
+	}
+	return &verifyJob{net: n, node: node, from: from, tx: tx, block: block}
+}
+
 // ResetInventory clears every node's seen-transaction state. Measurement
 // harnesses call this between runs so memory stays bounded over thousands
-// of injected transactions.
+// of injected transactions. Maps are cleared in place and peerInv inner
+// sets recycled through each node's pool, so a campaign's thousandth run
+// allocates nothing the first run did not.
 func (n *Network) ResetInventory() {
 	for _, node := range n.nodes {
-		node.known = make(map[chain.Hash]sim.Time)
-		node.peerInv = make(map[chain.Hash]map[NodeID]struct{})
-		node.txData = nil
-		node.blockData = nil
-		node.requested = nil
+		clear(node.known)
+		for h, set := range node.peerInv {
+			clear(set)
+			node.invSetPool = append(node.invSetPool, set)
+			delete(node.peerInv, h)
+		}
+		clear(node.txData)
+		clear(node.blockData)
+		clear(node.requested)
 		if node.mempool != nil {
 			for _, id := range node.mempool.IDs() {
 				node.mempool.Remove(id)
@@ -467,7 +561,7 @@ func (n *Network) StartKeepalive() *sim.Ticker {
 			if !ok {
 				continue
 			}
-			for _, p := range node.Peers() {
+			for _, p := range node.sortedPeers() {
 				node.Probe(p, nil)
 			}
 		}

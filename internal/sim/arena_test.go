@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// --- differential testing against the pre-arena reference kernel ---
+
+// trace records one dispatched event: which schedule call fired and when.
+type trace struct {
+	tag int
+	at  Time
+}
+
+// schedOp is one randomised operation applied identically to both kernels.
+type schedOp struct {
+	kind   int // 0 = schedule, 1 = cancel an earlier schedule, 2 = RunN batch
+	delay  time.Duration
+	target int // for cancels: index of the schedule op to cancel
+	batch  int // for RunN
+}
+
+func randomOps(r *rand.Rand, n int) []schedOp {
+	ops := make([]schedOp, n)
+	scheduled := 0
+	for i := range ops {
+		switch k := r.Intn(10); {
+		case k < 6 || scheduled == 0: // bias toward scheduling
+			ops[i] = schedOp{kind: 0, delay: time.Duration(r.Intn(50)) * time.Microsecond}
+			scheduled++
+		case k < 9:
+			ops[i] = schedOp{kind: 1, target: r.Intn(scheduled)}
+		default:
+			ops[i] = schedOp{kind: 2, batch: 1 + r.Intn(5)}
+		}
+	}
+	return ops
+}
+
+// replayArena runs ops against the arena Scheduler, returning the
+// dispatch trace and final (now, len) state.
+func replayArena(ops []schedOp) ([]trace, Time, int) {
+	s := NewScheduler()
+	var out []trace
+	var handles []Handle
+	tag := 0
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			t := tag
+			handles = append(handles, s.After(op.delay, func() {
+				out = append(out, trace{tag: t, at: s.Now()})
+			}))
+			tag++
+		case 1:
+			s.Cancel(handles[op.target])
+		case 2:
+			_, _ = s.RunN(op.batch)
+		}
+	}
+	_ = s.Run()
+	return out, s.Now(), s.Len()
+}
+
+// replayReference runs the same ops against the pre-arena kernel.
+func replayReference(ops []schedOp) ([]trace, Time, int) {
+	s := NewReferenceScheduler()
+	var out []trace
+	var handles []Handle
+	tag := 0
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			t := tag
+			handles = append(handles, s.After(op.delay, func() {
+				out = append(out, trace{tag: t, at: s.Now()})
+			}))
+			tag++
+		case 1:
+			s.Cancel(handles[op.target])
+		case 2:
+			_, _ = s.RunN(op.batch)
+		}
+	}
+	_ = s.Run()
+	return out, s.Now(), s.Len()
+}
+
+// TestArenaMatchesReference replays thousands of randomised cancel-heavy
+// schedules against both kernels and requires bit-identical dispatch
+// order, clocks, and queue lengths. This is the determinism contract of
+// the arena rewrite: (at, seq) total order, cancellation visibility, and
+// RunN batching must be indistinguishable from the pre-arena kernel.
+func TestArenaMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	for round := 0; round < 200; round++ {
+		ops := randomOps(r, 50+r.Intn(200))
+		gotTr, gotNow, gotLen := replayArena(ops)
+		wantTr, wantNow, wantLen := replayReference(ops)
+		if gotNow != wantNow || gotLen != wantLen {
+			t.Fatalf("round %d: state (now=%v len=%d), reference (now=%v len=%d)",
+				round, gotNow, gotLen, wantNow, wantLen)
+		}
+		if len(gotTr) != len(wantTr) {
+			t.Fatalf("round %d: dispatched %d events, reference %d", round, len(gotTr), len(wantTr))
+		}
+		for i := range gotTr {
+			if gotTr[i] != wantTr[i] {
+				t.Fatalf("round %d: dispatch %d = %+v, reference %+v", round, i, gotTr[i], wantTr[i])
+			}
+		}
+	}
+}
+
+// FuzzArenaMatchesReference is the same differential check driven by the
+// fuzzer: the input bytes seed the op stream.
+func FuzzArenaMatchesReference(f *testing.F) {
+	f.Add(int64(1), 100)
+	f.Add(int64(42), 300)
+	f.Fuzz(func(t *testing.T, seed int64, n int) {
+		if n < 1 || n > 2000 {
+			t.Skip()
+		}
+		ops := randomOps(rand.New(rand.NewSource(seed)), n)
+		gotTr, gotNow, gotLen := replayArena(ops)
+		wantTr, wantNow, wantLen := replayReference(ops)
+		if gotNow != wantNow || gotLen != wantLen || len(gotTr) != len(wantTr) {
+			t.Fatalf("kernel state diverged: (%v,%d,%d) vs (%v,%d,%d)",
+				gotNow, gotLen, len(gotTr), wantNow, wantLen, len(wantTr))
+		}
+		for i := range gotTr {
+			if gotTr[i] != wantTr[i] {
+				t.Fatalf("dispatch %d = %+v, reference %+v", i, gotTr[i], wantTr[i])
+			}
+		}
+	})
+}
+
+// --- arena-specific behaviour ---
+
+func TestHandleGoesStaleAfterDispatchAndReuse(t *testing.T) {
+	s := NewScheduler()
+	h1 := s.After(time.Millisecond, func() {})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Cancel(h1) {
+		t.Error("Cancel of already-run event returned true")
+	}
+	// The freed slot is recycled; the stale handle must not cancel the
+	// new incarnation.
+	h2 := s.After(time.Millisecond, func() {})
+	if s.Cancel(h1) {
+		t.Error("stale handle cancelled a recycled slot")
+	}
+	if !s.Cancel(h2) {
+		t.Error("fresh handle did not cancel")
+	}
+}
+
+func TestCancelIsLazyButLenIsLive(t *testing.T) {
+	s := NewScheduler()
+	var handles []Handle
+	for i := 0; i < 100; i++ {
+		handles = append(handles, s.At(time.Duration(i)*time.Millisecond, func() {}))
+	}
+	for i := 0; i < 100; i += 2 {
+		if !s.Cancel(handles[i]) {
+			t.Fatal("cancel failed")
+		}
+	}
+	if s.Len() != 50 {
+		t.Fatalf("Len = %d after cancelling half, want 50", s.Len())
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Executed() != 50 {
+		t.Fatalf("Executed = %d, want 50", s.Executed())
+	}
+}
+
+func TestClearReusesArena(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 1000; i++ {
+		s.After(time.Duration(i)*time.Microsecond, func() {})
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after Clear", s.Len())
+	}
+	// Refilling to the same high-water mark must not grow the arena.
+	before := cap(s.arena)
+	fn := func() {}
+	for i := 0; i < 1000; i++ {
+		s.After(time.Duration(i)*time.Microsecond, fn)
+	}
+	if cap(s.arena) != before {
+		t.Errorf("arena grew across Clear: cap %d -> %d", before, cap(s.arena))
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Executed() != 1000 {
+		t.Fatalf("Executed = %d, want 1000 (cleared events must not run)", s.Executed())
+	}
+}
+
+func TestRunNCtxStopsOnCancellation(t *testing.T) {
+	s := NewScheduler()
+	fn := func() {}
+	for i := 0; i < 5000; i++ {
+		s.After(time.Duration(i)*time.Microsecond, fn)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran, err := s.RunNCtx(ctx, 5000)
+	if err == nil {
+		t.Fatal("RunNCtx ignored a cancelled context")
+	}
+	if ran != 0 {
+		t.Errorf("ran %d events under a pre-cancelled context, want 0", ran)
+	}
+	// A live context dispatches normally.
+	ran, err = s.RunNCtx(context.Background(), 5000)
+	if err != nil || ran != 5000 {
+		t.Fatalf("RunNCtx = (%d, %v), want (5000, nil)", ran, err)
+	}
+}
+
+func TestAfterCallCarriesArgument(t *testing.T) {
+	s := NewScheduler()
+	type payload struct{ hits int }
+	p := &payload{}
+	bump := func(a any) { a.(*payload).hits++ }
+	s.AfterCall(time.Millisecond, bump, p)
+	s.AtCall(2*time.Millisecond, bump, p)
+	h := s.AfterCall(3*time.Millisecond, bump, p)
+	if !s.Cancel(h) {
+		t.Fatal("cancel of AfterCall event failed")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.hits != 2 {
+		t.Errorf("payload hits = %d, want 2", p.hits)
+	}
+}
+
+// TestSteadyStateZeroAllocs is the tentpole's core guarantee: after
+// warm-up, schedule + cancel + dispatch cycles perform no heap
+// allocations.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	s := NewScheduler()
+	fn := func() {}
+	call := func(any) {}
+	// Warm up arena, heap, and free list to the high-water mark.
+	for i := 0; i < 4096; i++ {
+		s.After(time.Duration(i%64)*time.Microsecond, fn)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 512; i++ {
+			s.After(time.Duration(i%64)*time.Microsecond, fn)
+			s.AfterCall(time.Duration(i%64)*time.Microsecond, call, nil)
+		}
+		for i := 0; i < 128; i++ {
+			h := s.After(time.Duration(i%64)*time.Microsecond, fn)
+			s.Cancel(h)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state schedule/cancel/dispatch allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,19 +1,37 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
 // The kernel is the substrate every experiment in this repository runs on:
-// a binary-heap scheduler ordered by virtual time, a virtual clock, and a
-// family of named, independently-seeded random streams. Determinism is a
-// hard requirement — given the same seed and the same sequence of schedule
-// calls, a simulation replays identically. Ties in virtual time are broken
-// by schedule order (a monotonically increasing sequence number), never by
-// map iteration or goroutine interleaving.
+// an arena-backed binary-heap scheduler ordered by virtual time, a virtual
+// clock, and a family of named, independently-seeded random streams.
+// Determinism is a hard requirement — given the same seed and the same
+// sequence of schedule calls, a simulation replays identically. Ties in
+// virtual time are broken by schedule order (a monotonically increasing
+// sequence number), never by map iteration or goroutine interleaving.
+//
+// # Allocation discipline
+//
+// The scheduler is built for allocation-free steady-state dispatch: events
+// live in a slab arena of plain structs recycled through a free list, the
+// heap orders int32 arena indices rather than pointers, and handles encode
+// (slot, generation) so cancellation needs no side map. After warm-up —
+// once the arena and heap have grown to the simulation's high-water mark —
+// At/After/AtCall/AfterCall, Cancel and event dispatch perform zero heap
+// allocations. Hot paths that would otherwise allocate a closure per event
+// should use AtCall/AfterCall, which carry a (func(any), arg) pair and so
+// can be driven entirely from caller-pooled argument structs.
+//
+// Cancellation is O(1) and lazy: Cancel marks the arena slot as a
+// tombstone (releasing the callback immediately) and the heap entry is
+// discarded when it reaches the top. The previous kernel — pointer heap
+// nodes, a byID map, and O(log n) heap.Remove cancellation — is preserved
+// as ReferenceScheduler for differential tests and benchmarks.
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -23,53 +41,66 @@ import (
 type Time = time.Duration
 
 // Handle identifies a scheduled event so it can be cancelled. The zero
-// Handle is invalid and is never returned by Schedule.
+// Handle is invalid and is never returned by Schedule. A Handle encodes
+// the event's arena slot and a per-slot generation; it stays safely
+// rejectable after the event runs or is cancelled (a slot must be recycled
+// 2^32 times before a stale handle could alias a live event).
 type Handle uint64
+
+// makeHandle packs an arena slot index and its generation. Slot indices
+// are offset by one so the zero Handle stays invalid.
+func makeHandle(idx int32, gen uint32) Handle {
+	return Handle(uint64(gen)<<32 | uint64(uint32(idx)+1))
+}
+
+// splitHandle unpacks a Handle; ok is false for the zero Handle.
+func splitHandle(h Handle) (idx int32, gen uint32, ok bool) {
+	lo := uint32(h)
+	if lo == 0 {
+		return 0, 0, false
+	}
+	return int32(lo - 1), uint32(h >> 32), true
+}
 
 // ErrStopped is returned by Run variants when the simulation was stopped
 // explicitly via Stop rather than by exhausting events or reaching a limit.
 var ErrStopped = errors.New("sim: stopped")
 
-// event is a single scheduled callback.
+// event slot states.
+const (
+	slotFree      = iota // on the free list, not in the heap
+	slotPending          // scheduled, in the heap
+	slotCancelled        // tombstone: still in the heap, skipped on pop
+)
+
+// event is one arena slot: a scheduled callback in either closure form
+// (fn) or payload form (call + arg). Slots are recycled through the free
+// list; gen distinguishes incarnations so stale handles are rejected.
 type event struct {
-	at    Time
-	seq   uint64 // tie-breaker: schedule order
-	fn    func()
-	index int // heap index; -1 once popped or cancelled
+	at   Time
+	seq  uint64 // tie-breaker: schedule order
+	fn   func()
+	call func(any)
+	arg  any
+	gen  uint32
+	st   uint8
 }
 
-// eventHeap orders events by (at, seq).
-type eventHeap []*event
+// heapEntry is one heap node. The (at, seq) ordering key is duplicated
+// out of the arena slot so sift comparisons stay within the (hot,
+// sequentially laid out) heap array instead of chasing arena indices.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	idx int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders heap entries by (at, seq).
+func (e heapEntry) before(o heapEntry) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	return e.seq < o.seq
 }
 
 // Scheduler is a single-threaded discrete-event scheduler. It is not safe
@@ -78,26 +109,129 @@ func (h *eventHeap) Pop() any {
 type Scheduler struct {
 	now     Time
 	seq     uint64
-	heap    eventHeap
-	byID    map[Handle]*event
+	arena   []event
+	free    []int32     // recycled arena slots (LIFO)
+	heap    []heapEntry // ordered by (at, seq)
+	live    int         // pending, non-cancelled events
 	stopped bool
 
 	executed uint64 // total events dispatched, for stats and loop guards
 }
 
 // NewScheduler returns an empty scheduler with the clock at zero.
-func NewScheduler() *Scheduler {
-	return &Scheduler{byID: make(map[Handle]*event)}
-}
+func NewScheduler() *Scheduler { return &Scheduler{} }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
 
-// Len returns the number of pending events.
-func (s *Scheduler) Len() int { return len(s.heap) }
+// Len returns the number of pending (non-cancelled) events.
+func (s *Scheduler) Len() int { return s.live }
 
 // Executed returns the total number of events dispatched so far.
 func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// siftUp moves the entry at i toward the root (hole insertion: the moved
+// entry is held aside while ancestors shift down).
+func (s *Scheduler) siftUp(i int) {
+	h := s.heap
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.before(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+}
+
+// siftDown moves the entry at i toward the leaves (hole insertion).
+func (s *Scheduler) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	e := h[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && h[r].before(h[l]) {
+			least = r
+		}
+		if !h[least].before(e) {
+			break
+		}
+		h[i] = h[least]
+		i = least
+	}
+	h[i] = e
+}
+
+// popMin removes and returns the heap's minimum arena index. The caller
+// must ensure the heap is non-empty.
+func (s *Scheduler) popMin() int32 {
+	h := s.heap
+	idx := h[0].idx
+	last := len(h) - 1
+	h[0] = h[last]
+	s.heap = h[:last]
+	if last > 0 {
+		s.siftDown(0)
+	}
+	return idx
+}
+
+// freeSlot recycles an arena slot, releasing callback references and
+// bumping the generation so outstanding handles go stale.
+func (s *Scheduler) freeSlot(idx int32) {
+	ev := &s.arena[idx]
+	ev.fn = nil
+	ev.call = nil
+	ev.arg = nil
+	ev.gen++
+	ev.st = slotFree
+	s.free = append(s.free, idx)
+}
+
+// skim frees cancelled tombstones sitting at the top of the heap so the
+// minimum entry, if any, is a live event.
+func (s *Scheduler) skim() {
+	for len(s.heap) > 0 && s.arena[s.heap[0].idx].st == slotCancelled {
+		s.freeSlot(s.popMin())
+	}
+}
+
+// schedule allocates an arena slot for the event and pushes it.
+func (s *Scheduler) schedule(at Time, fn func(), call func(any), arg any) Handle {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
+	}
+	s.seq++
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		if len(s.arena) >= math.MaxInt32-1 {
+			panic("sim: event arena exhausted")
+		}
+		s.arena = append(s.arena, event{})
+		idx = int32(len(s.arena) - 1)
+	}
+	ev := &s.arena[idx]
+	ev.at = at
+	ev.seq = s.seq
+	ev.fn = fn
+	ev.call = call
+	ev.arg = arg
+	ev.st = slotPending
+	s.heap = append(s.heap, heapEntry{at: at, seq: s.seq, idx: idx})
+	s.siftUp(len(s.heap) - 1)
+	s.live++
+	return makeHandle(idx, ev.gen)
+}
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the
 // past (before Now) is a programming error and panics: allowing it would
@@ -106,15 +240,7 @@ func (s *Scheduler) At(at Time, fn func()) Handle {
 	if fn == nil {
 		panic("sim: Schedule with nil fn")
 	}
-	if at < s.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
-	}
-	s.seq++
-	ev := &event{at: at, seq: s.seq, fn: fn}
-	heap.Push(&s.heap, ev)
-	h := Handle(s.seq)
-	s.byID[h] = ev
-	return h
+	return s.schedule(at, fn, nil, nil)
 }
 
 // After schedules fn to run d after the current virtual time. Negative
@@ -126,19 +252,44 @@ func (s *Scheduler) After(d time.Duration, fn func()) Handle {
 	return s.At(s.now+d, fn)
 }
 
-// Cancel removes a pending event. It reports whether the event was still
-// pending (false if it already ran, was cancelled, or the handle is
-// unknown).
+// AtCall schedules call(arg) at absolute virtual time at. Unlike At it
+// needs no closure: hot paths pass a static function plus a pooled
+// argument, keeping steady-state scheduling allocation-free.
+func (s *Scheduler) AtCall(at Time, call func(any), arg any) Handle {
+	if call == nil {
+		panic("sim: Schedule with nil fn")
+	}
+	return s.schedule(at, nil, call, arg)
+}
+
+// AfterCall is AtCall relative to the current virtual time. Negative
+// delays are clamped to zero.
+func (s *Scheduler) AfterCall(d time.Duration, call func(any), arg any) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtCall(s.now+d, call, arg)
+}
+
+// Cancel removes a pending event in O(1). It reports whether the event was
+// still pending (false if it already ran, was cancelled, or the handle is
+// unknown). The slot becomes a lazy tombstone: its callback (and anything
+// the callback captures) is released immediately, and the heap entry is
+// discarded when it surfaces.
 func (s *Scheduler) Cancel(h Handle) bool {
-	ev, ok := s.byID[h]
-	if !ok {
+	idx, gen, ok := splitHandle(h)
+	if !ok || int(idx) >= len(s.arena) {
 		return false
 	}
-	delete(s.byID, h)
-	if ev.index < 0 {
+	ev := &s.arena[idx]
+	if ev.gen != gen || ev.st != slotPending {
 		return false
 	}
-	heap.Remove(&s.heap, ev.index)
+	ev.st = slotCancelled
+	ev.fn = nil
+	ev.call = nil
+	ev.arg = nil
+	s.live--
 	return true
 }
 
@@ -146,25 +297,47 @@ func (s *Scheduler) Cancel(h Handle) bool {
 // Run returns ErrStopped without dispatching further events.
 func (s *Scheduler) Stop() { s.stopped = true }
 
-// step dispatches the earliest pending event, advancing the clock.
+// step dispatches the earliest pending live event, advancing the clock.
+// The caller must ensure at least one live event exists.
 func (s *Scheduler) step() {
-	ev := heap.Pop(&s.heap).(*event)
-	delete(s.byID, Handle(ev.seq))
+	s.skim()
+	idx := s.popMin()
+	ev := &s.arena[idx]
 	s.now = ev.at
 	s.executed++
-	ev.fn()
+	s.live--
+	fn, call, arg := ev.fn, ev.call, ev.arg
+	s.freeSlot(idx)
+	if call != nil {
+		call(arg)
+		return
+	}
+	fn()
+}
+
+// drainTombstones frees any cancelled entries left in the heap once no
+// live events remain, so an idle scheduler holds no stale slots.
+func (s *Scheduler) drainTombstones() {
+	if s.live > 0 {
+		return
+	}
+	for _, e := range s.heap {
+		s.freeSlot(e.idx)
+	}
+	s.heap = s.heap[:0]
 }
 
 // Run dispatches events until none remain or Stop is called. It returns
 // nil when the event queue drains and ErrStopped when stopped.
 func (s *Scheduler) Run() error {
 	s.stopped = false
-	for len(s.heap) > 0 {
+	for s.live > 0 {
 		if s.stopped {
 			return ErrStopped
 		}
 		s.step()
 	}
+	s.drainTombstones()
 	return nil
 }
 
@@ -175,10 +348,10 @@ func (s *Scheduler) RunUntil(limit Time) error {
 	return s.RunUntilCtx(context.Background(), limit)
 }
 
-// ctxCheckInterval is how many events RunUntilCtx dispatches between
-// context polls: frequent enough that cancellation of a large build is
-// prompt (well under a millisecond of virtual work per poll), rare enough
-// that the poll cost vanishes against event dispatch.
+// ctxCheckInterval is how many events RunUntilCtx (and RunNCtx) dispatch
+// between context polls: frequent enough that cancellation of a large
+// build is prompt (well under a millisecond of virtual work per poll),
+// rare enough that the poll cost vanishes against event dispatch.
 const ctxCheckInterval = 1024
 
 // RunUntilCtx is RunUntil with cooperative cancellation: every
@@ -191,7 +364,11 @@ func (s *Scheduler) RunUntilCtx(ctx context.Context, limit Time) error {
 		return fmt.Errorf("sim: RunUntil limit %v before now %v", limit, s.now)
 	}
 	s.stopped = false
-	for n := 0; len(s.heap) > 0 && s.heap[0].at <= limit; n++ {
+	for n := 0; s.live > 0; n++ {
+		s.skim()
+		if s.heap[0].at > limit {
+			break
+		}
 		if s.stopped {
 			return ErrStopped
 		}
@@ -202,6 +379,7 @@ func (s *Scheduler) RunUntilCtx(ctx context.Context, limit Time) error {
 		}
 		s.step()
 	}
+	s.drainTombstones()
 	if !s.stopped && s.now < limit {
 		s.now = limit
 	}
@@ -213,27 +391,43 @@ func (s *Scheduler) RunUntilCtx(ctx context.Context, limit Time) error {
 
 // Clear drops every pending event without running it. The clock does not
 // move. Abandoned simulations call this so queued closures (and whatever
-// state they capture) become collectable immediately.
+// state they capture) become collectable immediately. The arena and free
+// list are retained: a cleared scheduler schedules again without
+// re-growing, so abandoned builds do not thrash the allocator.
 func (s *Scheduler) Clear() {
-	for i := range s.heap {
-		s.heap[i].index = -1
-		s.heap[i] = nil
+	for _, e := range s.heap {
+		s.freeSlot(e.idx)
 	}
 	s.heap = s.heap[:0]
-	s.byID = make(map[Handle]*event)
+	s.live = 0
 }
 
 // RunN dispatches at most n events. It returns the number dispatched and
 // ErrStopped if stopped before n events ran.
 func (s *Scheduler) RunN(n int) (int, error) {
+	return s.RunNCtx(context.Background(), n)
+}
+
+// RunNCtx is RunN with cooperative cancellation on the same cadence as
+// RunUntilCtx: every ctxCheckInterval events the context is polled, and a
+// done context stops dispatch and returns the count so far with ctx.Err().
+// Stepped debugging loops driven from a cancellable context therefore stop
+// promptly instead of grinding through their full batch.
+func (s *Scheduler) RunNCtx(ctx context.Context, n int) (int, error) {
 	s.stopped = false
 	ran := 0
-	for ran < n && len(s.heap) > 0 {
+	for ran < n && s.live > 0 {
 		if s.stopped {
 			return ran, ErrStopped
+		}
+		if ran%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return ran, err
+			}
 		}
 		s.step()
 		ran++
 	}
+	s.drainTombstones()
 	return ran, nil
 }

@@ -9,6 +9,7 @@ type Ticker struct {
 	sched   *Scheduler
 	period  time.Duration
 	fn      func()
+	tickFn  func() // t.tick bound once, so rescheduling never allocates
 	handle  Handle
 	stopped bool
 }
@@ -21,7 +22,8 @@ func (s *Scheduler) NewTicker(period time.Duration, fn func()) *Ticker {
 		panic("sim: ticker period must be positive")
 	}
 	t := &Ticker{sched: s, period: period, fn: fn}
-	t.handle = s.After(period, t.tick)
+	t.tickFn = t.tick
+	t.handle = s.After(period, t.tickFn)
 	return t
 }
 
@@ -33,7 +35,7 @@ func (t *Ticker) tick() {
 	if t.stopped { // fn may stop its own ticker
 		return
 	}
-	t.handle = t.sched.After(t.period, t.tick)
+	t.handle = t.sched.After(t.period, t.tickFn)
 }
 
 // Stop cancels future firings. Safe to call multiple times and from within

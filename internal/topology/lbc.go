@@ -242,15 +242,18 @@ func (t *LBC) fill(id p2p.NodeID) {
 	}
 }
 
-// intraCount counts connections to same-cluster peers.
+// intraCount counts connections to same-cluster peers. EachPeer keeps
+// the scan allocation-free: it runs once per connect attempt during
+// bootstrap fill.
 func (t *LBC) intraCount(node *p2p.Node) int {
 	key := t.clusterOf[node.ID()]
 	c := 0
-	for _, p := range node.Peers() {
+	node.EachPeer(func(p p2p.NodeID) bool {
 		if t.clusterOf[p] == key {
 			c++
 		}
-	}
+		return true
+	})
 	return c
 }
 
@@ -258,10 +261,11 @@ func (t *LBC) intraCount(node *p2p.Node) int {
 func (t *LBC) longCount(node *p2p.Node) int {
 	key := t.clusterOf[node.ID()]
 	c := 0
-	for _, p := range node.Peers() {
+	node.EachPeer(func(p p2p.NodeID) bool {
 		if t.clusterOf[p] != key {
 			c++
 		}
-	}
+		return true
+	})
 	return c
 }

@@ -1,11 +1,20 @@
 #!/usr/bin/env sh
 # benchdiff.sh OLD NEW [threshold-pct]
 #
-# Compares two `go test -bench` outputs and flags wall-clock regressions:
-# any benchmark whose ns/op grew by more than threshold-pct (default 30%)
-# is reported. Exits 0 always — CI surfaces the report as warnings rather
-# than failing the build, because single-iteration smoke numbers on
-# shared runners are noisy; the artifact history is the durable record.
+# Compares two `go test -bench` outputs and flags regressions:
+#
+#   - wall clock: any benchmark whose ns/op grew by more than
+#     threshold-pct (default 30%) is reported. Single-iteration smoke
+#     numbers on shared runners are noisy, hence the wide threshold.
+#   - allocations: any benchmark whose allocs/op grew AT ALL is reported
+#     (requires -benchmem in the bench run). Allocation counts are
+#     deterministic, so the threshold is zero: the scheduler and flood
+#     benchmarks are designed around a fixed steady-state allocation
+#     budget (the arena kernel dispatches at 0 allocs/op), and a single
+#     new alloc per op there is a real hot-path regression, not noise.
+#
+# Exits 0 always — CI surfaces the report as warnings rather than failing
+# the build; the artifact history is the durable record.
 set -eu
 
 old="${1:?usage: benchdiff.sh OLD NEW [threshold-pct]}"
@@ -18,16 +27,19 @@ if [ ! -f "$old" ]; then
 fi
 
 awk -v threshold="$threshold" '
-    # go test bench lines: "BenchmarkName-8   <iters>   <ns> ns/op   ..."
+    # go test bench lines with -benchmem:
+    # "BenchmarkName-8  <iters>  <ns> ns/op  [custom units...]  <B> B/op  <allocs> allocs/op"
     FNR == 1 { file++ }
     /^Benchmark/ && / ns\/op/ {
         name = $1
         sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
+        ns = ""; al = ""
         for (i = 2; i <= NF; i++) {
-            if ($(i+1) == "ns/op") { ns = $i; break }
+            if ($(i+1) == "ns/op" && ns == "")     ns = $i
+            if ($(i+1) == "allocs/op" && al == "") al = $i
         }
-        if (file == 1) old[name] = ns
-        else           new[name] = ns
+        if (file == 1) { old[name] = ns; oldal[name] = al }
+        else           { new[name] = ns; newal[name] = al }
     }
     END {
         worst = 0
@@ -44,6 +56,15 @@ awk -v threshold="$threshold" '
             printf "%-10s %-40s %12.0f -> %12.0f ns/op (%+.1f%%)\n", marker, name, old[name], new[name], delta
             if (delta > threshold)
                 printf "::warning title=Bench regression::%s slowed %.1f%% (%.0f -> %.0f ns/op)\n", name, delta, old[name], new[name]
+            # Allocation diff: zero tolerance, counts are deterministic.
+            if (oldal[name] != "" && newal[name] != "") {
+                if (newal[name] + 0 > oldal[name] + 0) {
+                    printf "ALLOC-REG  %-40s %12.0f -> %12.0f allocs/op\n", name, oldal[name], newal[name]
+                    printf "::warning title=Alloc regression::%s allocates more per op (%.0f -> %.0f allocs/op)\n", name, oldal[name], newal[name]
+                } else if (newal[name] + 0 < oldal[name] + 0) {
+                    printf "alloc-ok   %-40s %12.0f -> %12.0f allocs/op (improved)\n", name, oldal[name], newal[name]
+                }
+            }
         }
         for (name in old)
             if (!(name in new))
