@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet ci
+.PHONY: build test race bench fmt vet fleet-smoke ci
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,18 @@ build:
 test:
 	$(GO) test ./...
 
-# The engine fans campaigns across goroutines and the build shards its
-# placement/candidate phases; keep the concurrent packages honest under
-# the race detector.
+# The engine fans campaigns across goroutines, the build shards its
+# placement/candidate phases, and the fleet coordinator serves concurrent
+# HTTP workers; keep the concurrent packages honest under the race
+# detector.
 race:
-	$(GO) test -race ./internal/sim ./internal/experiment ./internal/core ./internal/measure ./internal/netnode
+	$(GO) test -race ./internal/sim ./internal/experiment ./internal/core ./internal/measure ./internal/netnode ./internal/fleet
+
+# Distributed-campaign smoke: a coordinator + 2 local workers (one
+# induced worker failure) must merge a tiny sweep byte-identical to the
+# single-process engine. See scripts/fleetsmoke.sh.
+fleet-smoke:
+	sh scripts/fleetsmoke.sh
 
 # Bench smoke: the Figure 3 benchmarks, the serial-vs-sharded Build pair,
 # the arena-vs-reference scheduler pair, and the 2000-node flood, one
@@ -40,4 +47,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: build fmt vet test race bench
+ci: build fmt vet test race fleet-smoke bench

@@ -244,6 +244,17 @@ func BenchmarkSchedulerReference(b *testing.B) { benchSchedulerKernel(b, sim.New
 // AfterCall events, pooled delivery/verify payloads, shared per-hash INV
 // messages and in-place inventory resets, steady-state allocs/op here is
 // the flood's allocation budget and benchdiff.sh flags regressions.
+//
+// Current budget (Xeon @ 2.70 GHz reference): ~19k allocs/op. The former
+// residuals — a payload slice built per delivery by wire.EncodedSize, a
+// GETDATA message + item slice per (node, first INV), per-probe ping
+// padding, and the per-run watch map — are gone: messages size themselves
+// without encoding (payloadSize), GETDATA/ping/pong wrappers recycle
+// through Network pools after dispatch, pings share one zeroed pad, and
+// the measuring node reuses its watch map (and, in streaming campaigns,
+// its per-run delta maps) across runs. What remains is dominated by the
+// per-(node, tx) first-sight bookkeeping maps, which ResetInventory
+// already recycles across runs.
 
 func BenchmarkFlood2000(b *testing.B) {
 	built, err := experiment.Build(context.Background(), experiment.Spec{

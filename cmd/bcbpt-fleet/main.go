@@ -1,0 +1,341 @@
+// Command bcbpt-fleet distributes campaign sweeps across machines.
+//
+// Usage:
+//
+//	# One coordinator...
+//	bcbpt-fleet serve -listen :9777 -experiment figure3 -nodes 5000 -runs 1000 -replications 16
+//
+//	# ...any number of workers, anywhere:
+//	bcbpt-fleet work -coordinator http://coordinator:9777
+//
+//	# Single-machine demo/smoke: coordinator plus N in-process workers.
+//	bcbpt-fleet run -experiment figure3 -fleet-workers 2
+//
+// The merged figure is bit-identical to a single-process
+// `bcbpt-sim -experiment figure3` with the same sweep flags, regardless
+// of worker count, failures, or commit order — see internal/fleet.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/fleet"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = cmdServe(ctx, os.Args[2:])
+	case "work":
+		err = cmdWork(ctx, os.Args[2:])
+	case "run":
+		err = cmdRun(ctx, os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "bcbpt-fleet: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bcbpt-fleet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `bcbpt-fleet — distribute campaign sweeps across machines
+
+Subcommands:
+  serve   host a sweep's work queue and print the merged figure
+  work    pull and execute units from a coordinator
+  run     coordinator + N in-process workers on one machine
+
+Run "bcbpt-fleet <subcommand> -h" for flags.
+`)
+}
+
+// sweepFlags are the experiment-definition flags shared by serve and run;
+// they mirror bcbpt-sim so the two frontends define identical sweeps.
+type sweepFlags struct {
+	experiment   *string
+	nodes        *int
+	runs         *int
+	seed         *int64
+	replications *int
+	deadline     *time.Duration
+	streaming    *bool
+	buildWorkers *int
+}
+
+func addSweepFlags(fs *flag.FlagSet) *sweepFlags {
+	return &sweepFlags{
+		experiment:   fs.String("experiment", "figure3", "sweep to distribute: figure3|figure4"),
+		nodes:        fs.Int("nodes", 1000, "network size (paper: ~5000)"),
+		runs:         fs.Int("runs", 200, "measurement injections per replication (paper: ~1000)"),
+		seed:         fs.Int64("seed", 1, "root random seed"),
+		replications: fs.Int("replications", 1, "independently seeded networks per series"),
+		deadline:     fs.Duration("deadline", 2*time.Minute, "virtual-time deadline per run"),
+		streaming:    fs.Bool("streaming", false, "ship bounded-memory sketch shards instead of every sample"),
+		buildWorkers: fs.Int("build-workers", 0, "sharding inside each build (0 = GOMAXPROCS; any value is bit-identical)"),
+	}
+}
+
+func (s *sweepFlags) options() experiment.Options {
+	return experiment.Options{
+		Nodes:        *s.nodes,
+		Runs:         *s.runs,
+		Seed:         *s.seed,
+		Deadline:     *s.deadline,
+		Replications: *s.replications,
+		Streaming:    *s.streaming,
+		BuildWorkers: *s.buildWorkers,
+	}
+}
+
+// campaigns resolves the flag set into the sweep definition and figure
+// title — the same campaign builders bcbpt-sim's figures run on, which is
+// what makes `bcbpt-fleet run` output diffable against `bcbpt-sim`.
+func (s *sweepFlags) campaigns() ([]experiment.CampaignSpec, string, error) {
+	o := s.options()
+	switch *s.experiment {
+	case "figure3":
+		return experiment.Figure3Campaigns(o), experiment.Figure3Title, nil
+	case "figure4":
+		return experiment.ThresholdSweepCampaigns(o, experiment.Figure4Thresholds()), experiment.Figure4Title, nil
+	default:
+		return nil, "", fmt.Errorf("unknown experiment %q (want figure3 or figure4)", *s.experiment)
+	}
+}
+
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	sf := addSweepFlags(fs)
+	listen := fs.String("listen", ":9777", "coordinator listen address")
+	leaseTTL := fs.Duration("lease-ttl", 5*time.Minute, "lease deadline; size above the slowest unit's wall time")
+	csvPath := fs.String("csv", "", "write the merged figure's CDF data to this CSV file")
+	linger := fs.Duration("linger", 10*time.Second, "keep serving this long after completion so workers observe \"done\" and exit cleanly")
+	fs.Parse(args)
+
+	campaigns, title, err := sf.campaigns()
+	if err != nil {
+		return err
+	}
+	coord, err := fleet.NewCoordinator(campaigns, fleet.CoordinatorConfig{LeaseTTL: *leaseTTL})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("coordinator listening on %s (%d units; point workers at it with `bcbpt-fleet work -coordinator http://<host>%s`)\n",
+		l.Addr(), coord.Status().Units, *listen)
+	srv, serveErr := serveCoordinator(coord, l)
+	defer srv.Close()
+	err = waitAndReport(ctx, coord, serveErr, title, *csvPath)
+	if ctx.Err() == nil && *linger > 0 {
+		// Idle workers poll about once a second; answering them "done"
+		// for a little longer beats letting them discover a vanished
+		// coordinator through connection-refused retries.
+		t := time.NewTimer(*linger)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+	}
+	return err
+}
+
+func cmdWork(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("work", flag.ExitOnError)
+	coordinator := fs.String("coordinator", "", "coordinator base URL (required), e.g. http://10.0.0.5:9777")
+	name := fs.String("name", defaultWorkerName(), "worker name in coordinator diagnostics")
+	parallelism := fs.Int("parallelism", 0, "units run concurrently (0 = GOMAXPROCS)")
+	fs.Parse(args)
+	if *coordinator == "" {
+		return errors.New("work: -coordinator is required")
+	}
+	w := &fleet.Worker{CoordinatorURL: *coordinator, Name: *name, Parallelism: *parallelism}
+	fmt.Printf("worker %s pulling from %s\n", *name, *coordinator)
+	return w.Run(ctx)
+}
+
+func cmdRun(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	sf := addSweepFlags(fs)
+	fleetWorkers := fs.Int("fleet-workers", 2, "in-process workers to spawn")
+	parallelism := fs.Int("parallelism", 0, "units run concurrently per worker (0 = GOMAXPROCS)")
+	leaseTTL := fs.Duration("lease-ttl", 5*time.Minute, "lease deadline")
+	induceFailure := fs.Bool("induce-failure", false, "lease one unit to a worker that dies without committing, forcing an expiry reassignment")
+	csvPath := fs.String("csv", "", "write the merged figure's CDF data to this CSV file")
+	fs.Parse(args)
+
+	campaigns, title, err := sf.campaigns()
+	if err != nil {
+		return err
+	}
+	if *fleetWorkers < 1 {
+		return errors.New("run: need at least one worker")
+	}
+	coord, err := fleet.NewCoordinator(campaigns, fleet.CoordinatorConfig{LeaseTTL: *leaseTTL})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	url := "http://" + l.Addr().String()
+	srv, serveErr := serveCoordinator(coord, l)
+	defer srv.Close()
+
+	if *induceFailure {
+		// A worker that takes a unit to its grave: lease and walk away.
+		// The unit comes back after -lease-ttl expires and the sweep
+		// still merges bit-identical — the failover path, exercised end
+		// to end (the reassignment count is printed with the figure).
+		resp, err := fleet.NewClient(url, nil).Lease(ctx, "induced-failure")
+		if err != nil {
+			return fmt.Errorf("induce-failure lease: %w", err)
+		}
+		if resp.Status != fleet.LeaseGranted {
+			return fmt.Errorf("induce-failure lease not granted: %s", resp.Status)
+		}
+		fmt.Printf("induced failure: campaign %d replication %d leased and abandoned (reassigns after %v)\n",
+			resp.Lease.Campaign, resp.Lease.Replication, *leaseTTL)
+	}
+
+	// If every worker dies with units still pending (persistent commit
+	// rejections, an unreachable port), nothing will ever complete the
+	// sweep — cancel the wait instead of hanging, and report the workers'
+	// errors. Workers that exit cleanly only do so once the coordinator
+	// has signalled done, so the cancel can never race a healthy finish.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	workerErrs := make([]error, *fleetWorkers)
+	var wg sync.WaitGroup
+	for i := 0; i < *fleetWorkers; i++ {
+		w := &fleet.Worker{
+			CoordinatorURL: url,
+			Name:           fmt.Sprintf("local-%d", i),
+			Parallelism:    *parallelism,
+		}
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			workerErrs[slot] = w.Run(runCtx)
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		select {
+		case <-coord.Done():
+		default:
+			cancelRun()
+		}
+	}()
+	fmt.Printf("coordinator on %s, %d in-process workers, %d units\n", url, *fleetWorkers, coord.Status().Units)
+
+	err = waitAndReport(runCtx, coord, serveErr, title, *csvPath)
+	wg.Wait()
+	if werr := errors.Join(workerErrs...); werr != nil && ctx.Err() == nil {
+		if err != nil {
+			return fmt.Errorf("workers failed: %w (coordinator: %v)", werr, err)
+		}
+		err = werr
+	}
+	return err
+}
+
+// serveCoordinator serves the coordinator's HTTP endpoints on l.
+func serveCoordinator(coord *fleet.Coordinator, l net.Listener) (*http.Server, <-chan error) {
+	srv := &http.Server{Handler: coord}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	return srv, serveErr
+}
+
+// waitAndReport blocks until the sweep completes (or ctx cancels, or the
+// HTTP server dies — a dead server means no worker can ever finish the
+// sweep, so waiting on would hang forever), then prints the merged
+// figure and optional CSV.
+func waitAndReport(ctx context.Context, coord *fleet.Coordinator, serveErr <-chan error, title, csvPath string) error {
+	start := time.Now()
+	waitDone := make(chan error, 1)
+	go func() { waitDone <- coord.Wait(ctx) }()
+	var waitErr error
+	select {
+	case waitErr = <-waitDone:
+	case err := <-serveErr:
+		return fmt.Errorf("coordinator server: %w", err)
+	}
+	if errors.Is(waitErr, context.Canceled) || errors.Is(waitErr, context.DeadlineExceeded) {
+		status := coord.Status()
+		return fmt.Errorf("interrupted with %d/%d units committed: %w", status.Done, status.Units, waitErr)
+	}
+
+	outcomes, err := coord.Outcomes()
+	if err != nil {
+		return err
+	}
+	fig := experiment.FigureResult{Title: title}
+	for _, oc := range outcomes {
+		fig.Series = append(fig.Series, experiment.Series{Name: oc.Name, Dist: oc.Result.Dist, Lost: oc.Result.Lost})
+	}
+	fmt.Println(fig)
+	status := coord.Status()
+	fmt.Printf("(%d units, %d lease reassignments, wall time %v)\n",
+		status.Units, status.Reassigned, time.Since(start).Round(time.Millisecond))
+	if csvPath != "" {
+		if err := writeCSV(csvPath, fig); err != nil {
+			return err
+		}
+	}
+	return waitErr
+}
+
+// writeCSV dumps the figure's CDF series in the canonical encoding
+// (FigureResult.WriteCSV) shared with bcbpt-sim, so outputs of the same
+// sweep diff byte for byte.
+func writeCSV(path string, fig experiment.FigureResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := fig.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Printf("(CDF data written to %s)\n", path)
+	return nil
+}
+
+func defaultWorkerName() string {
+	host, err := os.Hostname()
+	if err != nil {
+		return fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}

@@ -216,7 +216,8 @@ func printFigure(fig experiment.FigureResult, sweepErr error, csvPath string) er
 	return sweepErr
 }
 
-// writeCSV dumps a figure's CDF series to path (no-op when path is "").
+// writeCSV dumps a figure's CDF series to path (no-op when path is "")
+// in the canonical encoding shared with bcbpt-fleet.
 func writeCSV(path string, fig experiment.FigureResult) error {
 	if path == "" {
 		return nil
@@ -226,13 +227,7 @@ func writeCSV(path string, fig experiment.FigureResult) error {
 		return err
 	}
 	defer f.Close()
-	names := make([]string, len(fig.Series))
-	dists := make([]measure.Distribution, len(fig.Series))
-	for i, s := range fig.Series {
-		names[i] = s.Name
-		dists[i] = s.Dist
-	}
-	if err := measure.WriteCDFCSV(f, names, dists, 101); err != nil {
+	if err := fig.WriteCSV(f); err != nil {
 		return err
 	}
 	fmt.Printf("(CDF data written to %s)\n", path)

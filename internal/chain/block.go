@@ -304,6 +304,17 @@ func (b *Block) Bytes() []byte {
 	return buf.Bytes()
 }
 
+// Size returns the serialized size in bytes without serializing — the
+// block-relay counterpart of Tx.Size, used by the simulator to charge
+// BLOCK messages against link bandwidth per delivery.
+func (b *Block) Size() int {
+	n := (4 + 32 + 32 + 8 + 1 + 8) + 4 // header + tx count
+	for _, tx := range b.Txs {
+		n += 4 + tx.Size()
+	}
+	return n
+}
+
 // DecodeBlock parses a serialization produced by Block.Bytes.
 func DecodeBlock(data []byte) (*Block, error) {
 	const headerLen = 4 + 32 + 32 + 8 + 1 + 8

@@ -754,3 +754,26 @@ func TestHashStringAndIsZero(t *testing.T) {
 		t.Error("outpoint string empty")
 	}
 }
+
+// TestSizeMatchesBytes pins the arithmetic Tx.Size and Block.Size to the
+// actual serialization: the simulator charges link bandwidth through
+// Size on every delivery, so drift would skew the latency model.
+func TestSizeMatchesBytes(t *testing.T) {
+	alice, bob := mustKey(t, 1), mustKey(t, 2)
+	_, op := fundedLedger(t, alice)
+	signed := spend(t, alice, op, 100_000, 1200, 10, bob.Address())
+	cb := Coinbase(7, 5000, alice.Address())
+	for name, tx := range map[string]*Tx{"signed": signed, "coinbase": cb} {
+		if got, want := tx.Size(), len(tx.Bytes()); got != want {
+			t.Errorf("%s tx: Size() = %d, len(Bytes()) = %d", name, got, want)
+		}
+	}
+	ch, err := NewChain(ChainConfig{Subsidy: 100, TargetBits: 2, GenesisTo: alice.Address()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ch.Tip()
+	if got, want := b.Size(), len(b.Bytes()); got != want {
+		t.Errorf("block: Size() = %d, len(Bytes()) = %d", got, want)
+	}
+}

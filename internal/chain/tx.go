@@ -105,8 +105,20 @@ func (tx *Tx) Bytes() []byte {
 	return buf.Bytes()
 }
 
-// Size returns the serialized size in bytes.
-func (tx *Tx) Size() int { return len(tx.Bytes()) }
+// Size returns the serialized size in bytes, computed arithmetically
+// from the fixed layout — no serialization, no allocation. The simulator
+// sizes every in-flight TX message against link bandwidth through this
+// (wire.EncodedSize), so it runs once per delivery on the flood hot
+// path; TestSizeMatchesBytes pins it to len(Bytes()).
+func (tx *Tx) Size() int {
+	n := 4 + 4 + 4 + 4 // version + input count + output count + locktime
+	for i := range tx.Inputs {
+		in := &tx.Inputs[i]
+		n += 32 + 4 + 4 + len(in.Sig) + 4 + len(in.PubKey)
+	}
+	n += len(tx.Outputs) * (8 + AddressSize)
+	return n
+}
 
 // ID returns the transaction hash over the full serialization.
 func (tx *Tx) ID() Hash { return DoubleSHA256(tx.Bytes()) }

@@ -42,39 +42,46 @@ const (
 )
 
 // Spec describes one simulated network build.
+//
+// Specs serialize with encoding/json — the form the fleet subsystem ships
+// to workers and the form CampaignSpec.Fingerprint hashes. Every field is
+// plain data except BaseUTXO, which is excluded (`json:"-"`): a seeded
+// ledger cannot ship over the wire, so fleet coordinators reject specs
+// that set it (see CampaignSpec.CheckShippable).
 type Spec struct {
 	// Nodes is the network size. The paper matches the measured real-
 	// network size (~5000 reachable peers); tests use smaller worlds.
-	Nodes int
+	Nodes int `json:"nodes"`
 	// Seed roots all randomness for the build.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// Protocol selects neighbour selection.
-	Protocol ProtocolKind
+	Protocol ProtocolKind `json:"protocol"`
 	// BCBPT configures the BCBPT protocol (ignored otherwise). The zero
 	// value means core.DefaultConfig; any non-zero configuration is used
 	// exactly as given (a partially filled config fails validation loudly
 	// rather than being silently replaced).
-	BCBPT core.Config
+	BCBPT core.Config `json:"bcbpt"`
 	// BuildWorkers bounds the goroutines the build may use for its
 	// sharded phases (geo placement, BCBPT candidate ranking). <= 0
 	// means GOMAXPROCS; 1 forces the serial path. Purely a wall-clock
 	// knob: every worker count produces a bit-identical network.
-	BuildWorkers int
+	BuildWorkers int `json:"build_workers,omitempty"`
 	// Churn, when non-nil, enables join/leave dynamics during the
 	// measurement phase.
-	Churn *churn.Model
+	Churn *churn.Model `json:"churn,omitempty"`
 	// MeasuringConnections, if > 0, forces the measuring node to have
 	// exactly this many connections (used by the variance sweep). The
 	// p2p MaxPeers cap is raised accordingly.
-	MeasuringConnections int
+	MeasuringConnections int `json:"measuring_connections,omitempty"`
 	// Validation selects per-node validation depth (default Light).
-	Validation p2p.ValidationMode
+	Validation p2p.ValidationMode `json:"validation,omitempty"`
 	// BaseUTXO seeds every node's ledger view (Full validation only).
-	BaseUTXO *chain.UTXOSet
+	// Not serializable: fleet sweeps must leave it nil.
+	BaseUTXO *chain.UTXOSet `json:"-"`
 	// Relay overrides the propagation exchange (default RelayInv).
-	Relay p2p.RelayMode
+	Relay p2p.RelayMode `json:"relay,omitempty"`
 	// LossProb injects message loss (see p2p.Config.LossProb).
-	LossProb float64
+	LossProb float64 `json:"loss_prob,omitempty"`
 }
 
 // Built is a constructed, bootstrapped network ready for measurement.
@@ -96,6 +103,30 @@ func (s Spec) buildWorkers() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return s.BuildWorkers
+}
+
+// validate runs every cheap spec check up front, before Build spends any
+// work — and crucially before its first ctx checkpoint. The campaign
+// engine's fail-fast path promises a scheduling-independent error for a
+// bad spec: that only holds if a doomed unit reaches its real validation
+// error rather than aborting at a ctx poll once a sibling's failure has
+// cancelled the sweep, so nothing ctx-dependent may precede these checks.
+func (s Spec) validate() error {
+	if s.Nodes < 3 {
+		return errors.New("experiment: need at least 3 nodes")
+	}
+	switch s.Protocol {
+	case ProtoBitcoin, "", ProtoLBC:
+	case ProtoBCBPT:
+		if cfg := s.BCBPT; cfg != (core.Config{}) {
+			if err := cfg.Validate(); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("experiment: unknown protocol %q", s.Protocol)
+	}
+	return nil
 }
 
 // placementShardSize is how many nodes one placement shard covers. Each
@@ -139,8 +170,8 @@ func shardedPlacements(ctx context.Context, placer *geo.Placer, seed int64, n, w
 // closed before returning, so a failed build leaves no scheduled work,
 // no running goroutines, and nothing pinning node state alive.
 func Build(ctx context.Context, spec Spec) (*Built, error) {
-	if spec.Nodes < 3 {
-		return nil, errors.New("experiment: need at least 3 nodes")
+	if err := spec.validate(); err != nil {
+		return nil, err
 	}
 	pcfg := p2p.DefaultConfig()
 	pcfg.Seed = spec.Seed

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"time"
@@ -76,6 +77,24 @@ func (o Options) campaign(name string, spec Spec) CampaignSpec {
 		Deadline:     o.Deadline,
 		Streaming:    o.Streaming,
 	}
+}
+
+// FigureCSVPoints is the canonical CDF resolution of exported figure
+// CSVs. Every frontend (bcbpt-sim, bcbpt-fleet) writes through
+// FigureResult.WriteCSV, so outputs of the same sweep diff byte for byte
+// — the contract the fleet CI smoke asserts.
+const FigureCSVPoints = 101
+
+// WriteCSV writes the figure's CDF series in the canonical export
+// encoding (see measure.WriteCDFCSV).
+func (f FigureResult) WriteCSV(w io.Writer) error {
+	names := make([]string, len(f.Series))
+	dists := make([]measure.Distribution, len(f.Series))
+	for i, s := range f.Series {
+		names[i] = s.Name
+		dists[i] = s.Dist
+	}
+	return measure.WriteCDFCSV(w, names, dists, FigureCSVPoints)
 }
 
 // Series is one named Δt distribution (a curve of Fig. 3/4).
@@ -154,9 +173,11 @@ func Figure3(o Options) (FigureResult, error) {
 	return Figure3Ctx(context.Background(), o)
 }
 
-// Figure3Ctx is Figure3 on the campaign engine: the three series (and
-// their replications) are scheduled as one work queue.
-func Figure3Ctx(ctx context.Context, o Options) (FigureResult, error) {
+// Figure3Campaigns returns the campaign list behind Fig. 3 — the three
+// protocol series under the shared options. Exported so sweep frontends
+// other than Figure3Ctx (the fleet coordinator, a saved sweep file) run
+// exactly the same experiment definition.
+func Figure3Campaigns(o Options) []CampaignSpec {
 	o = o.withDefaults()
 	bcbptCfg := core.DefaultConfig()
 	bcbptCfg.Threshold = 25 * time.Millisecond
@@ -173,8 +194,17 @@ func Figure3Ctx(ctx context.Context, o Options) (FigureResult, error) {
 	} {
 		campaigns = append(campaigns, o.campaign(p.name, buildSpec(o, p.kind, p.bcbpt)))
 	}
-	return sweepFigure(ctx, o,
-		"Fig. 3 — Δt(m,n) distribution: Bitcoin vs LBC vs BCBPT (dt=25ms)", campaigns)
+	return campaigns
+}
+
+// Figure3Title is the figure heading shared by every Fig. 3 frontend.
+const Figure3Title = "Fig. 3 — Δt(m,n) distribution: Bitcoin vs LBC vs BCBPT (dt=25ms)"
+
+// Figure3Ctx is Figure3 on the campaign engine: the three series (and
+// their replications) are scheduled as one work queue.
+func Figure3Ctx(ctx context.Context, o Options) (FigureResult, error) {
+	o = o.withDefaults()
+	return sweepFigure(ctx, o, Figure3Title, Figure3Campaigns(o))
 }
 
 // Figure4 regenerates Fig. 4: BCBPT Δt distributions at thresholds 30,
@@ -187,9 +217,7 @@ func Figure4(o Options) (FigureResult, error) {
 // Figure4Ctx is Figure4 on the campaign engine; it owns the paper's
 // canonical threshold set.
 func Figure4Ctx(ctx context.Context, o Options) (FigureResult, error) {
-	return ThresholdSweepCtx(ctx, o, []time.Duration{
-		30 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond,
-	})
+	return ThresholdSweepCtx(ctx, o, Figure4Thresholds())
 }
 
 // ThresholdSweep generalises Fig. 4 to any threshold set.
@@ -197,9 +225,10 @@ func ThresholdSweep(o Options, thresholds []time.Duration) (FigureResult, error)
 	return ThresholdSweepCtx(context.Background(), o, thresholds)
 }
 
-// ThresholdSweepCtx schedules the whole threshold set as one engine work
-// queue.
-func ThresholdSweepCtx(ctx context.Context, o Options, thresholds []time.Duration) (FigureResult, error) {
+// ThresholdSweepCampaigns returns the campaign list of a threshold sweep:
+// one BCBPT series per dt under the shared options. Exported for the same
+// reason as Figure3Campaigns.
+func ThresholdSweepCampaigns(o Options, thresholds []time.Duration) []CampaignSpec {
 	o = o.withDefaults()
 	var campaigns []CampaignSpec
 	for _, dt := range thresholds {
@@ -207,7 +236,22 @@ func ThresholdSweepCtx(ctx context.Context, o Options, thresholds []time.Duratio
 		cfg.Threshold = dt
 		campaigns = append(campaigns, o.campaign(fmt.Sprintf("bcbpt-%v", dt), buildSpec(o, ProtoBCBPT, cfg)))
 	}
-	return sweepFigure(ctx, o, "Fig. 4 — BCBPT Δt(m,n) distribution by threshold dt", campaigns)
+	return campaigns
+}
+
+// Figure4Thresholds is the paper's canonical Fig. 4 threshold set.
+func Figure4Thresholds() []time.Duration {
+	return []time.Duration{30 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond}
+}
+
+// Figure4Title is the figure heading shared by every Fig. 4 frontend.
+const Figure4Title = "Fig. 4 — BCBPT Δt(m,n) distribution by threshold dt"
+
+// ThresholdSweepCtx schedules the whole threshold set as one engine work
+// queue.
+func ThresholdSweepCtx(ctx context.Context, o Options, thresholds []time.Duration) (FigureResult, error) {
+	o = o.withDefaults()
+	return sweepFigure(ctx, o, Figure4Title, ThresholdSweepCampaigns(o, thresholds))
 }
 
 // VariancePoint is one (connections, spread) sample of the §V.C claim.

@@ -16,8 +16,10 @@ package experiment
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"sync"
 	"time"
@@ -32,27 +34,34 @@ var ErrPartialResult = errors.New("experiment: partial campaign results")
 
 // CampaignSpec describes one campaign of a sweep: a network Spec measured
 // over Replications independently seeded builds of Runs injections each,
-// pooled into a single result.
+// pooled into a single result. It serializes with encoding/json (the
+// fleet wire form; see Spec).
 type CampaignSpec struct {
 	// Name labels the campaign in outcomes (series name in figures).
-	Name string
+	Name string `json:"name"`
 	// Spec is the network build; Spec.Seed roots replication 0 and seeds
 	// the derivation chain for the rest.
-	Spec Spec
+	Spec Spec `json:"spec"`
 	// Replications is the number of independently seeded networks
 	// (default 1). Samples pool across replications.
-	Replications int
+	Replications int `json:"replications,omitempty"`
 	// Runs is the number of measurement injections per replication
 	// (default 200, as Options).
-	Runs int
+	Runs int `json:"runs,omitempty"`
 	// Deadline bounds each injection in virtual time (default 2 minutes).
-	Deadline time.Duration
+	Deadline time.Duration `json:"deadline,omitempty"`
 	// Streaming pools each replication's samples into a bounded-memory
 	// sketch instead of retaining them all (see measure.Campaign.Streaming
 	// and StreamingDistribution). Shard results and their merge stay
 	// deterministic and order-independent; per-run results are dropped.
-	Streaming bool
+	Streaming bool `json:"streaming,omitempty"`
 }
+
+// WithDefaults returns the spec with the engine's defaults filled in —
+// the canonical form sweep frontends (the fleet coordinator) normalise to
+// before expanding units, so coordinator and workers agree on replication
+// counts and fingerprints.
+func (c CampaignSpec) WithDefaults() CampaignSpec { return c.withDefaults() }
 
 func (c CampaignSpec) withDefaults() CampaignSpec {
 	if c.Replications <= 0 {
@@ -76,6 +85,46 @@ func (c CampaignSpec) ReplicationSeed(i int) int64 {
 		return c.Spec.Seed
 	}
 	return sim.DeriveSeed(c.Spec.Seed, fmt.Sprintf("replication/%d", i))
+}
+
+// Fingerprint returns a stable hash identifying the experiment this
+// campaign defines: an FNV-64a of the canonical JSON of the defaulted
+// spec, with the fields that cannot influence results excluded — Name (a
+// display label) and Spec.BuildWorkers (a host-parallelism knob that is
+// bit-identical for every value). Spec.BaseUTXO is excluded too (it does
+// not serialize); fleet sweeps reject it via CheckShippable.
+//
+// The campaign engine stamps every shard result with this fingerprint and
+// measure.MergeCampaignResults refuses to blend shards whose fingerprints
+// differ, so results from different experiments — a different seed, node
+// count, threshold, anything — can never silently pool. Never zero.
+func (c CampaignSpec) Fingerprint() uint64 {
+	c = c.withDefaults()
+	c.Name = ""
+	c.Spec.BuildWorkers = 0
+	data, err := json.Marshal(c)
+	if err != nil {
+		// Every serializable field is plain data; Marshal cannot fail.
+		panic(fmt.Sprintf("experiment: fingerprint marshal: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	v := h.Sum64()
+	if v == 0 {
+		v = 1 // zero means "unstamped"
+	}
+	return v
+}
+
+// CheckShippable reports whether the campaign can be serialized for a
+// fleet worker without losing anything. The one non-wire field is
+// Spec.BaseUTXO: full-validation campaigns with a seeded ledger must run
+// on a single machine.
+func (c CampaignSpec) CheckShippable() error {
+	if c.Spec.BaseUTXO != nil {
+		return fmt.Errorf("experiment: campaign %q sets Spec.BaseUTXO, which does not serialize; run it locally", c.Name)
+	}
+	return nil
 }
 
 // CampaignOutcome is one campaign's merged result.
@@ -165,6 +214,33 @@ type unitRef struct {
 	replication int
 }
 
+// RunUnit executes one self-contained unit of a sweep — replication rep
+// of campaign cs — and returns its shard result, stamped with the
+// campaign's fingerprint. This is the single execution path shared by the
+// local Runner.Sweep and the fleet worker: a unit derives every bit of
+// randomness from its replication seed, so running it twice — or on two
+// different machines — produces bit-identical results, which is what
+// makes lease reassignment after a worker failure idempotent.
+func RunUnit(ctx context.Context, cs CampaignSpec, rep int) (measure.CampaignResult, error) {
+	cs = cs.withDefaults()
+	if rep < 0 || rep >= cs.Replications {
+		return measure.CampaignResult{}, fmt.Errorf("experiment: replication %d outside [0, %d)", rep, cs.Replications)
+	}
+	spec := cs.Spec
+	spec.Seed = cs.ReplicationSeed(rep)
+	b, err := Build(ctx, spec)
+	if err != nil {
+		return measure.CampaignResult{}, fmt.Errorf("experiment: build %s replication %d: %w", cs.Name, rep, err)
+	}
+	defer b.Close()
+	res, err := b.campaignContext(ctx, cs.Runs, cs.Deadline, cs.Streaming)
+	if err != nil {
+		return measure.CampaignResult{}, fmt.Errorf("experiment: campaign %s replication %d: %w", cs.Name, rep, err)
+	}
+	res.Fingerprint = cs.Fingerprint()
+	return res, nil
+}
+
 // isCancellation reports whether err is a context cancellation rather
 // than a real unit failure.
 func isCancellation(err error) bool {
@@ -175,18 +251,23 @@ func isCancellation(err error) bool {
 // semantics: the first real (non-cancellation) failure cancels the
 // remaining units so a bad spec does not burn the rest of the sweep's
 // wall-clock. It reports which units completed and the lowest-indexed
-// real failure among the units that ran (nil if none) — for a fixed
-// failing spec that choice is stable across worker counts.
+// real failure among the units that ran (nil if none).
+//
+// Every dispatched unit runs fn even if fail-fast cancellation has
+// already fired — fn's own ctx polling keeps that cheap (a cancelled
+// build aborts at its first phase) and it is what makes the reported
+// failure stable across worker counts: units are handed out in index
+// order, so every unit below the failing one has been dispatched and
+// gets to record its own real error (a spec that fails validation fails
+// identically however the pool is scheduled) rather than a scheduling-
+// dependent "cancelled before start". Without this, two replications of
+// one bad spec could race to be the reported failure.
 func (r *Runner) runUnits(ctx context.Context, n int, fn func(ctx context.Context, i int) error) ([]bool, error) {
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	completed := make([]bool, n)
 	errs := make([]error, n)
 	r.Each(runCtx, n, func(ctx context.Context, i int) {
-		if err := ctx.Err(); err != nil {
-			errs[i] = err
-			return
-		}
 		if err := fn(ctx, i); err != nil {
 			errs[i] = err
 			if !isCancellation(err) {
@@ -239,16 +320,9 @@ func (r *Runner) Sweep(ctx context.Context, campaigns []CampaignSpec) ([]Campaig
 	results := make([]measure.CampaignResult, len(units))
 	completed, unitErr := r.runUnits(ctx, len(units), func(ctx context.Context, i int) error {
 		u := units[i]
-		cs := specs[u.campaign]
-		spec := cs.Spec
-		spec.Seed = cs.ReplicationSeed(u.replication)
-		b, err := Build(ctx, spec)
+		res, err := RunUnit(ctx, specs[u.campaign], u.replication)
 		if err != nil {
-			return fmt.Errorf("experiment: build %s replication %d: %w", cs.Name, u.replication, err)
-		}
-		res, err := b.campaignContext(ctx, cs.Runs, cs.Deadline, cs.Streaming)
-		if err != nil {
-			return fmt.Errorf("experiment: campaign %s replication %d: %w", cs.Name, u.replication, err)
+			return err
 		}
 		results[i] = res
 		return nil
@@ -267,9 +341,16 @@ func (r *Runner) Sweep(ctx context.Context, campaigns []CampaignSpec) ([]Campaig
 			}
 		}
 		base += specs[ci].Replications
+		merged, err := measure.MergeCampaignResults(shards...)
+		if err != nil {
+			// Unreachable from this path — every shard of a campaign is
+			// stamped with the same fingerprint — but a corrupted shard
+			// must fail loudly, not pool.
+			return nil, fmt.Errorf("experiment: merge campaign %s: %w", specs[ci].Name, err)
+		}
 		out[ci] = CampaignOutcome{
 			Name:         specs[ci].Name,
-			Result:       measure.MergeCampaignResults(shards...),
+			Result:       merged,
 			Replications: len(shards),
 		}
 	}

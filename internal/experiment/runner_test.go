@@ -263,3 +263,65 @@ func TestCampaignContextPartial(t *testing.T) {
 		t.Errorf("pre-cancelled campaign ran %d injections", len(res.PerRun))
 	}
 }
+
+// TestCampaignSpecFingerprint pins the fingerprint's contract: stable
+// under defaulting and result-neutral knobs (Name, BuildWorkers),
+// sensitive to anything that changes the measured data.
+func TestCampaignSpecFingerprint(t *testing.T) {
+	base := CampaignSpec{Name: "a", Spec: Spec{Nodes: 40, Seed: 21, Protocol: ProtoBitcoin}}
+	fp := base.Fingerprint()
+	if fp == 0 {
+		t.Fatal("fingerprint is zero (reserved for unstamped results)")
+	}
+
+	defaulted := base
+	defaulted.Replications = 1
+	defaulted.Runs = 200
+	defaulted.Deadline = 2 * time.Minute
+	if defaulted.Fingerprint() != fp {
+		t.Error("explicit defaults changed the fingerprint")
+	}
+	renamed := base
+	renamed.Name = "b"
+	if renamed.Fingerprint() != fp {
+		t.Error("series name changed the fingerprint")
+	}
+	sharded := base
+	sharded.Spec.BuildWorkers = 16
+	if sharded.Fingerprint() != fp {
+		t.Error("BuildWorkers changed the fingerprint (results are identical for any value)")
+	}
+
+	for label, mutate := range map[string]func(*CampaignSpec){
+		"seed":      func(c *CampaignSpec) { c.Spec.Seed = 22 },
+		"nodes":     func(c *CampaignSpec) { c.Spec.Nodes = 41 },
+		"protocol":  func(c *CampaignSpec) { c.Spec.Protocol = ProtoLBC },
+		"runs":      func(c *CampaignSpec) { c.Runs = 100 },
+		"streaming": func(c *CampaignSpec) { c.Streaming = true },
+	} {
+		m := base
+		mutate(&m)
+		if m.Fingerprint() == fp {
+			t.Errorf("changing %s did not change the fingerprint", label)
+		}
+	}
+}
+
+// TestRunUnitStampsFingerprint: shards leaving the shared execution path
+// must carry the spec fingerprint Sweep and the fleet merge on.
+func TestRunUnitStampsFingerprint(t *testing.T) {
+	cs := CampaignSpec{Name: "unit", Spec: Spec{Nodes: 20, Seed: 3, Protocol: ProtoBitcoin}, Runs: 2, Deadline: 30 * time.Second}
+	res, err := RunUnit(context.Background(), cs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint != cs.Fingerprint() {
+		t.Errorf("shard fingerprint %x, want %x", res.Fingerprint, cs.Fingerprint())
+	}
+	if res.Dist.N() == 0 {
+		t.Error("unit produced no samples")
+	}
+	if _, err := RunUnit(context.Background(), cs, 5); err == nil {
+		t.Error("out-of-range replication index accepted")
+	}
+}

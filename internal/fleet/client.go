@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client speaks the coordinator protocol. Workers embed one; tests and
+// failure injectors use it directly to hold leases without committing.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// defaultRequestTimeout bounds every protocol exchange when the caller
+// does not supply its own http.Client. Without it, a coordinator that
+// dies silently (powered-off host, dropped NAT entry — no RST) would
+// hang a request forever and the worker's bounded-retry budgets would
+// never fire. Two minutes is generous for the largest exchange, an exact
+// shard commit of megabytes over a LAN.
+const defaultRequestTimeout = 2 * time.Minute
+
+// NewClient returns a client for the coordinator at baseURL (e.g.
+// "http://10.0.0.5:9777"). httpClient nil means a client with
+// defaultRequestTimeout; pass an explicit client to tune or remove it.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: defaultRequestTimeout}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// do runs one JSON request/response exchange.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("fleet: marshal %s request: %w", path, err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("fleet: %s: %w", path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("fleet: %s: coordinator returned %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("fleet: %s: decode response: %w", path, err)
+	}
+	return nil
+}
+
+// Sweep fetches the sweep description.
+func (c *Client) Sweep(ctx context.Context) (SweepResponse, error) {
+	var out SweepResponse
+	err := c.do(ctx, http.MethodGet, PathSweep, nil, &out)
+	return out, err
+}
+
+// Lease requests one unit of work.
+func (c *Client) Lease(ctx context.Context, worker string) (LeaseResponse, error) {
+	var out LeaseResponse
+	err := c.do(ctx, http.MethodPost, PathLease, LeaseRequest{Worker: worker}, &out)
+	return out, err
+}
+
+// Commit ships a finished unit back.
+func (c *Client) Commit(ctx context.Context, req CommitRequest) (CommitResponse, error) {
+	var out CommitResponse
+	err := c.do(ctx, http.MethodPost, PathCommit, req, &out)
+	return out, err
+}
+
+// Status fetches queue progress.
+func (c *Client) Status(ctx context.Context) (StatusResponse, error) {
+	var out StatusResponse
+	err := c.do(ctx, http.MethodGet, PathStatus, nil, &out)
+	return out, err
+}

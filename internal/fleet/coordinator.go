@@ -1,0 +1,358 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/measure"
+)
+
+// CoordinatorConfig tunes the work queue.
+type CoordinatorConfig struct {
+	// LeaseTTL is how long a worker holds a unit before it may be
+	// reassigned. There is no renewal, so size it above the slowest
+	// unit's wall time: too short wastes work on spurious reassignments
+	// (harmless — commits are at-most-once — but slow), too long delays
+	// recovery from a dead worker. Default 5 minutes.
+	LeaseTTL time.Duration
+	// RetryInterval caps the poll delay suggested to idle workers.
+	// Default 2 seconds.
+	RetryInterval time.Duration
+	// now stubs the clock in tests.
+	now func() time.Time
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 5 * time.Minute
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 2 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// unitPhase is a unit's place in the queue lifecycle.
+type unitPhase uint8
+
+const (
+	unitPending unitPhase = iota
+	unitLeased
+	unitDone
+)
+
+// unit is one (campaign, replication) work item and its queue state.
+type unit struct {
+	campaign    int
+	replication int
+	phase       unitPhase
+	leaseID     uint64
+	worker      string
+	expires     time.Time
+	result      measure.CampaignResult
+}
+
+// Coordinator owns a sweep's work queue and its committed shards. It is
+// an http.Handler (the protocol endpoints) and is safe for concurrent
+// use; serve it with net/http or drive leaseUnit/commitUnit through the
+// handlers from in-process workers.
+type Coordinator struct {
+	cfg       CoordinatorConfig
+	campaigns []experiment.CampaignSpec // defaulted
+	prints    []uint64
+	offsets   []int // unit index of each campaign's replication 0
+	mux       *http.ServeMux
+
+	mu         sync.Mutex
+	units      []unit
+	remaining  int
+	reassigned int
+	nextLease  uint64
+	failure    error
+	done       chan struct{}
+}
+
+// NewCoordinator builds the work queue for a sweep: every replication of
+// every campaign becomes one leasable unit, exactly the flat queue
+// Runner.Sweep schedules locally. Campaigns must be shippable
+// (CampaignSpec.CheckShippable).
+func NewCoordinator(campaigns []experiment.CampaignSpec, cfg CoordinatorConfig) (*Coordinator, error) {
+	if len(campaigns) == 0 {
+		return nil, errors.New("fleet: sweep has no campaigns")
+	}
+	c := &Coordinator{
+		cfg:       cfg.withDefaults(),
+		campaigns: make([]experiment.CampaignSpec, len(campaigns)),
+		prints:    make([]uint64, len(campaigns)),
+		offsets:   make([]int, len(campaigns)),
+		done:      make(chan struct{}),
+	}
+	for i, cs := range campaigns {
+		if err := cs.CheckShippable(); err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		cs = cs.WithDefaults()
+		c.campaigns[i] = cs
+		c.prints[i] = cs.Fingerprint()
+		c.offsets[i] = len(c.units)
+		for rep := 0; rep < cs.Replications; rep++ {
+			c.units = append(c.units, unit{campaign: i, replication: rep})
+		}
+	}
+	c.remaining = len(c.units)
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("GET "+PathSweep, c.handleSweep)
+	c.mux.HandleFunc("POST "+PathLease, c.handleLease)
+	c.mux.HandleFunc("POST "+PathCommit, c.handleCommit)
+	c.mux.HandleFunc("GET "+PathStatus, c.handleStatus)
+	return c, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+
+// Sweep returns the sweep description workers fetch at startup.
+func (c *Coordinator) Sweep() SweepResponse {
+	return SweepResponse{Campaigns: c.campaigns, Fingerprints: c.prints}
+}
+
+// leaseUnit grants the next available unit: a never-leased one first,
+// else the first unit whose lease has expired (the failover path). Units
+// are scanned in queue order, so reassignment — like everything else —
+// is deterministic given the same request sequence.
+func (c *Coordinator) leaseUnit(worker string) LeaseResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.remaining == 0 || c.failure != nil {
+		return LeaseResponse{Status: LeaseDone}
+	}
+	now := c.cfg.now()
+	grant := -1
+	for i := range c.units {
+		if c.units[i].phase == unitPending {
+			grant = i
+			break
+		}
+	}
+	if grant < 0 {
+		soonest := time.Duration(-1)
+		for i := range c.units {
+			u := &c.units[i]
+			if u.phase != unitLeased {
+				continue
+			}
+			if !now.Before(u.expires) {
+				c.reassigned++
+				grant = i
+				break
+			}
+			if wait := u.expires.Sub(now); soonest < 0 || wait < soonest {
+				soonest = wait
+			}
+		}
+		if grant < 0 {
+			// Everything is leased and live: come back around the time
+			// the earliest lease could expire.
+			retry := c.cfg.RetryInterval
+			if soonest >= 0 && soonest < retry {
+				retry = soonest
+			}
+			if retry < 10*time.Millisecond {
+				retry = 10 * time.Millisecond
+			}
+			return LeaseResponse{Status: LeaseWait, RetryMillis: retry.Milliseconds()}
+		}
+	}
+	u := &c.units[grant]
+	c.nextLease++
+	u.phase = unitLeased
+	u.leaseID = c.nextLease
+	u.worker = worker
+	u.expires = now.Add(c.cfg.LeaseTTL)
+	return LeaseResponse{Status: LeaseGranted, Lease: &Lease{
+		ID:          u.leaseID,
+		Campaign:    u.campaign,
+		Replication: u.replication,
+		Seed:        c.campaigns[u.campaign].ReplicationSeed(u.replication),
+		TTLMillis:   c.cfg.LeaseTTL.Milliseconds(),
+	}}
+}
+
+// commitUnit records a finished unit — at most once. The commit must name
+// the unit's current lease: after an expiry-driven reassignment the
+// superseded worker's commit is rejected, and once a unit is done every
+// further commit is rejected, so a shard can never pool twice.
+//
+// Shard decoding — hundreds of milliseconds for an exact shard of a deep
+// campaign — happens before the lock is taken (campaigns, prints and
+// offsets are immutable after construction), so one large commit never
+// stalls every other worker's lease poll behind the coordinator mutex.
+// The lease is only checked under the lock, after the decode: a stale
+// commit wastes its own decode, never anyone else's time.
+func (c *Coordinator) commitUnit(req CommitRequest) CommitResponse {
+	if req.Campaign < 0 || req.Campaign >= len(c.campaigns) {
+		return CommitResponse{Reason: fmt.Sprintf("unknown campaign %d", req.Campaign)}
+	}
+	cs := c.campaigns[req.Campaign]
+	if req.Replication < 0 || req.Replication >= cs.Replications {
+		return CommitResponse{Reason: fmt.Sprintf("campaign %d has no replication %d", req.Campaign, req.Replication)}
+	}
+	var res measure.CampaignResult
+	if req.Error == "" {
+		var err error
+		if res, err = measure.DecodeCampaignResult(req.Result); err != nil {
+			return CommitResponse{Reason: err.Error()}
+		}
+		if res.Fingerprint != c.prints[req.Campaign] {
+			return CommitResponse{Reason: fmt.Sprintf(
+				"shard fingerprint %016x does not match campaign %s (%016x): worker ran a different experiment",
+				res.Fingerprint, cs.Name, c.prints[req.Campaign])}
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u := &c.units[c.offsets[req.Campaign]+req.Replication]
+	if u.phase == unitDone {
+		return CommitResponse{Reason: "unit already committed", Stale: true}
+	}
+	if u.phase != unitLeased || u.leaseID != req.LeaseID {
+		return CommitResponse{Reason: "lease superseded", Stale: true}
+	}
+	if req.Error != "" {
+		// A deterministic unit failure fails the sweep fast: retrying the
+		// unit elsewhere would reproduce it bit for bit.
+		if c.failure == nil {
+			c.failure = fmt.Errorf("fleet: unit %d/%d of campaign %s failed on worker %s: %s",
+				req.Replication+1, cs.Replications, cs.Name, req.Worker, req.Error)
+			close(c.done)
+		}
+		return CommitResponse{Accepted: true}
+	}
+	u.phase = unitDone
+	u.result = res
+	c.remaining--
+	if c.remaining == 0 && c.failure == nil {
+		// A failed sweep already closed done; in-flight commits after the
+		// failure are still recorded, just not re-signalled.
+		close(c.done)
+	}
+	return CommitResponse{Accepted: true}
+}
+
+// Done is closed when the sweep completes or fails.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Wait blocks until the sweep completes, fails, or ctx is cancelled.
+func (c *Coordinator) Wait(ctx context.Context) error {
+	select {
+	case <-c.done:
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.failure
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Status snapshots queue progress.
+func (c *Coordinator) Status() StatusResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := StatusResponse{Units: len(c.units), Reassigned: c.reassigned}
+	for i := range c.units {
+		switch c.units[i].phase {
+		case unitDone:
+			s.Done++
+		case unitLeased:
+			s.Leased++
+		default:
+			s.Pending++
+		}
+	}
+	s.Complete = c.remaining == 0 || c.failure != nil
+	if c.failure != nil {
+		s.Failed = c.failure.Error()
+	}
+	return s
+}
+
+// Outcomes merges the committed shards into campaign outcomes, in
+// replication order — byte for byte what Runner.Sweep would have returned
+// for the same specs on one machine. Incomplete campaigns merge their
+// committed shards (mirroring Sweep's partial results); the sweep-fatal
+// error, if any, is returned alongside.
+func (c *Coordinator) Outcomes() ([]experiment.CampaignOutcome, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]experiment.CampaignOutcome, len(c.campaigns))
+	for ci, cs := range c.campaigns {
+		shards := make([]measure.CampaignResult, 0, cs.Replications)
+		for rep := 0; rep < cs.Replications; rep++ {
+			if u := &c.units[c.offsets[ci]+rep]; u.phase == unitDone {
+				shards = append(shards, u.result)
+			}
+		}
+		merged, err := measure.MergeCampaignResults(shards...)
+		if err != nil {
+			// Unreachable — commits with foreign fingerprints are
+			// rejected — but never pool silently.
+			return nil, fmt.Errorf("fleet: merge campaign %s: %w", cs.Name, err)
+		}
+		out[ci] = experiment.CampaignOutcome{Name: cs.Name, Result: merged, Replications: len(shards)}
+	}
+	return out, c.failure
+}
+
+// maxBody bounds request bodies: an exact shard of a deep campaign is
+// megabytes of samples; 256 MiB leaves headroom without letting a rogue
+// peer exhaust memory.
+const maxBody = 256 << 20
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleSweep(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, c.Sweep())
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	writeJSON(w, c.leaseUnit(req.Worker))
+}
+
+func (c *Coordinator) handleCommit(w http.ResponseWriter, r *http.Request) {
+	var req CommitRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	writeJSON(w, c.commitUnit(req))
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, c.Status())
+}

@@ -1,0 +1,292 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/experiment"
+	"repro/internal/measure"
+)
+
+// testSweep is the shared workload: two exact campaigns and one streaming
+// campaign (so both shard encodings cross the wire), several replications
+// each so the queue actually distributes.
+func testSweep() []experiment.CampaignSpec {
+	spec := func(seed int64, proto experiment.ProtocolKind) experiment.Spec {
+		return experiment.Spec{Nodes: 40, Seed: seed, Protocol: proto}
+	}
+	return []experiment.CampaignSpec{
+		{Name: "bitcoin", Spec: spec(21, experiment.ProtoBitcoin), Replications: 3, Runs: 3, Deadline: 30 * time.Second},
+		{Name: "lbc", Spec: spec(21, experiment.ProtoLBC), Replications: 2, Runs: 3, Deadline: 30 * time.Second},
+		{Name: "bitcoin-stream", Spec: spec(22, experiment.ProtoBitcoin), Replications: 2, Runs: 3, Deadline: 30 * time.Second, Streaming: true},
+	}
+}
+
+// serialSweep runs the same specs through the local engine — the baseline
+// every fleet result must match bit for bit.
+func serialSweep(t *testing.T) []experiment.CampaignOutcome {
+	t.Helper()
+	out, err := experiment.NewRunner(1).Sweep(context.Background(), testSweep())
+	if err != nil {
+		t.Fatalf("serial sweep: %v", err)
+	}
+	return out
+}
+
+// sameOutcomes asserts the fleet outcomes are bit-identical to the serial
+// ones: distribution state, per-run results, loss counts, fingerprints.
+func sameOutcomes(t *testing.T, fleet, serial []experiment.CampaignOutcome) {
+	t.Helper()
+	if len(fleet) != len(serial) {
+		t.Fatalf("outcome count %d vs %d", len(fleet), len(serial))
+	}
+	for i := range serial {
+		f, s := fleet[i], serial[i]
+		if f.Name != s.Name || f.Replications != s.Replications {
+			t.Errorf("outcome %d: (%q, %d reps) vs (%q, %d reps)", i, f.Name, f.Replications, s.Name, s.Replications)
+		}
+		if !f.Result.Dist.Equal(s.Result.Dist) {
+			t.Errorf("campaign %s: distributions differ: %v vs %v", s.Name, f.Result.Dist, s.Result.Dist)
+		}
+		if f.Result.Lost != s.Result.Lost {
+			t.Errorf("campaign %s: lost %d vs %d", s.Name, f.Result.Lost, s.Result.Lost)
+		}
+		if f.Result.Fingerprint != s.Result.Fingerprint {
+			t.Errorf("campaign %s: fingerprint %x vs %x", s.Name, f.Result.Fingerprint, s.Result.Fingerprint)
+		}
+		if len(f.Result.PerRun) != len(s.Result.PerRun) {
+			t.Errorf("campaign %s: per-run count %d vs %d", s.Name, len(f.Result.PerRun), len(s.Result.PerRun))
+			continue
+		}
+		for r := range s.Result.PerRun {
+			fr, sr := f.Result.PerRun[r], s.Result.PerRun[r]
+			if fr.TxID != sr.TxID || fr.InjectedAt != sr.InjectedAt || len(fr.Deltas) != len(sr.Deltas) {
+				t.Errorf("campaign %s run %d differs", s.Name, r)
+				continue
+			}
+			for id, d := range sr.Deltas {
+				if fr.Deltas[id] != d {
+					t.Errorf("campaign %s run %d delta[%d]: %v vs %v", s.Name, r, id, fr.Deltas[id], d)
+				}
+			}
+		}
+	}
+}
+
+// startCoordinator serves a coordinator over loopback HTTP.
+func startCoordinator(t *testing.T, campaigns []experiment.CampaignSpec, cfg CoordinatorConfig) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	c, err := NewCoordinator(campaigns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c)
+	t.Cleanup(ts.Close)
+	return c, ts
+}
+
+// TestFleetMatchesSerialSweep is the subsystem's core guarantee: a sweep
+// fanned over two workers merges bit-identical to the one-machine sweep.
+func TestFleetMatchesSerialSweep(t *testing.T) {
+	serial := serialSweep(t)
+	c, ts := startCoordinator(t, testSweep(), CoordinatorConfig{})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	errc := make(chan error, 2)
+	for i, name := range []string{"worker-a", "worker-b"} {
+		w := &Worker{CoordinatorURL: ts.URL, Name: name, Parallelism: 1 + i, RetryInterval: 10 * time.Millisecond}
+		go func() { errc <- w.Run(ctx) }()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+	if err := c.Wait(ctx); err != nil {
+		t.Fatalf("sweep failed: %v", err)
+	}
+	out, err := c.Outcomes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutcomes(t, out, serial)
+
+	status, err := NewClient(ts.URL, nil).Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !status.Complete || status.Done != status.Units || status.Units != 7 {
+		t.Errorf("status after completion: %+v", status)
+	}
+}
+
+// TestFleetFailoverMatchesSerialSweep kills a worker mid-lease: a
+// saboteur client leases a unit and goes silent, a real worker drains the
+// queue, and after the lease TTL the abandoned unit is reassigned — the
+// merged result must still be bit-identical to the serial sweep, and the
+// dead worker's late commit must be rejected.
+func TestFleetFailoverMatchesSerialSweep(t *testing.T) {
+	serial := serialSweep(t)
+	c, ts := startCoordinator(t, testSweep(), CoordinatorConfig{LeaseTTL: 300 * time.Millisecond})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	saboteur := NewClient(ts.URL, nil)
+	dead, err := saboteur.Lease(ctx, "doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dead.Status != LeaseGranted {
+		t.Fatalf("saboteur lease status %q, want granted", dead.Status)
+	}
+	// The saboteur never commits: its unit must come back after the TTL.
+
+	w := &Worker{CoordinatorURL: ts.URL, Name: "survivor", Parallelism: 2, RetryInterval: 20 * time.Millisecond}
+	if err := w.Run(ctx); err != nil {
+		t.Fatalf("surviving worker: %v", err)
+	}
+	if err := c.Wait(ctx); err != nil {
+		t.Fatalf("sweep failed: %v", err)
+	}
+	status := c.Status()
+	if status.Reassigned < 1 {
+		t.Errorf("no lease was reassigned; the saboteur's unit was never recovered (%+v)", status)
+	}
+	out, err := c.Outcomes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutcomes(t, out, serial)
+
+	// The dead worker comes back from the grave with a bit-identical
+	// shard; at-most-once commit must turn it away.
+	sweep := c.Sweep()
+	res, err := experiment.RunUnit(ctx, sweep.Campaigns[dead.Lease.Campaign], dead.Lease.Replication)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := measure.EncodeCampaignResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := saboteur.Commit(ctx, CommitRequest{
+		Worker:      "doomed",
+		LeaseID:     dead.Lease.ID,
+		Campaign:    dead.Lease.Campaign,
+		Replication: dead.Lease.Replication,
+		Result:      data,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted {
+		t.Error("late commit from an expired lease was accepted (double merge)")
+	}
+}
+
+// TestCoordinatorRejectsForeignFingerprint: a shard measured under a
+// different spec must be rejected at commit, not pooled.
+func TestCoordinatorRejectsForeignFingerprint(t *testing.T) {
+	_, ts := startCoordinator(t, testSweep(), CoordinatorConfig{})
+	ctx := context.Background()
+	client := NewClient(ts.URL, nil)
+	lease, err := client.Lease(ctx, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign, err := measure.EncodeCampaignResult(measure.CampaignResult{Fingerprint: 12345})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := client.Commit(ctx, CommitRequest{
+		LeaseID:     lease.Lease.ID,
+		Campaign:    lease.Lease.Campaign,
+		Replication: lease.Lease.Replication,
+		Result:      foreign,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted || !strings.Contains(ack.Reason, "fingerprint") {
+		t.Errorf("foreign-fingerprint commit: %+v", ack)
+	}
+}
+
+// TestWorkerRefusesVersionSkew: a worker whose binary derives different
+// fingerprints than the coordinator must refuse before running anything.
+func TestWorkerRefusesVersionSkew(t *testing.T) {
+	c, err := NewCoordinator(testSweep(), CoordinatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A man-in-the-middle coordinator whose sweep fingerprints are off by
+	// one — standing in for a coordinator running different code.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == PathSweep {
+			sweep := c.Sweep()
+			tampered := append([]uint64(nil), sweep.Fingerprints...)
+			for i := range tampered {
+				tampered[i]++
+			}
+			json.NewEncoder(w).Encode(SweepResponse{Campaigns: sweep.Campaigns, Fingerprints: tampered})
+			return
+		}
+		c.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	w := &Worker{CoordinatorURL: ts.URL, Name: "skewed", Parallelism: 1}
+	err = w.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "version skew") {
+		t.Errorf("skewed worker ran anyway: %v", err)
+	}
+	if got := c.Status().Done; got != 0 {
+		t.Errorf("skewed worker committed %d units", got)
+	}
+}
+
+// TestFleetFailsFastOnBadSpec: a deterministically failing unit fails the
+// sweep (it would fail identically on every machine) instead of cycling
+// through the fleet forever.
+func TestFleetFailsFastOnBadSpec(t *testing.T) {
+	bad := []experiment.CampaignSpec{{
+		Name: "bad",
+		Spec: experiment.Spec{Nodes: 2, Seed: 1, Protocol: experiment.ProtoBitcoin},
+		Runs: 2, Replications: 2, Deadline: time.Second,
+	}}
+	c, ts := startCoordinator(t, bad, CoordinatorConfig{})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	w := &Worker{CoordinatorURL: ts.URL, Name: "w", Parallelism: 1, RetryInterval: 10 * time.Millisecond}
+	if err := w.Run(ctx); err == nil {
+		t.Error("worker did not surface the unit failure")
+	}
+	if err := c.Wait(ctx); err == nil {
+		t.Error("coordinator did not record the sweep failure")
+	}
+	if _, err := c.Outcomes(); err == nil {
+		t.Error("outcomes of a failed sweep returned no error")
+	}
+}
+
+// TestCoordinatorRejectsUnshippableSweep: specs that cannot serialize
+// must be refused at construction, not discovered by a worker. A
+// BaseUTXO-seeded spec would otherwise ship with a silently nil'd ledger
+// and measure the wrong experiment.
+func TestCoordinatorRejectsUnshippableSweep(t *testing.T) {
+	if _, err := NewCoordinator(nil, CoordinatorConfig{}); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	utxoSweep := testSweep()
+	utxoSweep[1].Spec.BaseUTXO = chain.NewUTXOSet()
+	if _, err := NewCoordinator(utxoSweep, CoordinatorConfig{}); err == nil || !strings.Contains(err.Error(), "BaseUTXO") {
+		t.Errorf("BaseUTXO-seeded sweep accepted (err = %v)", err)
+	}
+}

@@ -1,0 +1,161 @@
+// Package fleet distributes campaign sweeps across machines: a
+// coordinator serves a lease-based work queue over HTTP+JSON and workers
+// pull (campaign, replication) units, run them through the same
+// per-replication path as the local engine (experiment.RunUnit), and ship
+// back measure.CampaignResult shards.
+//
+// The design leans entirely on the campaign engine's determinism
+// contract: a unit derives every bit of randomness from its replication
+// seed, so executing it is idempotent — running a unit twice, on two
+// machines, or after a worker died mid-run produces bit-identical shards.
+// That makes the queue's failure story simple:
+//
+//   - leases have deadlines: a worker that goes silent has its lease
+//     expire and the unit handed to the next worker that asks;
+//   - commits are at-most-once: the first shard accepted for a unit wins,
+//     and late commits from superseded leases are rejected — so a shard
+//     can never be merged twice;
+//   - shards are merged in (campaign, replication) order, never arrival
+//     order, through measure.MergeCampaignResults.
+//
+// The merged outcome is therefore bit-identical to a single-machine
+// Runner.Sweep of the same specs, regardless of worker count, failures,
+// or arrival order — the property TestFleetFailoverMatchesSerialSweep
+// pins.
+//
+// Both pooling modes round-trip: streaming shards ship the fixed-size
+// sketch (O(KiB) per unit), exact shards ship every sample and per-run
+// result. Every shard carries its spec fingerprint and the coordinator
+// rejects commits whose fingerprint does not match the campaign it leased
+// — a worker running skewed code cannot silently poison a sweep.
+package fleet
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// Protocol endpoints, all rooted under the coordinator's base URL.
+const (
+	// PathSweep (GET) returns the SweepResponse: the full campaign list
+	// workers execute units of, plus the coordinator's fingerprints.
+	PathSweep = "/v1/sweep"
+	// PathLease (POST, LeaseRequest) grants a work unit lease.
+	PathLease = "/v1/lease"
+	// PathCommit (POST, CommitRequest) ships a finished shard back.
+	PathCommit = "/v1/commit"
+	// PathStatus (GET) returns queue progress for dashboards and tests.
+	PathStatus = "/v1/status"
+)
+
+// SweepResponse describes the sweep being distributed. Workers fetch it
+// once, recompute each campaign's fingerprint locally, and refuse to work
+// for a coordinator they disagree with — version skew between binaries
+// surfaces before any simulation time is spent.
+type SweepResponse struct {
+	Campaigns    []experiment.CampaignSpec `json:"campaigns"`
+	Fingerprints []uint64                  `json:"fingerprints"`
+}
+
+// LeaseRequest asks for one unit of work.
+type LeaseRequest struct {
+	// Worker names the requester (diagnostics only; the lease ID is the
+	// authority).
+	Worker string `json:"worker"`
+}
+
+// LeaseStatus is the coordinator's answer to a lease request.
+type LeaseStatus string
+
+const (
+	// LeaseGranted carries a unit to execute.
+	LeaseGranted LeaseStatus = "granted"
+	// LeaseWait means every unit is done or leased out; retry later — an
+	// outstanding lease may yet expire and free its unit.
+	LeaseWait LeaseStatus = "wait"
+	// LeaseDone means the sweep is complete (or failed); the worker can
+	// exit.
+	LeaseDone LeaseStatus = "done"
+)
+
+// LeaseResponse answers a lease request.
+type LeaseResponse struct {
+	Status LeaseStatus `json:"status"`
+	// Lease is set when Status is LeaseGranted.
+	Lease *Lease `json:"lease,omitempty"`
+	// RetryMillis suggests a poll delay when Status is LeaseWait.
+	RetryMillis int64 `json:"retry_ms,omitempty"`
+}
+
+// Lease is one granted work unit: replication Replication of campaign
+// Campaign in the sweep's campaign list.
+type Lease struct {
+	// ID authenticates the commit: only the unit's current lease may
+	// commit it.
+	ID uint64 `json:"id"`
+	// Campaign indexes SweepResponse.Campaigns.
+	Campaign int `json:"campaign"`
+	// Replication is the unit's replication index within the campaign.
+	Replication int `json:"replication"`
+	// Seed echoes the coordinator's derived replication seed. Workers
+	// cross-check it against their own derivation — a mismatch means the
+	// two binaries disagree about the experiment and the worker must not
+	// proceed.
+	Seed int64 `json:"seed"`
+	// TTLMillis is how long the lease lasts before the unit may be
+	// reassigned. A worker that expects to exceed it should not take the
+	// unit (there is no renewal; the coordinator's LeaseTTL must be sized
+	// to the slowest unit).
+	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// TTL returns the lease duration.
+func (l *Lease) TTL() time.Duration { return time.Duration(l.TTLMillis) * time.Millisecond }
+
+// CommitRequest ships one finished unit back. Exactly one of Result or
+// Error is set: Result carries the shard (measure.CampaignResult wire
+// form, see measure.EncodeCampaignResult), Error reports a deterministic
+// unit failure (a bad spec), which fails the whole sweep fast — the unit
+// would fail identically on every machine that retried it.
+type CommitRequest struct {
+	Worker      string          `json:"worker"`
+	LeaseID     uint64          `json:"lease_id"`
+	Campaign    int             `json:"campaign"`
+	Replication int             `json:"replication"`
+	Result      json.RawMessage `json:"result,omitempty"`
+	Error       string          `json:"error,omitempty"`
+}
+
+// CommitResponse acknowledges a commit. A *stale* rejection is not a
+// worker error: the unit was already committed, or the lease was
+// superseded after expiry — a routine consequence of failover, and the
+// worker simply moves on. A rejection that is not stale (a shard the
+// coordinator cannot decode, a fingerprint mismatch, a malformed unit
+// reference) is a real fault: retrying the unit would reproduce it, so
+// the worker must fail loudly instead of letting the unit cycle through
+// lease expiry forever.
+type CommitResponse struct {
+	Accepted bool   `json:"accepted"`
+	Reason   string `json:"reason,omitempty"`
+	// Stale marks the benign rejections (duplicate / superseded lease).
+	Stale bool `json:"stale,omitempty"`
+}
+
+// StatusResponse reports queue progress.
+type StatusResponse struct {
+	// Units is the total unit count (sum of campaign replications).
+	Units int `json:"units"`
+	// Done, Leased and Pending partition Units.
+	Done    int `json:"done"`
+	Leased  int `json:"leased"`
+	Pending int `json:"pending"`
+	// Reassigned counts lease expiries that handed a unit to another
+	// worker — each one is a survived worker failure.
+	Reassigned int `json:"reassigned"`
+	// Complete is true once every unit committed (or the sweep failed).
+	Complete bool `json:"complete"`
+	// Failed carries the sweep-fatal error, if any.
+	Failed string `json:"failed,omitempty"`
+}

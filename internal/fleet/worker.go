@@ -1,0 +1,242 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/measure"
+)
+
+// Worker pulls units from a coordinator and executes them through
+// experiment.RunUnit — the same code path the local engine uses, so a
+// shard computed here is bit-identical to the one a single-machine sweep
+// would have produced for the same unit.
+type Worker struct {
+	// CoordinatorURL is the coordinator's base URL.
+	CoordinatorURL string
+	// Name labels this worker in coordinator diagnostics.
+	Name string
+	// Parallelism is how many units run concurrently (<= 0 means
+	// GOMAXPROCS). Each unit is itself single-threaded apart from the
+	// build's sharded phases, so GOMAXPROCS saturates the machine.
+	Parallelism int
+	// RetryInterval backs off transient coordinator errors (default 1s).
+	RetryInterval time.Duration
+	// HTTPClient overrides http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (w *Worker) parallelism() int {
+	if w.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w.Parallelism
+}
+
+func (w *Worker) retryInterval() time.Duration {
+	if w.RetryInterval <= 0 {
+		return time.Second
+	}
+	return w.RetryInterval
+}
+
+// sleep waits d respecting ctx.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Run works the queue until the coordinator reports the sweep done, ctx
+// is cancelled, or the worker hits an unrecoverable disagreement with the
+// coordinator (fingerprint or seed mismatch — version skew). A unit whose
+// execution fails for a non-cancellation reason is reported to the
+// coordinator (failing the sweep fast) rather than retried: the failure
+// is as deterministic as the results are.
+func (w *Worker) Run(ctx context.Context) error {
+	client := NewClient(w.CoordinatorURL, w.HTTPClient)
+	sweep, err := w.fetchSweep(ctx, client)
+	if err != nil {
+		return err
+	}
+	// Refuse to compute for a coordinator we disagree with: if the local
+	// binary derives a different fingerprint for any campaign, results
+	// would be rejected (or worse, wrong) — fail before simulating.
+	for i, cs := range sweep.Campaigns {
+		if got, want := cs.Fingerprint(), sweep.Fingerprints[i]; got != want {
+			return fmt.Errorf("fleet: campaign %q fingerprint %016x locally vs %016x at coordinator: version skew, refusing to work",
+				cs.Name, got, want)
+		}
+	}
+
+	par := w.parallelism()
+	errs := make([]error, par)
+	var wg sync.WaitGroup
+	for i := 0; i < par; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			errs[slot] = w.loop(ctx, client, sweep.Campaigns)
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Transport-failure budgets. An unreachable coordinator must not spin a
+// worker forever: startup tolerates a longer window (workers may come up
+// before their coordinator), but once working, a coordinator that stays
+// silent for maxLeaseFailures consecutive polls has almost certainly
+// completed and exited (or died), and the worker gives up with an error.
+const (
+	maxSweepFetches  = 60
+	maxLeaseFailures = 10
+)
+
+// fetchSweep retries the initial sweep fetch so workers can start before
+// their coordinator, giving up after maxSweepFetches attempts.
+func (w *Worker) fetchSweep(ctx context.Context, client *Client) (SweepResponse, error) {
+	var lastErr error
+	for i := 0; i < maxSweepFetches; i++ {
+		sweep, err := client.Sweep(ctx)
+		if err == nil {
+			if len(sweep.Campaigns) != len(sweep.Fingerprints) {
+				return SweepResponse{}, fmt.Errorf("fleet: malformed sweep: %d campaigns, %d fingerprints",
+					len(sweep.Campaigns), len(sweep.Fingerprints))
+			}
+			return sweep, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return SweepResponse{}, err
+		}
+		if err := sleep(ctx, w.retryInterval()); err != nil {
+			return SweepResponse{}, err
+		}
+	}
+	return SweepResponse{}, fmt.Errorf("fleet: coordinator unreachable after %d attempts: %w", maxSweepFetches, lastErr)
+}
+
+// loop is one lease→run→commit slot.
+func (w *Worker) loop(ctx context.Context, client *Client, campaigns []experiment.CampaignSpec) error {
+	leaseFailures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		resp, err := client.Lease(ctx, w.Name)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if leaseFailures++; leaseFailures >= maxLeaseFailures {
+				return fmt.Errorf("fleet: coordinator unreachable for %d consecutive polls (sweep finished elsewhere, or coordinator died): %w",
+					leaseFailures, err)
+			}
+			if err := sleep(ctx, w.retryInterval()); err != nil {
+				return err
+			}
+			continue
+		}
+		leaseFailures = 0
+		switch resp.Status {
+		case LeaseDone:
+			return nil
+		case LeaseWait:
+			retry := time.Duration(resp.RetryMillis) * time.Millisecond
+			if retry <= 0 {
+				retry = w.retryInterval()
+			}
+			if err := sleep(ctx, retry); err != nil {
+				return err
+			}
+		case LeaseGranted:
+			if err := w.runLease(ctx, client, campaigns, resp.Lease); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("fleet: coordinator returned unknown lease status %q", resp.Status)
+		}
+	}
+}
+
+// runLease executes one granted unit and commits the shard.
+func (w *Worker) runLease(ctx context.Context, client *Client, campaigns []experiment.CampaignSpec, l *Lease) error {
+	if l == nil || l.Campaign < 0 || l.Campaign >= len(campaigns) {
+		return fmt.Errorf("fleet: coordinator granted lease for unknown campaign")
+	}
+	cs := campaigns[l.Campaign]
+	if got := cs.ReplicationSeed(l.Replication); got != l.Seed {
+		return fmt.Errorf("fleet: campaign %q replication %d derives seed %d locally vs %d at coordinator: version skew, refusing to work",
+			cs.Name, l.Replication, got, l.Seed)
+	}
+	commit := CommitRequest{
+		Worker:      w.Name,
+		LeaseID:     l.ID,
+		Campaign:    l.Campaign,
+		Replication: l.Replication,
+	}
+	res, err := experiment.RunUnit(ctx, cs, l.Replication)
+	switch {
+	case err == nil:
+		if commit.Result, err = measure.EncodeCampaignResult(res); err != nil {
+			return err
+		}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Our own shutdown, not the unit's fault: walk away and let the
+		// lease expire so another worker picks the unit up.
+		return ctx.Err()
+	default:
+		commit.Error = err.Error()
+	}
+	ack, err := w.commitWithRetry(ctx, client, commit)
+	if err != nil {
+		return err
+	}
+	// A stale rejection is routine: our lease expired and the unit was
+	// reassigned (and possibly already committed) elsewhere. The shard we
+	// computed is bit-identical to the accepted one, so nothing is lost.
+	// Any other rejection is persistent — recomputing the unit would be
+	// rejected identically — so fail loudly rather than letting the unit
+	// cycle through lease expiry forever.
+	if !ack.Accepted && !ack.Stale {
+		return fmt.Errorf("fleet: coordinator rejected unit %d/%d of campaign %q: %s",
+			l.Replication+1, cs.Replications, cs.Name, ack.Reason)
+	}
+	if commit.Error != "" {
+		return fmt.Errorf("fleet: unit failed: %s", commit.Error)
+	}
+	return nil
+}
+
+// commitWithRetry retries transient transport errors; the at-most-once
+// guarantee lives in the coordinator, so resending is always safe.
+func (w *Worker) commitWithRetry(ctx context.Context, client *Client, req CommitRequest) (CommitResponse, error) {
+	const attempts = 5
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		resp, err := client.Commit(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return CommitResponse{}, ctx.Err()
+		}
+		if err := sleep(ctx, w.retryInterval()); err != nil {
+			return CommitResponse{}, err
+		}
+	}
+	return CommitResponse{}, fmt.Errorf("fleet: commit failed after %d attempts: %w", attempts, lastErr)
+}

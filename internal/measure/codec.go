@@ -1,0 +1,113 @@
+// JSON codec for campaign results: the serialization the fleet subsystem
+// ships over the wire. A CampaignResult marshals with encoding/json
+// directly — every field is plain data except Distribution, whose two
+// backing representations hide behind unexported fields, so Distribution
+// implements json.Marshaler/Unmarshaler here.
+//
+// Round-trip contract: decode(encode(r)) is bit-identical to r — the
+// property the fleet's "merged outcome equals a single-machine sweep"
+// guarantee rests on. Exact distributions ship their sorted samples and
+// rebuild through NewDistribution (same samples, same summation order,
+// same float bits); streaming distributions ship the sketch's integer
+// state (n, sum, min, max, sparse non-zero buckets) and rebuild it
+// verbatim. Integers ship as JSON integer literals, which Go decodes
+// exactly into int64/uint64 fields.
+package measure
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// distKind tags the wire form of a Distribution.
+const (
+	distKindExact     = "exact"
+	distKindStreaming = "streaming"
+)
+
+// sketchBucket is one non-zero log bucket on the wire. Sparse encoding:
+// a campaign's samples cluster in a narrow latency band, so shipping the
+// ~2200-bucket dense array would waste most of the shard's bytes.
+type sketchBucket struct {
+	Index int    `json:"i"`
+	Count uint64 `json:"c"`
+}
+
+// distJSON is the wire form of a Distribution.
+type distJSON struct {
+	Kind string `json:"kind"`
+	// Samples carries the sorted samples of an exact distribution, in
+	// nanoseconds.
+	Samples []time.Duration `json:"samples_ns,omitempty"`
+	// Sketch state of a streaming distribution.
+	N       uint64         `json:"n,omitempty"`
+	Sum     int64          `json:"sum_ns,omitempty"`
+	Min     time.Duration  `json:"min_ns,omitempty"`
+	Max     time.Duration  `json:"max_ns,omitempty"`
+	Buckets []sketchBucket `json:"buckets,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d Distribution) MarshalJSON() ([]byte, error) {
+	if d.sketch == nil {
+		return json.Marshal(distJSON{Kind: distKindExact, Samples: d.sorted})
+	}
+	s := d.sketch
+	w := distJSON{
+		Kind: distKindStreaming,
+		N:    s.n,
+		Sum:  s.sum,
+		Min:  s.min,
+		Max:  s.max,
+	}
+	for i, c := range s.counts {
+		if c != 0 {
+			w.Buckets = append(w.Buckets, sketchBucket{Index: i, Count: c})
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Distribution) UnmarshalJSON(data []byte) error {
+	var w distJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	switch w.Kind {
+	case distKindExact:
+		*d = NewDistribution(w.Samples)
+		return nil
+	case distKindStreaming:
+		s := NewStreamingDistribution()
+		for _, b := range w.Buckets {
+			if b.Index < 0 || b.Index >= len(s.counts) {
+				return fmt.Errorf("measure: sketch bucket index %d outside [0, %d)", b.Index, len(s.counts))
+			}
+			s.counts[b.Index] = b.Count
+		}
+		s.n, s.sum, s.min, s.max = w.N, w.Sum, w.Min, w.Max
+		*d = s.Dist()
+		return nil
+	default:
+		return fmt.Errorf("measure: unknown distribution kind %q", w.Kind)
+	}
+}
+
+// EncodeCampaignResult serializes a shard result for shipping. Both exact
+// and streaming results round-trip; streaming shards serialize compactly
+// (the fixed sketch, not the samples).
+func EncodeCampaignResult(r CampaignResult) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// DecodeCampaignResult parses a serialized shard back into a result that
+// is bit-identical to the one encoded.
+func DecodeCampaignResult(data []byte) (CampaignResult, error) {
+	var r CampaignResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return CampaignResult{}, fmt.Errorf("measure: decode campaign result: %w", err)
+	}
+	return r, nil
+}

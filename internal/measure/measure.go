@@ -24,6 +24,21 @@ type MeasuringNode struct {
 	net  *p2p.Network
 	node *p2p.Node
 	r    *rand.Rand
+
+	// watch is MeasureOnce's per-run wait set. The set's content is
+	// rebuilt from the live peer list every run; keeping the map itself
+	// avoids one allocation per injection over thousands of runs.
+	watch map[p2p.NodeID]struct{}
+	// deltaPool and missingPool recycle per-run result state in streaming
+	// campaigns, where a run's RunResult is folded into the sketch and
+	// discarded: the campaign's thousandth run then allocates no result
+	// map or missing slice the first run did not. Exact campaigns retain
+	// every RunResult, so nothing is ever recycled into these pools and
+	// MeasureOnce allocates fresh state as before.
+	deltaPool   []map[p2p.NodeID]time.Duration
+	missingPool [][]p2p.NodeID
+	// idScratch is the reusable sort buffer for streaming folds.
+	idScratch []p2p.NodeID
 }
 
 // NewMeasuringNode wraps an existing, already-wired node as the measuring
@@ -63,7 +78,12 @@ func (r RunResult) All() []time.Duration {
 }
 
 func sortedIDs(m map[p2p.NodeID]time.Duration) []p2p.NodeID {
-	ids := make([]p2p.NodeID, 0, len(m))
+	return appendSortedIDs(make([]p2p.NodeID, 0, len(m)), m)
+}
+
+// appendSortedIDs appends m's keys to ids in ascending order, reusing the
+// caller's backing array (streaming folds pass a per-campaign scratch).
+func appendSortedIDs(ids []p2p.NodeID, m map[p2p.NodeID]time.Duration) []p2p.NodeID {
 	for id := range m {
 		ids = append(ids, id)
 	}
@@ -91,9 +111,14 @@ func (m *MeasuringNode) MeasureOnce(ctx context.Context, tx *chain.Tx, deadline 
 	}
 	txID := tx.ID()
 	start := m.net.Now()
-	res := RunResult{TxID: txID, InjectedAt: start, Deltas: make(map[p2p.NodeID]time.Duration)}
+	res := RunResult{TxID: txID, InjectedAt: start, Deltas: m.newDeltas()}
 
-	watch := make(map[p2p.NodeID]struct{}, len(peers))
+	if m.watch == nil {
+		m.watch = make(map[p2p.NodeID]struct{}, len(peers))
+	} else {
+		clear(m.watch)
+	}
+	watch := m.watch
 	for _, p := range peers {
 		watch[p] = struct{}{}
 	}
@@ -146,10 +171,45 @@ func (m *MeasuringNode) MeasureOnce(ctx context.Context, tx *chain.Tx, deadline 
 	}
 	for _, p := range peers {
 		if _, ok := res.Deltas[p]; !ok {
+			if res.Missing == nil {
+				res.Missing = m.newMissing()
+			}
 			res.Missing = append(res.Missing, p)
 		}
 	}
 	return res, nil
+}
+
+// newDeltas pops a recycled (cleared) per-run delta map, or allocates one.
+func (m *MeasuringNode) newDeltas() map[p2p.NodeID]time.Duration {
+	if last := len(m.deltaPool) - 1; last >= 0 {
+		d := m.deltaPool[last]
+		m.deltaPool = m.deltaPool[:last]
+		return d
+	}
+	return make(map[p2p.NodeID]time.Duration)
+}
+
+// newMissing pops a recycled zero-length missing slice, or allocates one.
+func (m *MeasuringNode) newMissing() []p2p.NodeID {
+	if last := len(m.missingPool) - 1; last >= 0 {
+		s := m.missingPool[last]
+		m.missingPool = m.missingPool[:last]
+		return s
+	}
+	return make([]p2p.NodeID, 0, 4)
+}
+
+// recycleRun returns a folded-and-forgotten run's state to the pools.
+// Only the streaming campaign path calls it: the exact path retains every
+// RunResult, and a retained result must never share its map or slice with
+// a later run.
+func (m *MeasuringNode) recycleRun(res RunResult) {
+	clear(res.Deltas)
+	m.deltaPool = append(m.deltaPool, res.Deltas)
+	if res.Missing != nil {
+		m.missingPool = append(m.missingPool, res.Missing[:0])
+	}
 }
 
 // Campaign runs the full §V.B methodology: `runs` independent injections
@@ -183,6 +243,12 @@ type CampaignResult struct {
 	PerRun []RunResult
 	// Lost counts connection-runs that missed the deadline.
 	Lost int
+	// Fingerprint identifies the campaign spec this result was measured
+	// under (a stable hash stamped by the campaign engine). Zero means
+	// unstamped. MergeCampaignResults refuses to blend shards carrying
+	// different non-zero fingerprints — the guard that keeps a distributed
+	// sweep from silently pooling two different experiments.
+	Fingerprint uint64 `json:"fingerprint,omitempty"`
 }
 
 // Run executes the campaign on the measuring node.
@@ -233,9 +299,12 @@ func (m *MeasuringNode) RunContext(ctx context.Context, c Campaign) (CampaignRes
 		out.Lost += len(res.Missing)
 		if c.Streaming {
 			// Fold and forget: neither the samples nor the run survive.
-			for _, id := range sortedIDs(res.Deltas) {
+			// The run's map and slice go back to the pools.
+			m.idScratch = appendSortedIDs(m.idScratch[:0], res.Deltas)
+			for _, id := range m.idScratch {
 				sketch.Add(res.Deltas[id])
 			}
+			m.recycleRun(res)
 			continue
 		}
 		out.PerRun = append(out.PerRun, res)
@@ -251,14 +320,28 @@ func (m *MeasuringNode) RunContext(ctx context.Context, c Campaign) (CampaignRes
 // the pooled Distribution depends only on the multiset of samples — so
 // shards computed by any number of workers, merged in replication order,
 // yield a bit-identical aggregate.
-func MergeCampaignResults(shards ...CampaignResult) CampaignResult {
+//
+// Shards carrying different non-zero Fingerprints are different
+// experiments; merging them would silently blend incomparable samples, so
+// the merge fails instead. Unstamped shards (fingerprint zero) merge with
+// anything; the output carries the common non-zero fingerprint, if any.
+func MergeCampaignResults(shards ...CampaignResult) (CampaignResult, error) {
 	var out CampaignResult
 	dists := make([]Distribution, len(shards))
 	for i, s := range shards {
+		if s.Fingerprint != 0 {
+			if out.Fingerprint == 0 {
+				out.Fingerprint = s.Fingerprint
+			} else if s.Fingerprint != out.Fingerprint {
+				return CampaignResult{}, fmt.Errorf(
+					"measure: shard %d has spec fingerprint %016x, previous shards %016x: refusing to merge different experiments",
+					i, s.Fingerprint, out.Fingerprint)
+			}
+		}
 		out.PerRun = append(out.PerRun, s.PerRun...)
 		out.Lost += s.Lost
 		dists[i] = s.Dist
 	}
 	out.Dist = MergeDistributions(dists...)
-	return out
+	return out, nil
 }

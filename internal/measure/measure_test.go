@@ -409,7 +409,10 @@ func TestMergeCampaignResults(t *testing.T) {
 		return res
 	}
 	a, b := run(100), run(200)
-	merged := MergeCampaignResults(a, b)
+	merged, err := MergeCampaignResults(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got, want := len(merged.PerRun), len(a.PerRun)+len(b.PerRun); got != want {
 		t.Errorf("PerRun = %d, want %d", got, want)
 	}

@@ -237,7 +237,10 @@ func TestCampaignStreamingBoundedMemory(t *testing.T) {
 	}
 
 	// Shard merging stays deterministic and bounded.
-	merged := MergeCampaignResults(stream, stream)
+	merged, err := MergeCampaignResults(stream, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !merged.Dist.Streaming() || merged.Dist.N() != 2*stream.Dist.N() {
 		t.Error("merged streaming shards lost sketch backing or samples")
 	}

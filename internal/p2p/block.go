@@ -70,7 +70,7 @@ func (nd *Node) announceBlock(h chain.Hash, except NodeID) {
 // handleBlockInv requests announced blocks we have not seen. Called from
 // handleInv for InvBlock items.
 func (nd *Node) handleBlockInv(from NodeID, items []wire.InvVect) {
-	var want []wire.InvVect
+	want := nd.net.newGetData()
 	for _, item := range items {
 		nd.markPeerHas(from, item.Hash)
 		if _, seen := nd.known[item.Hash]; seen {
@@ -83,10 +83,12 @@ func (nd *Node) handleBlockInv(from NodeID, items []wire.InvVect) {
 			continue
 		}
 		nd.requested[item.Hash] = struct{}{}
-		want = append(want, item)
+		want.Items = append(want.Items, item)
 	}
-	if len(want) > 0 {
-		nd.net.send(nd.id, from, &wire.MsgGetData{Items: want})
+	if len(want.Items) > 0 {
+		nd.net.send(nd.id, from, want)
+	} else {
+		nd.net.recycleMessage(want)
 	}
 }
 

@@ -268,7 +268,7 @@ func (nd *Node) handleMessage(from NodeID, msg wire.Message) {
 	case *wire.MsgBlock:
 		nd.handleBlock(from, m)
 	case *wire.MsgPing:
-		nd.net.send(nd.id, from, &wire.MsgPong{Nonce: m.Nonce})
+		nd.net.send(nd.id, from, nd.net.newPong(m.Nonce))
 	case *wire.MsgPong:
 		nd.handlePong(from, m)
 	case *wire.MsgGetAddr:
@@ -285,10 +285,13 @@ func (nd *Node) handleMessage(from NodeID, msg wire.Message) {
 	}
 }
 
-// handleInv requests any announced transactions we have not seen.
+// handleInv requests any announced transactions we have not seen. The
+// GETDATA (and its item slice) comes from the network's message pool: in
+// a flood every node's first INV triggers exactly one, which used to be
+// one message and one slice allocation per (node, hash).
 func (nd *Node) handleInv(from NodeID, m *wire.MsgInv) {
 	var blocks []wire.InvVect
-	var want []wire.InvVect
+	want := nd.net.newGetData()
 	for _, item := range m.Items {
 		if item.Type == wire.InvBlock {
 			blocks = append(blocks, item)
@@ -308,10 +311,12 @@ func (nd *Node) handleInv(from NodeID, m *wire.MsgInv) {
 			continue
 		}
 		nd.requested[item.Hash] = struct{}{}
-		want = append(want, item)
+		want.Items = append(want.Items, item)
 	}
-	if len(want) > 0 {
-		nd.net.send(nd.id, from, &wire.MsgGetData{Items: want})
+	if len(want.Items) > 0 {
+		nd.net.send(nd.id, from, want)
+	} else {
+		nd.net.recycleMessage(want)
 	}
 	if len(blocks) > 0 {
 		nd.handleBlockInv(from, blocks)
@@ -367,7 +372,7 @@ func (nd *Node) Probe(target NodeID, done func(rtt time.Duration)) {
 	if pad < 0 {
 		pad = 0
 	}
-	nd.net.send(nd.id, target, &wire.MsgPing{Nonce: nonce, Pad: make([]byte, pad)})
+	nd.net.send(nd.id, target, nd.net.newPing(nonce, pad))
 }
 
 // ProbeN sends n pings spaced by gap and calls done once all have

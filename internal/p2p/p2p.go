@@ -152,6 +152,23 @@ type Network struct {
 	deliveryPool []*delivery
 	verifyPool   []*verifyJob
 
+	// pingPool, pongPool and getDataPool recycle the three message types
+	// that are built fresh per recipient on hot paths (announcements share
+	// one INV/TX across recipients, but every GETDATA, keepalive ping and
+	// pong is its own message). These messages are single-recipient and
+	// consumed entirely inside handleMessage, so runDelivery returns them
+	// to the pools right after dispatch. Messages dropped by loss or a
+	// vanished sender simply miss the pool — correctness never depends on
+	// recycling.
+	pingPool    []*wire.MsgPing
+	pongPool    []*wire.MsgPong
+	getDataPool []*wire.MsgGetData
+	// pingPad is the shared keepalive/probe padding: pings carry Pad only
+	// so their on-wire size matches the latency model's Mping, the bytes
+	// are never read, and messages are immutable after send — so every
+	// ping shares one zeroed buffer instead of allocating its own.
+	pingPad []byte
+
 	stats Stats
 
 	// OnTxFirstSeen fires when a node accepts a transaction it had not
@@ -334,11 +351,73 @@ func runDelivery(a any) {
 	n.deliveryPool = append(n.deliveryPool, d)
 	// The destination may have churned away mid-flight.
 	node, ok := n.nodes[dst]
-	if !ok {
+	if ok {
+		node.handleMessage(src, msg)
+	} else {
 		n.stats.Dropped++
-		return
 	}
-	node.handleMessage(src, msg)
+	n.recycleMessage(msg)
+}
+
+// recycleMessage returns a fully handled single-recipient message to its
+// pool. Only types that handlers never retain are pooled: pings and pongs
+// are read for their nonce, GETDATAs for their item list, and none of
+// them outlives handleMessage. Shared announcement messages (INV/TX) and
+// everything the topology layer might hold onto stay unpooled.
+func (n *Network) recycleMessage(msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.MsgPing:
+		m.Pad = nil
+		n.pingPool = append(n.pingPool, m)
+	case *wire.MsgPong:
+		n.pongPool = append(n.pongPool, m)
+	case *wire.MsgGetData:
+		m.Items = m.Items[:0]
+		n.getDataPool = append(n.getDataPool, m)
+	}
+}
+
+// newPing pops a pooled ping (or allocates) with the shared pad.
+func (n *Network) newPing(nonce uint64, padBytes int) *wire.MsgPing {
+	pad := n.sharedPad(padBytes)
+	if last := len(n.pingPool) - 1; last >= 0 {
+		m := n.pingPool[last]
+		n.pingPool = n.pingPool[:last]
+		m.Nonce, m.Pad = nonce, pad
+		return m
+	}
+	return &wire.MsgPing{Nonce: nonce, Pad: pad}
+}
+
+// newPong pops a pooled pong (or allocates).
+func (n *Network) newPong(nonce uint64) *wire.MsgPong {
+	if last := len(n.pongPool) - 1; last >= 0 {
+		m := n.pongPool[last]
+		n.pongPool = n.pongPool[:last]
+		m.Nonce = nonce
+		return m
+	}
+	return &wire.MsgPong{Nonce: nonce}
+}
+
+// newGetData pops a pooled, zero-length GETDATA (or allocates); callers
+// append their wanted items to Items.
+func (n *Network) newGetData() *wire.MsgGetData {
+	if last := len(n.getDataPool) - 1; last >= 0 {
+		m := n.getDataPool[last]
+		n.getDataPool = n.getDataPool[:last]
+		return m
+	}
+	return &wire.MsgGetData{}
+}
+
+// sharedPad returns a zeroed scratch slice of the given size, grown once
+// and shared by every ping in flight (ping padding is write-never data).
+func (n *Network) sharedPad(size int) []byte {
+	if size > len(n.pingPad) {
+		n.pingPad = make([]byte, size)
+	}
+	return n.pingPad[:size]
 }
 
 // newDelivery pops a pooled payload (or allocates on first use).

@@ -113,6 +113,9 @@ func (r *reader) finish() error {
 	return nil
 }
 
+// netAddrSize is the encoded size of one NetAddr (NodeID + Host + Port).
+const netAddrSize = 8 + 16 + 2
+
 func appendNetAddr(dst []byte, a NetAddr) []byte {
 	dst = appendU64(dst, a.NodeID)
 	dst = append(dst, a.Host[:]...)
@@ -153,6 +156,14 @@ func (m *MsgVersion) encodePayload(dst []byte) []byte {
 	return append(dst, m.UserAgent...)
 }
 
+func (m *MsgVersion) payloadSize() int {
+	ua := len(m.UserAgent)
+	if ua > 255 {
+		ua = 255 // encodePayload truncates to one length byte
+	}
+	return 4 + netAddrSize + 4 + 1 + ua
+}
+
 func (m *MsgVersion) decodePayload(src []byte) error {
 	r := &reader{buf: src}
 	m.Protocol = r.u32()
@@ -170,6 +181,8 @@ type MsgVerack struct{}
 func (*MsgVerack) Command() Command { return CmdVerack }
 
 func (*MsgVerack) encodePayload(dst []byte) []byte { return dst }
+
+func (*MsgVerack) payloadSize() int { return 0 }
 
 func (*MsgVerack) decodePayload(src []byte) error {
 	if len(src) != 0 {
@@ -198,6 +211,8 @@ func (m *MsgPing) encodePayload(dst []byte) []byte {
 	return append(dst, m.Pad...)
 }
 
+func (m *MsgPing) payloadSize() int { return 8 + 4 + len(m.Pad) }
+
 func (m *MsgPing) decodePayload(src []byte) error {
 	r := &reader{buf: src}
 	m.Nonce = r.u64()
@@ -218,6 +233,8 @@ func (*MsgPong) Command() Command { return CmdPong }
 
 func (m *MsgPong) encodePayload(dst []byte) []byte { return appendU64(dst, m.Nonce) }
 
+func (*MsgPong) payloadSize() int { return 8 }
+
 func (m *MsgPong) decodePayload(src []byte) error {
 	r := &reader{buf: src}
 	m.Nonce = r.u64()
@@ -234,6 +251,8 @@ type MsgGetAddr struct{}
 func (*MsgGetAddr) Command() Command { return CmdGetAddr }
 
 func (*MsgGetAddr) encodePayload(dst []byte) []byte { return dst }
+
+func (*MsgGetAddr) payloadSize() int { return 0 }
 
 func (*MsgGetAddr) decodePayload(src []byte) error {
 	if len(src) != 0 {
@@ -257,6 +276,8 @@ func (m *MsgAddr) encodePayload(dst []byte) []byte {
 	}
 	return dst
 }
+
+func (m *MsgAddr) payloadSize() int { return 4 + netAddrSize*len(m.Addrs) }
 
 func (m *MsgAddr) decodePayload(src []byte) error {
 	r := &reader{buf: src}
@@ -283,6 +304,8 @@ func (*MsgInv) Command() Command { return CmdInv }
 
 func (m *MsgInv) encodePayload(dst []byte) []byte { return encodeInvList(dst, m.Items) }
 
+func (m *MsgInv) payloadSize() int { return invListSize(m.Items) }
+
 func (m *MsgInv) decodePayload(src []byte) error {
 	items, err := decodeInvList(src)
 	m.Items = items
@@ -300,6 +323,8 @@ func (*MsgGetData) Command() Command { return CmdGetData }
 
 func (m *MsgGetData) encodePayload(dst []byte) []byte { return encodeInvList(dst, m.Items) }
 
+func (m *MsgGetData) payloadSize() int { return invListSize(m.Items) }
+
 func (m *MsgGetData) decodePayload(src []byte) error {
 	items, err := decodeInvList(src)
 	m.Items = items
@@ -314,6 +339,9 @@ func encodeInvList(dst []byte, items []InvVect) []byte {
 	}
 	return dst
 }
+
+// invListSize is the encoded size of an INV/GETDATA item list.
+func invListSize(items []InvVect) int { return 4 + (1+32)*len(items) }
 
 func decodeInvList(src []byte) ([]InvVect, error) {
 	r := &reader{buf: src}
@@ -345,6 +373,8 @@ func (*MsgTx) Command() Command { return CmdTx }
 
 func (m *MsgTx) encodePayload(dst []byte) []byte { return append(dst, m.Tx.Bytes()...) }
 
+func (m *MsgTx) payloadSize() int { return m.Tx.Size() }
+
 func (m *MsgTx) decodePayload(src []byte) error {
 	tx, err := chain.DecodeTx(src)
 	m.Tx = tx
@@ -360,6 +390,8 @@ type MsgBlock struct {
 func (*MsgBlock) Command() Command { return CmdBlock }
 
 func (m *MsgBlock) encodePayload(dst []byte) []byte { return append(dst, m.Block.Bytes()...) }
+
+func (m *MsgBlock) payloadSize() int { return m.Block.Size() }
 
 func (m *MsgBlock) decodePayload(src []byte) error {
 	b, err := chain.DecodeBlock(src)
@@ -386,6 +418,8 @@ func (m *MsgJoin) encodePayload(dst []byte) []byte {
 	dst = appendNetAddr(dst, m.Self)
 	return appendU64(dst, m.MeasuredRTTMicros)
 }
+
+func (*MsgJoin) payloadSize() int { return netAddrSize + 8 }
 
 func (m *MsgJoin) decodePayload(src []byte) error {
 	r := &reader{buf: src}
@@ -421,6 +455,8 @@ func (m *MsgCluster) encodePayload(dst []byte) []byte {
 	}
 	return dst
 }
+
+func (m *MsgCluster) payloadSize() int { return 8 + 1 + 4 + netAddrSize*len(m.Members) }
 
 func (m *MsgCluster) decodePayload(src []byte) error {
 	r := &reader{buf: src}

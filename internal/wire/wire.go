@@ -82,6 +82,11 @@ type Message interface {
 	encodePayload(dst []byte) []byte
 	// decodePayload parses the payload.
 	decodePayload(src []byte) error
+	// payloadSize returns len(encodePayload(nil)) without encoding. The
+	// simulator charges EncodedSize against link bandwidth on every
+	// delivery, so sizing must not allocate; TestPayloadSizeMatchesEncoding
+	// holds the two in lockstep for every message type.
+	payloadSize() int
 }
 
 // InvType distinguishes inventory entries.
@@ -265,7 +270,10 @@ func WriteMessage(w io.Writer, msg Message) error {
 }
 
 // EncodedSize returns the framed size of msg in bytes — the quantity the
-// simulator charges against link bandwidth.
+// simulator charges against link bandwidth. It computes the size without
+// encoding: the flood hot path calls it once per delivery, and building
+// (then discarding) the payload here used to be one slice allocation per
+// simulated message.
 func EncodedSize(msg Message) int {
-	return headerLen + len(msg.encodePayload(nil))
+	return headerLen + msg.payloadSize()
 }

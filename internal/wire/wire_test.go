@@ -339,3 +339,30 @@ func BenchmarkDecodeInv100(b *testing.B) {
 		}
 	}
 }
+
+// TestPayloadSizeMatchesEncoding holds the allocation-free payloadSize in
+// lockstep with the actual encoding for every message type — EncodedSize
+// charges link bandwidth on every simulated delivery, so a drifting size
+// would silently skew the latency model.
+func TestPayloadSizeMatchesEncoding(t *testing.T) {
+	msgs := allMessages(t)
+	msgs = append(msgs,
+		&MsgVersion{},
+		&MsgPing{},
+		&MsgAddr{},
+		&MsgInv{},
+		&MsgGetData{},
+		&MsgCluster{},
+		&MsgVersion{UserAgent: string(bytes.Repeat([]byte{'x'}, 300))}, // truncated to 255
+	)
+	for _, msg := range msgs {
+		got := msg.payloadSize()
+		want := len(msg.encodePayload(nil))
+		if got != want {
+			t.Errorf("%s: payloadSize() = %d, encoded payload = %d bytes", msg.Command(), got, want)
+		}
+		if EncodedSize(msg) != headerLen+want {
+			t.Errorf("%s: EncodedSize = %d, want %d", msg.Command(), EncodedSize(msg), headerLen+want)
+		}
+	}
+}

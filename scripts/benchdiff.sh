@@ -10,8 +10,11 @@
 #     (requires -benchmem in the bench run). Allocation counts are
 #     deterministic, so the threshold is zero: the scheduler and flood
 #     benchmarks are designed around a fixed steady-state allocation
-#     budget (the arena kernel dispatches at 0 allocs/op), and a single
-#     new alloc per op there is a real hot-path regression, not noise.
+#     budget (the arena kernel dispatches at 0 allocs/op; the 2000-node
+#     flood sits at ~19k allocs/op after the message/padding pools), and
+#     a single new alloc per op there is a real hot-path regression, not
+#     noise. Baselines travel as the previous run's artifact, so a PR
+#     that legitimately lowers a budget simply becomes the next baseline.
 #
 # Exits 0 always — CI surfaces the report as warnings rather than failing
 # the build; the artifact history is the durable record.

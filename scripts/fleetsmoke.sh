@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# fleetsmoke.sh [BINDIR]
+#
+# End-to-end proof of the fleet subsystem's headline guarantee: a tiny
+# Figure 3 sweep is run twice —
+#
+#   1. distributed: a coordinator plus 2 local workers, with one induced
+#      worker failure (a unit leased and abandoned, reassigned after the
+#      lease TTL);
+#   2. single-process: the same sweep through bcbpt-sim's local engine —
+#
+# and the two merged CDF CSVs must be byte-identical. Any divergence in
+# unit execution, shard serialization, lease failover, or merge order
+# shows up as a diff. CI runs this on every push (make fleet-smoke).
+set -eu
+
+bin="${1:-$(mktemp -d)}"
+go build -o "$bin" ./cmd/bcbpt-fleet ./cmd/bcbpt-sim
+
+sweep="-experiment figure3 -nodes 120 -runs 5 -replications 2 -seed 1"
+
+echo "fleetsmoke: distributed run (2 workers, 1 induced failure)"
+"$bin/bcbpt-fleet" run $sweep -fleet-workers 2 -induce-failure -lease-ttl 3s -csv "$bin/fleet.csv"
+
+echo "fleetsmoke: single-process run"
+"$bin/bcbpt-sim" $sweep -csv "$bin/sim.csv" > /dev/null
+
+if cmp -s "$bin/fleet.csv" "$bin/sim.csv"; then
+    echo "fleetsmoke: OK — distributed and single-process outputs are byte-identical"
+else
+    echo "fleetsmoke: FAIL — distributed output differs from single-process output" >&2
+    diff "$bin/fleet.csv" "$bin/sim.csv" >&2 || true
+    exit 1
+fi
