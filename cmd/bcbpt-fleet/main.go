@@ -2,11 +2,16 @@
 //
 // Usage:
 //
-//	# One coordinator...
-//	bcbpt-fleet serve -listen :9777 -experiment figure3 -nodes 5000 -runs 1000 -replications 16
+//	# One coordinator (token-locked, shards spooled to disk)...
+//	BCBPT_FLEET_TOKEN=s3cret bcbpt-fleet serve -listen :9777 -spool-dir /var/tmp/fleet \
+//	    -experiment figure3 -nodes 5000 -runs 1000 -replications 16
 //
-//	# ...any number of workers, anywhere:
-//	bcbpt-fleet work -coordinator http://coordinator:9777
+//	# ...any number of workers, anywhere (they heartbeat their leases,
+//	# so -lease-ttl never has to cover a slow unit's wall time):
+//	BCBPT_FLEET_TOKEN=s3cret bcbpt-fleet work -coordinator http://coordinator:9777
+//
+//	# Custom scenarios beyond the presets: a JSON campaign file.
+//	bcbpt-fleet serve -sweep sweep.json
 //
 //	# Single-machine demo/smoke: coordinator plus N in-process workers.
 //	bcbpt-fleet run -experiment figure3 -fleet-workers 2
@@ -25,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"syscall"
 	"time"
@@ -76,9 +82,11 @@ Run "bcbpt-fleet <subcommand> -h" for flags.
 }
 
 // sweepFlags are the experiment-definition flags shared by serve and run;
-// they mirror bcbpt-sim so the two frontends define identical sweeps.
+// they mirror bcbpt-sim so the two frontends define identical sweeps. A
+// -sweep file overrides the preset flags entirely.
 type sweepFlags struct {
 	experiment   *string
+	sweepFile    *string
 	nodes        *int
 	runs         *int
 	seed         *int64
@@ -91,6 +99,7 @@ type sweepFlags struct {
 func addSweepFlags(fs *flag.FlagSet) *sweepFlags {
 	return &sweepFlags{
 		experiment:   fs.String("experiment", "figure3", "sweep to distribute: figure3|figure4"),
+		sweepFile:    fs.String("sweep", "", "custom sweep definition (JSON campaign file; overrides -experiment and the preset flags)"),
 		nodes:        fs.Int("nodes", 1000, "network size (paper: ~5000)"),
 		runs:         fs.Int("runs", 200, "measurement injections per replication (paper: ~1000)"),
 		seed:         fs.Int64("seed", 1, "root random seed"),
@@ -115,8 +124,22 @@ func (s *sweepFlags) options() experiment.Options {
 
 // campaigns resolves the flag set into the sweep definition and figure
 // title — the same campaign builders bcbpt-sim's figures run on, which is
-// what makes `bcbpt-fleet run` output diffable against `bcbpt-sim`.
+// what makes `bcbpt-fleet run` output diffable against `bcbpt-sim`. A
+// -sweep JSON file (validated loudly: schema, shippability, buildable
+// specs) replaces the presets and opens the fleet to arbitrary
+// scenarios.
 func (s *sweepFlags) campaigns() ([]experiment.CampaignSpec, string, error) {
+	if *s.sweepFile != "" {
+		sf, err := experiment.LoadSweepFile(*s.sweepFile)
+		if err != nil {
+			return nil, "", err
+		}
+		title := sf.Title
+		if title == "" {
+			title = fmt.Sprintf("Custom sweep — %s", filepath.Base(*s.sweepFile))
+		}
+		return sf.Campaigns, title, nil
+	}
 	o := s.options()
 	switch *s.experiment {
 	case "figure3":
@@ -128,11 +151,41 @@ func (s *sweepFlags) campaigns() ([]experiment.CampaignSpec, string, error) {
 	}
 }
 
+// addTokenFlag declares -token; resolveToken applies the env-var
+// fallback after parsing. Flags show up in `ps` output on shared
+// machines, so BCBPT_FLEET_TOKEN is the preferred channel and the flag
+// an explicit override — and the env value must never be the flag's
+// *default*, or `-h` (and the usage dump ExitOnError prints on any
+// mistyped flag) would echo the secret in cleartext.
+func addTokenFlag(fs *flag.FlagSet) *string {
+	return fs.String("token", "",
+		`shared bearer token for the mutating endpoints (default $BCBPT_FLEET_TOKEN; -token "" forces an open coordinator)`)
+}
+
+// resolveToken returns the parsed -token value; only when the flag was
+// not given at all does BCBPT_FLEET_TOKEN apply. An *explicit* -token ""
+// must win over the env var, or an operator with the token exported in
+// their profile could never run an open coordinator.
+func resolveToken(fs *flag.FlagSet, flagValue string) string {
+	explicit := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "token" {
+			explicit = true
+		}
+	})
+	if explicit {
+		return flagValue
+	}
+	return os.Getenv("BCBPT_FLEET_TOKEN")
+}
+
 func cmdServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	sf := addSweepFlags(fs)
 	listen := fs.String("listen", ":9777", "coordinator listen address")
-	leaseTTL := fs.Duration("lease-ttl", 5*time.Minute, "lease deadline; size above the slowest unit's wall time")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "heartbeat window: a silent worker's unit reassigns after this (workers renew at TTL/3, so slow units are safe)")
+	token := addTokenFlag(fs)
+	spoolDir := fs.String("spool-dir", "", "spool committed shards to this directory instead of coordinator memory")
 	csvPath := fs.String("csv", "", "write the merged figure's CDF data to this CSV file")
 	linger := fs.Duration("linger", 10*time.Second, "keep serving this long after completion so workers observe \"done\" and exit cleanly")
 	fs.Parse(args)
@@ -141,7 +194,11 @@ func cmdServe(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	coord, err := fleet.NewCoordinator(campaigns, fleet.CoordinatorConfig{LeaseTTL: *leaseTTL})
+	coord, err := fleet.NewCoordinator(campaigns, fleet.CoordinatorConfig{
+		LeaseTTL: *leaseTTL,
+		Token:    resolveToken(fs, *token),
+		SpoolDir: *spoolDir,
+	})
 	if err != nil {
 		return err
 	}
@@ -173,11 +230,12 @@ func cmdWork(ctx context.Context, args []string) error {
 	coordinator := fs.String("coordinator", "", "coordinator base URL (required), e.g. http://10.0.0.5:9777")
 	name := fs.String("name", defaultWorkerName(), "worker name in coordinator diagnostics")
 	parallelism := fs.Int("parallelism", 0, "units run concurrently (0 = GOMAXPROCS)")
+	token := addTokenFlag(fs)
 	fs.Parse(args)
 	if *coordinator == "" {
 		return errors.New("work: -coordinator is required")
 	}
-	w := &fleet.Worker{CoordinatorURL: *coordinator, Name: *name, Parallelism: *parallelism}
+	w := &fleet.Worker{CoordinatorURL: *coordinator, Name: *name, Parallelism: *parallelism, Token: resolveToken(fs, *token)}
 	fmt.Printf("worker %s pulling from %s\n", *name, *coordinator)
 	return w.Run(ctx)
 }
@@ -187,7 +245,9 @@ func cmdRun(ctx context.Context, args []string) error {
 	sf := addSweepFlags(fs)
 	fleetWorkers := fs.Int("fleet-workers", 2, "in-process workers to spawn")
 	parallelism := fs.Int("parallelism", 0, "units run concurrently per worker (0 = GOMAXPROCS)")
-	leaseTTL := fs.Duration("lease-ttl", 5*time.Minute, "lease deadline")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "heartbeat window: a silent worker's unit reassigns after this (workers renew at TTL/3)")
+	token := addTokenFlag(fs)
+	spoolDir := fs.String("spool-dir", "", "spool committed shards to this directory instead of coordinator memory")
 	induceFailure := fs.Bool("induce-failure", false, "lease one unit to a worker that dies without committing, forcing an expiry reassignment")
 	csvPath := fs.String("csv", "", "write the merged figure's CDF data to this CSV file")
 	fs.Parse(args)
@@ -199,7 +259,12 @@ func cmdRun(ctx context.Context, args []string) error {
 	if *fleetWorkers < 1 {
 		return errors.New("run: need at least one worker")
 	}
-	coord, err := fleet.NewCoordinator(campaigns, fleet.CoordinatorConfig{LeaseTTL: *leaseTTL})
+	tok := resolveToken(fs, *token)
+	coord, err := fleet.NewCoordinator(campaigns, fleet.CoordinatorConfig{
+		LeaseTTL: *leaseTTL,
+		Token:    tok,
+		SpoolDir: *spoolDir,
+	})
 	if err != nil {
 		return err
 	}
@@ -213,10 +278,13 @@ func cmdRun(ctx context.Context, args []string) error {
 
 	if *induceFailure {
 		// A worker that takes a unit to its grave: lease and walk away.
-		// The unit comes back after -lease-ttl expires and the sweep
-		// still merges bit-identical — the failover path, exercised end
-		// to end (the reassignment count is printed with the figure).
-		resp, err := fleet.NewClient(url, nil).Lease(ctx, "induced-failure")
+		// The unit comes back after -lease-ttl expires (the dead worker
+		// sends no heartbeats) and the sweep still merges bit-identical —
+		// the failover path, exercised end to end (the reassignment count
+		// is printed with the figure).
+		saboteur := fleet.NewClient(url, nil)
+		saboteur.Token = tok
+		resp, err := saboteur.Lease(ctx, "induced-failure")
 		if err != nil {
 			return fmt.Errorf("induce-failure lease: %w", err)
 		}
@@ -241,6 +309,7 @@ func cmdRun(ctx context.Context, args []string) error {
 			CoordinatorURL: url,
 			Name:           fmt.Sprintf("local-%d", i),
 			Parallelism:    *parallelism,
+			Token:          tok,
 		}
 		wg.Add(1)
 		go func(slot int) {
@@ -277,19 +346,40 @@ func serveCoordinator(coord *fleet.Coordinator, l net.Listener) (*http.Server, <
 	return srv, serveErr
 }
 
+// progressInterval paces the coordinator's progress log lines.
+const progressInterval = 15 * time.Second
+
+// logProgress prints one queue-progress line. Expired (leases past their
+// deadline nobody has reclaimed) and Reassigned (survived worker
+// failures) get their own numbers: a stalled queue shows up as Expired
+// climbing while Done stands still, which a lumped "leased" count hides.
+func logProgress(s fleet.StatusResponse) {
+	fmt.Printf("progress: %d/%d units done, %d leased, %d expired, %d pending, %d reassigned, %d renewals\n",
+		s.Done, s.Units, s.Leased, s.Expired, s.Pending, s.Reassigned, s.Renewed)
+}
+
 // waitAndReport blocks until the sweep completes (or ctx cancels, or the
 // HTTP server dies — a dead server means no worker can ever finish the
 // sweep, so waiting on would hang forever), then prints the merged
-// figure and optional CSV.
+// figure and optional CSV. While waiting it logs queue progress every
+// progressInterval.
 func waitAndReport(ctx context.Context, coord *fleet.Coordinator, serveErr <-chan error, title, csvPath string) error {
 	start := time.Now()
 	waitDone := make(chan error, 1)
 	go func() { waitDone <- coord.Wait(ctx) }()
+	progress := time.NewTicker(progressInterval)
+	defer progress.Stop()
 	var waitErr error
-	select {
-	case waitErr = <-waitDone:
-	case err := <-serveErr:
-		return fmt.Errorf("coordinator server: %w", err)
+wait:
+	for {
+		select {
+		case waitErr = <-waitDone:
+			break wait
+		case <-progress.C:
+			logProgress(coord.Status())
+		case err := <-serveErr:
+			return fmt.Errorf("coordinator server: %w", err)
+		}
 	}
 	if errors.Is(waitErr, context.Canceled) || errors.Is(waitErr, context.DeadlineExceeded) {
 		status := coord.Status()
@@ -306,8 +396,8 @@ func waitAndReport(ctx context.Context, coord *fleet.Coordinator, serveErr <-cha
 	}
 	fmt.Println(fig)
 	status := coord.Status()
-	fmt.Printf("(%d units, %d lease reassignments, wall time %v)\n",
-		status.Units, status.Reassigned, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("(%d units, %d lease reassignments, %d lease renewals, wall time %v)\n",
+		status.Units, status.Reassigned, status.Renewed, time.Since(start).Round(time.Millisecond))
 	if csvPath != "" {
 		if err := writeCSV(csvPath, fig); err != nil {
 			return err

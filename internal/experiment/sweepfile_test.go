@@ -1,0 +1,174 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/churn"
+)
+
+func TestParseSweepValid(t *testing.T) {
+	sf, err := ParseSweep([]byte(`{
+		"title": "two ways to write a duration",
+		"campaigns": [
+			{
+				"name": "bcbpt-50ms",
+				"spec": {
+					"nodes": 500, "seed": 7, "protocol": "bcbpt",
+					"bcbpt": {
+						"Threshold": "50ms", "ProbeCount": 3, "ProbeGap": "20ms",
+						"Candidates": 16, "LongLinks": 2, "JoinStagger": "100ms",
+						"DecisionSlack": "2s", "MemberSample": 64
+					}
+				},
+				"replications": 4, "runs": 100, "deadline": "90s", "streaming": true
+			},
+			{
+				"name": "bitcoin",
+				"spec": {"nodes": 500, "seed": 7, "protocol": "bitcoin"},
+				"deadline": 120000000000
+			}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Title != "two ways to write a duration" || len(sf.Campaigns) != 2 {
+		t.Fatalf("parsed %q with %d campaigns", sf.Title, len(sf.Campaigns))
+	}
+	b := sf.Campaigns[0]
+	if b.Name != "bcbpt-50ms" || b.Deadline != 90*time.Second || !b.Streaming || b.Replications != 4 {
+		t.Errorf("campaign 0 parsed as %+v", b)
+	}
+	if got := b.Spec.BCBPT; got.Threshold != 50*time.Millisecond || got.ProbeGap != 20*time.Millisecond ||
+		got.JoinStagger != 100*time.Millisecond || got.DecisionSlack != 2*time.Second {
+		t.Errorf("bcbpt durations parsed as %+v", got)
+	}
+	// A name that merely looks like a duration must stay a string.
+	if sf.Campaigns[1].Deadline != 2*time.Minute {
+		t.Errorf("integer-nanosecond deadline parsed as %v", sf.Campaigns[1].Deadline)
+	}
+}
+
+// TestParseSweepDurationKeysCaseInsensitive: encoding/json matches
+// struct fields case-insensitively, so duration rewriting must too — a
+// "Deadline" key still lands in the deadline field and its duration
+// string must still parse.
+func TestParseSweepDurationKeysCaseInsensitive(t *testing.T) {
+	sf, err := ParseSweep([]byte(`{
+		"campaigns": [{"name": "a", "spec": {"nodes": 40, "seed": 1, "protocol": "bitcoin"}, "Deadline": "45s"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Campaigns[0].Deadline != 45*time.Second {
+		t.Errorf(`"Deadline": "45s" parsed as %v`, sf.Campaigns[0].Deadline)
+	}
+}
+
+func TestParseSweepErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"malformed", `{"campaigns": [`, "unexpected EOF"},
+		{"trailing document", `{"campaigns": [{"name": "a", "spec": {"nodes": 40, "seed": 1, "protocol": "bitcoin"}}]}
+			{"campaigns": []}`, "trailing content"},
+		{"no campaigns", `{"campaigns": []}`, "no campaigns"},
+		{"unknown field", `{"campaigns": [{"name": "a", "spec": {"nodes": 40, "seed": 1, "protocol": "bitcoin"}, "replicatons": 3}]}`, "unknown field"},
+		{"unknown spec field", `{"campaigns": [{"name": "a", "spec": {"nodes": 40, "seed": 1, "protocl": "bitcoin"}}]}`, "unknown field"},
+		{"missing name", `{"campaigns": [{"spec": {"nodes": 40, "seed": 1, "protocol": "bitcoin"}}]}`, "missing name"},
+		{"duplicate names", `{"campaigns": [
+			{"name": "a", "spec": {"nodes": 40, "seed": 1, "protocol": "bitcoin"}},
+			{"name": "a", "spec": {"nodes": 40, "seed": 2, "protocol": "bitcoin"}}]}`, "duplicate name"},
+		{"too few nodes", `{"campaigns": [{"name": "a", "spec": {"nodes": 2, "seed": 1, "protocol": "bitcoin"}}]}`, "at least 3 nodes"},
+		{"bad protocol", `{"campaigns": [{"name": "a", "spec": {"nodes": 40, "seed": 1, "protocol": "gossipmax"}}]}`, "unknown protocol"},
+		{"negative replications", `{"campaigns": [{"name": "a", "spec": {"nodes": 40, "seed": 1, "protocol": "bitcoin"}, "replications": -1}]}`, "negative replications"},
+		{"bad duration", `{"campaigns": [{"name": "a", "spec": {"nodes": 40, "seed": 1, "protocol": "bitcoin"}, "deadline": "soonish"}]}`, "invalid duration"},
+		{"partial bcbpt config", `{"campaigns": [{"name": "a", "spec": {"nodes": 40, "seed": 1, "protocol": "bcbpt", "bcbpt": {"Threshold": "25ms"}}}]}`, "ProbeCount"},
+		{"bad churn", `{"campaigns": [{"name": "a", "spec": {"nodes": 40, "seed": 1, "protocol": "bitcoin", "churn": {"SessionShape": 0.5}}}]}`, "SessionScale"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSweep([]byte(tc.json))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadSweepFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := os.WriteFile(path, []byte(`{
+		"campaigns": [{"name": "a", "spec": {"nodes": 40, "seed": 1, "protocol": "lbc"}, "runs": 3}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := LoadSweepFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sf.Campaigns) != 1 || sf.Campaigns[0].Spec.Protocol != ProtoLBC {
+		t.Errorf("loaded %+v", sf)
+	}
+
+	if _, err := LoadSweepFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file loaded without error")
+	}
+	// A failing file names itself in the error.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"campaigns": []}`), 0o644)
+	if _, err := LoadSweepFile(bad); err == nil || !strings.Contains(err.Error(), "bad.json") {
+		t.Errorf("load error does not name the file: %v", err)
+	}
+}
+
+// TestParseSweepChurnDurations: churn model timings accept duration
+// strings too.
+func TestParseSweepChurnDurations(t *testing.T) {
+	sf, err := ParseSweep([]byte(`{
+		"campaigns": [{
+			"name": "churny",
+			"spec": {
+				"nodes": 40, "seed": 1, "protocol": "bitcoin",
+				"churn": {"SessionScale": "40m", "SessionShape": 0.6, "MeanArrival": "5s", "MinSession": "30s"}
+			}
+		}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := churn.Model{SessionScale: 40 * time.Minute, SessionShape: 0.6, MeanArrival: 5 * time.Second, MinSession: 30 * time.Second}
+	if got := sf.Campaigns[0].Spec.Churn; got == nil || *got != want {
+		t.Errorf("churn parsed as %+v, want %+v", got, want)
+	}
+}
+
+// TestExampleSweepMatchesFigure3Preset pins the checked-in example sweep
+// to the figure3 preset it claims to reproduce: same series names, same
+// spec fingerprints. scripts/fleetsmoke.sh byte-diffs the two outputs,
+// which only holds while this stays true.
+func TestExampleSweepMatchesFigure3Preset(t *testing.T) {
+	sf, err := LoadSweepFile("../../examples/sweeps/figure3-smoke.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Figure3Campaigns(Options{Nodes: 120, Runs: 5, Seed: 1, Replications: 2})
+	if len(sf.Campaigns) != len(want) {
+		t.Fatalf("example defines %d campaigns, preset %d", len(sf.Campaigns), len(want))
+	}
+	for i := range want {
+		if sf.Campaigns[i].Name != want[i].Name {
+			t.Errorf("campaign %d named %q, preset %q", i, sf.Campaigns[i].Name, want[i].Name)
+		}
+		if got, exp := sf.Campaigns[i].Fingerprint(), want[i].Fingerprint(); got != exp {
+			t.Errorf("campaign %q fingerprint %016x, preset %016x — the example has drifted from the preset",
+				want[i].Name, got, exp)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,7 +17,17 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// Token, when non-empty, is attached to every request as
+	// "Authorization: Bearer <Token>" — required by coordinators built
+	// with CoordinatorConfig.Token.
+	Token string
 }
+
+// ErrUnauthorized marks a 401 from the coordinator: the token is missing
+// or wrong. Unlike a transport failure it can never heal by retrying, so
+// workers fail immediately instead of burning their retry budgets.
+var ErrUnauthorized = errors.New("fleet: coordinator refused the request: missing or wrong bearer token")
 
 // defaultRequestTimeout bounds every protocol exchange when the caller
 // does not supply its own http.Client. Without it, a coordinator that
@@ -53,11 +64,17 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("fleet: %s: %w", path, err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusUnauthorized {
+		return fmt.Errorf("%w (%s)", ErrUnauthorized, path)
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return fmt.Errorf("fleet: %s: coordinator returned %s: %s", path, resp.Status, bytes.TrimSpace(msg))
@@ -79,6 +96,13 @@ func (c *Client) Sweep(ctx context.Context) (SweepResponse, error) {
 func (c *Client) Lease(ctx context.Context, worker string) (LeaseResponse, error) {
 	var out LeaseResponse
 	err := c.do(ctx, http.MethodPost, PathLease, LeaseRequest{Worker: worker}, &out)
+	return out, err
+}
+
+// Renew extends a lease's deadline — the worker heartbeat.
+func (c *Client) Renew(ctx context.Context, req RenewRequest) (RenewResponse, error) {
+	var out RenewResponse
+	err := c.do(ctx, http.MethodPost, PathRenew, req, &out)
 	return out, err
 }
 

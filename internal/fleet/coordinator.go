@@ -2,10 +2,13 @@ package fleet
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -15,15 +18,31 @@ import (
 
 // CoordinatorConfig tunes the work queue.
 type CoordinatorConfig struct {
-	// LeaseTTL is how long a worker holds a unit before it may be
-	// reassigned. There is no renewal, so size it above the slowest
-	// unit's wall time: too short wastes work on spurious reassignments
-	// (harmless — commits are at-most-once — but slow), too long delays
-	// recovery from a dead worker. Default 5 minutes.
+	// LeaseTTL is how long a lease lasts between heartbeats: workers
+	// renew at TTL/3 cadence, so the TTL bounds failure detection, not
+	// unit wall time. A dead worker's unit is reassigned at most one TTL
+	// after its last heartbeat; a live worker renews a slow unit for
+	// hours without it ever being reassigned. Size it to a few missed
+	// heartbeats — seconds to tens of seconds; the 5-minute default is
+	// deliberately conservative for clients (saboteur tests, old
+	// binaries) that never renew.
 	LeaseTTL time.Duration
 	// RetryInterval caps the poll delay suggested to idle workers.
 	// Default 2 seconds.
 	RetryInterval time.Duration
+	// Token, when non-empty, locks the mutating endpoints (lease, renew,
+	// commit): requests must carry "Authorization: Bearer <Token>" or
+	// are refused with 401. The read-only endpoints (sweep, status) stay
+	// open — they expose progress, not the queue. Share the token with
+	// workers out of band (bcbpt-fleet -token / BCBPT_FLEET_TOKEN).
+	Token string
+	// SpoolDir, when non-empty, streams committed shards to disk instead
+	// of holding them in memory: each accepted shard is written to
+	// SpoolDir (its wire-form JSON, measure.EncodeCampaignResult) and
+	// re-read in replication order by Outcomes. Coordinator memory then
+	// stays flat however deep the sweep; an exact paper-scale sweep is
+	// gigabytes of samples. The directory is created if missing.
+	SpoolDir string
 	// now stubs the clock in tests.
 	now func() time.Time
 }
@@ -58,7 +77,10 @@ type unit struct {
 	leaseID     uint64
 	worker      string
 	expires     time.Time
-	result      measure.CampaignResult
+	// result holds the committed shard when the coordinator runs
+	// in-memory; spooled coordinators leave it zero and set spooled.
+	result  measure.CampaignResult
+	spooled bool
 }
 
 // Coordinator owns a sweep's work queue and its committed shards. It is
@@ -76,6 +98,7 @@ type Coordinator struct {
 	units      []unit
 	remaining  int
 	reassigned int
+	renewed    int
 	nextLease  uint64
 	failure    error
 	done       chan struct{}
@@ -109,12 +132,41 @@ func NewCoordinator(campaigns []experiment.CampaignSpec, cfg CoordinatorConfig) 
 		}
 	}
 	c.remaining = len(c.units)
+	if dir := c.cfg.SpoolDir; dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("fleet: create spool directory: %w", err)
+		}
+		if err := cleanSpoolDir(dir); err != nil {
+			return nil, err
+		}
+	}
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("GET "+PathSweep, c.handleSweep)
-	c.mux.HandleFunc("POST "+PathLease, c.handleLease)
-	c.mux.HandleFunc("POST "+PathCommit, c.handleCommit)
+	c.mux.HandleFunc("POST "+PathLease, c.requireAuth(c.handleLease))
+	c.mux.HandleFunc("POST "+PathRenew, c.requireAuth(c.handleRenew))
+	c.mux.HandleFunc("POST "+PathCommit, c.requireAuth(c.handleCommit))
 	c.mux.HandleFunc("GET "+PathStatus, c.handleStatus)
 	return c, nil
+}
+
+// requireAuth gates a mutating endpoint behind the shared bearer token.
+// No token configured means an open queue (trusted-LAN mode). The
+// comparison is constant-time, so a rejected probe learns nothing about
+// how much of its guess matched.
+func (c *Coordinator) requireAuth(next http.HandlerFunc) http.HandlerFunc {
+	if c.cfg.Token == "" {
+		return next
+	}
+	want := []byte("Bearer " + c.cfg.Token)
+	return func(w http.ResponseWriter, r *http.Request) {
+		got := []byte(r.Header.Get("Authorization"))
+		if subtle.ConstantTimeCompare(got, want) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="bcbpt-fleet"`)
+			http.Error(w, "unauthorized: missing or wrong bearer token", http.StatusUnauthorized)
+			return
+		}
+		next(w, r)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -132,7 +184,13 @@ func (c *Coordinator) Sweep() SweepResponse {
 func (c *Coordinator) leaseUnit(worker string) LeaseResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.remaining == 0 || c.failure != nil {
+	if c.failure != nil {
+		// A failed sweep is not "done": every worker that polls must
+		// learn the failure and exit non-zero, not report a clean sweep
+		// it never saw fail.
+		return LeaseResponse{Status: LeaseFailed, Failure: c.failure.Error()}
+	}
+	if c.remaining == 0 {
 		return LeaseResponse{Status: LeaseDone}
 	}
 	now := c.cfg.now()
@@ -187,6 +245,35 @@ func (c *Coordinator) leaseUnit(worker string) LeaseResponse {
 	}}
 }
 
+// renewLease extends a lease's deadline by a fresh LeaseTTL — the
+// heartbeat that keeps a live slow unit from being reassigned. Only the
+// unit's current lease may renew. A lease past its deadline whose unit
+// nobody has reclaimed yet is revived rather than refused: the heartbeat
+// proves the worker is alive, and reviving it beats thrashing the work
+// (the at-most-once commit rule would keep the merge correct either
+// way). After a reassignment or commit the renewal is refused, telling
+// the worker to stop heartbeating.
+func (c *Coordinator) renewLease(req RenewRequest) RenewResponse {
+	if req.Campaign < 0 || req.Campaign >= len(c.campaigns) {
+		return RenewResponse{Reason: fmt.Sprintf("unknown campaign %d", req.Campaign)}
+	}
+	if req.Replication < 0 || req.Replication >= c.campaigns[req.Campaign].Replications {
+		return RenewResponse{Reason: fmt.Sprintf("campaign %d has no replication %d", req.Campaign, req.Replication)}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u := &c.units[c.offsets[req.Campaign]+req.Replication]
+	if u.phase == unitDone {
+		return RenewResponse{Reason: "unit already committed"}
+	}
+	if u.phase != unitLeased || u.leaseID != req.LeaseID {
+		return RenewResponse{Reason: "lease superseded"}
+	}
+	u.expires = c.cfg.now().Add(c.cfg.LeaseTTL)
+	c.renewed++
+	return RenewResponse{Renewed: true, TTLMillis: c.cfg.LeaseTTL.Milliseconds()}
+}
+
 // commitUnit records a finished unit — at most once. The commit must name
 // the unit's current lease: after an expiry-driven reassignment the
 // superseded worker's commit is rejected, and once a unit is done every
@@ -198,6 +285,15 @@ func (c *Coordinator) leaseUnit(worker string) LeaseResponse {
 // stalls every other worker's lease poll behind the coordinator mutex.
 // The lease is only checked under the lock, after the decode: a stale
 // commit wastes its own decode, never anyone else's time.
+//
+// Spooling follows the same shape: the shard's bytes are written to a
+// request-unique temp file before the lock, and acceptance is a rename —
+// a metadata operation — under it, so a megabyte exact shard never
+// serializes lease polls behind disk I/O. The temp name must be unique
+// per request, not per lease: a worker whose commit times out resends
+// it while the first handler may still be writing, and a shared name
+// would let one handler truncate the file another is about to publish.
+// A losing (stale) commit's temp file is removed.
 func (c *Coordinator) commitUnit(req CommitRequest) CommitResponse {
 	if req.Campaign < 0 || req.Campaign >= len(c.campaigns) {
 		return CommitResponse{Reason: fmt.Sprintf("unknown campaign %d", req.Campaign)}
@@ -207,18 +303,37 @@ func (c *Coordinator) commitUnit(req CommitRequest) CommitResponse {
 		return CommitResponse{Reason: fmt.Sprintf("campaign %d has no replication %d", req.Campaign, req.Replication)}
 	}
 	var res measure.CampaignResult
+	spoolTmp := ""
 	if req.Error == "" {
-		var err error
-		if res, err = measure.DecodeCampaignResult(req.Result); err != nil {
+		print, err := shardFingerprint(req.Result, c.cfg.SpoolDir == "", &res)
+		if err != nil {
 			return CommitResponse{Reason: err.Error()}
 		}
-		if res.Fingerprint != c.prints[req.Campaign] {
+		if print != c.prints[req.Campaign] {
 			return CommitResponse{Reason: fmt.Sprintf(
 				"shard fingerprint %016x does not match campaign %s (%016x): worker ran a different experiment",
-				res.Fingerprint, cs.Name, c.prints[req.Campaign])}
+				print, cs.Name, c.prints[req.Campaign])}
+		}
+		if c.cfg.SpoolDir != "" {
+			spoolTmp, err = writeSpoolTemp(c.cfg.SpoolDir, req)
+			if err != nil {
+				return c.failSpool(err)
+			}
 		}
 	}
 
+	resp := c.finishCommit(req, cs, res, spoolTmp)
+	if spoolTmp != "" && !resp.Accepted {
+		// The losing temp file (stale lease, or a failed rename) is dead
+		// weight; removal is best effort.
+		os.Remove(spoolTmp)
+	}
+	return resp
+}
+
+// finishCommit is commitUnit's locked tail: lease adjudication and the
+// at-most-once state transition.
+func (c *Coordinator) finishCommit(req CommitRequest, cs experiment.CampaignSpec, res measure.CampaignResult, spoolTmp string) CommitResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	u := &c.units[c.offsets[req.Campaign]+req.Replication]
@@ -238,8 +353,15 @@ func (c *Coordinator) commitUnit(req CommitRequest) CommitResponse {
 		}
 		return CommitResponse{Accepted: true}
 	}
+	if spoolTmp != "" {
+		if err := os.Rename(spoolTmp, c.spoolPath(req.Campaign, req.Replication)); err != nil {
+			return c.failSpoolLocked(err)
+		}
+		u.spooled = true
+	} else {
+		u.result = res
+	}
 	u.phase = unitDone
-	u.result = res
 	c.remaining--
 	if c.remaining == 0 && c.failure == nil {
 		// A failed sweep already closed done; in-flight commits after the
@@ -247,6 +369,109 @@ func (c *Coordinator) commitUnit(req CommitRequest) CommitResponse {
 		close(c.done)
 	}
 	return CommitResponse{Accepted: true}
+}
+
+// spoolPath is the final on-disk name of a committed shard — one file
+// per (campaign, replication), the exact wire bytes the worker shipped.
+func (c *Coordinator) spoolPath(campaign, rep int) string {
+	return filepath.Join(c.cfg.SpoolDir, fmt.Sprintf("campaign-%03d-rep-%05d.json", campaign, rep))
+}
+
+// shardFingerprint extracts a shard's fingerprint for the commit check.
+// An in-memory coordinator (full=true) decodes the whole shard into
+// *res — it is about to keep it anyway. A spooling coordinator only
+// peeks at the fingerprint field: the spool keeps the raw bytes and the
+// merge decodes them exactly once at Outcomes time, so fully decoding a
+// megabyte exact shard here would do the expensive work twice per unit
+// (a shard that is valid JSON but corrupt beyond its fingerprint still
+// fails loudly, at merge instead of commit).
+func shardFingerprint(data []byte, full bool, res *measure.CampaignResult) (uint64, error) {
+	if full {
+		var err error
+		*res, err = measure.DecodeCampaignResult(data)
+		return res.Fingerprint, err
+	}
+	var peek struct {
+		Fingerprint uint64 `json:"fingerprint"`
+	}
+	if err := json.Unmarshal(data, &peek); err != nil {
+		return 0, fmt.Errorf("measure: decode campaign result: %w", err)
+	}
+	return peek.Fingerprint, nil
+}
+
+// failSpool escalates a spool I/O error to a sweep failure: a
+// coordinator that cannot persist shards cannot finish the sweep, and
+// letting each worker discover the fault through a fatal commit
+// rejection would kill the fleet one worker per lease TTL while the
+// queue kept advertising reassignable units. Failing the sweep gives
+// every worker the cause on its next poll (LeaseFailed) instead. The
+// one commit that observed the fault still gets a rejection, so its
+// worker exits with the disk error rather than a generic failure.
+func (c *Coordinator) failSpool(err error) CommitResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failSpoolLocked(err)
+}
+
+// failSpoolLocked is failSpool for callers already holding c.mu. A
+// fault observed after the sweep already finished (a stale commit's
+// temp write) does not fail it retroactively — done may already be
+// closed, and the merged result is safely on disk.
+func (c *Coordinator) failSpoolLocked(err error) CommitResponse {
+	if c.failure == nil && c.remaining > 0 {
+		c.failure = fmt.Errorf("fleet: spool shard: %w", err)
+		close(c.done)
+	}
+	return CommitResponse{Reason: fmt.Sprintf("spool shard: %v", err)}
+}
+
+// writeSpoolTemp lands a shard's bytes in a request-unique temp file
+// (os.CreateTemp's random suffix) in the spool directory, named so
+// cleanSpoolDir recognises orphans.
+func writeSpoolTemp(dir string, req CommitRequest) (string, error) {
+	f, err := os.CreateTemp(dir, fmt.Sprintf("campaign-%03d-rep-%05d.json.tmp-lease%d-*", req.Campaign, req.Replication, req.LeaseID))
+	if err != nil {
+		return "", err
+	}
+	_, werr := f.Write(req.Result)
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(f.Name())
+		return "", werr
+	}
+	return f.Name(), nil
+}
+
+// cleanSpoolDir empties a reused spool directory of the previous run's
+// output — committed shards and temp files orphaned by a crash alike.
+// The directory records exactly one sweep: without this, an operator
+// pointing two sweeps at the same -spool-dir would leave it interleaving
+// shards of both, and anything consuming the documented layout would
+// pick up shards from the wrong sweep. Only names this coordinator
+// writes are touched; foreign files are left alone (and will fail the
+// run loudly only if they collide with a shard name, via the fingerprint
+// recheck at merge).
+func cleanSpoolDir(dir string) error {
+	// Digit-leading wildcards rather than fixed widths: spoolPath's
+	// %03d/%05d grow past three/five digits on huge sweeps, and those
+	// shards must be cleaned too.
+	const shard = "campaign-[0-9]*-rep-[0-9]*.json"
+	for _, pattern := range []string{shard, shard + ".tmp-lease*"} {
+		stale, err := filepath.Glob(filepath.Join(dir, pattern))
+		if err != nil {
+			return fmt.Errorf("fleet: scan spool directory: %w", err)
+		}
+		for _, path := range stale {
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("fleet: clean spool directory: %w", err)
+			}
+		}
+	}
+	return nil
 }
 
 // Done is closed when the sweep completes or fails.
@@ -264,17 +489,23 @@ func (c *Coordinator) Wait(ctx context.Context) error {
 	}
 }
 
-// Status snapshots queue progress.
+// Status snapshots queue progress. A lease past its deadline that no
+// worker has reclaimed yet counts as Expired, not Leased: lumping the
+// two together would make a queue full of dead workers' leases look
+// busy when it is stalled.
 func (c *Coordinator) Status() StatusResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := StatusResponse{Units: len(c.units), Reassigned: c.reassigned}
+	now := c.cfg.now()
+	s := StatusResponse{Units: len(c.units), Reassigned: c.reassigned, Renewed: c.renewed}
 	for i := range c.units {
-		switch c.units[i].phase {
-		case unitDone:
+		switch u := &c.units[i]; {
+		case u.phase == unitDone:
 			s.Done++
-		case unitLeased:
+		case u.phase == unitLeased && now.Before(u.expires):
 			s.Leased++
+		case u.phase == unitLeased:
+			s.Expired++
 		default:
 			s.Pending++
 		}
@@ -288,18 +519,52 @@ func (c *Coordinator) Status() StatusResponse {
 
 // Outcomes merges the committed shards into campaign outcomes, in
 // replication order — byte for byte what Runner.Sweep would have returned
-// for the same specs on one machine. Incomplete campaigns merge their
-// committed shards (mirroring Sweep's partial results); the sweep-fatal
-// error, if any, is returned alongside.
+// for the same specs on one machine. Spooled shards are re-read from the
+// spool directory here, still in replication order, so spooling changes
+// where shards wait, never how they merge. Incomplete campaigns merge
+// their committed shards (mirroring Sweep's partial results); the
+// sweep-fatal error, if any, is returned alongside.
+//
+// The queue mutex guards only the state snapshot: reading and decoding
+// a deep spooled sweep takes long enough that holding the lock through
+// it would stall every worker's "done" poll behind the merge — a
+// committed spool file is immutable (only ever renamed into place, never
+// rewritten), so reading it unlocked is safe.
+//
+// A spool file that fails to read back (clobbered by another process,
+// corrupt beyond its fingerprint) is skipped like an uncommitted unit —
+// its campaign merges partially and the read error is returned alongside
+// — rather than discarding every healthy campaign's data with it.
 func (c *Coordinator) Outcomes() ([]experiment.CampaignOutcome, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	done := make([]bool, len(c.units))
+	spooled := make([]bool, len(c.units))
+	results := make([]measure.CampaignResult, len(c.units))
+	for i := range c.units {
+		u := &c.units[i]
+		done[i], spooled[i], results[i] = u.phase == unitDone, u.spooled, u.result
+	}
+	failure := c.failure
+	c.mu.Unlock()
+
+	var readErrs []error
 	out := make([]experiment.CampaignOutcome, len(c.campaigns))
 	for ci, cs := range c.campaigns {
 		shards := make([]measure.CampaignResult, 0, cs.Replications)
 		for rep := 0; rep < cs.Replications; rep++ {
-			if u := &c.units[c.offsets[ci]+rep]; u.phase == unitDone {
-				shards = append(shards, u.result)
+			i := c.offsets[ci] + rep
+			if !done[i] {
+				continue
+			}
+			if spooled[i] {
+				res, err := c.readSpooled(ci, rep)
+				if err != nil {
+					readErrs = append(readErrs, fmt.Errorf("fleet: campaign %s: %w", cs.Name, err))
+					continue
+				}
+				shards = append(shards, res)
+			} else {
+				shards = append(shards, results[i])
 			}
 		}
 		merged, err := measure.MergeCampaignResults(shards...)
@@ -310,7 +575,32 @@ func (c *Coordinator) Outcomes() ([]experiment.CampaignOutcome, error) {
 		}
 		out[ci] = experiment.CampaignOutcome{Name: cs.Name, Result: merged, Replications: len(shards)}
 	}
-	return out, c.failure
+	if len(readErrs) > 0 {
+		readErrs = append(readErrs, failure)
+		return out, errors.Join(readErrs...)
+	}
+	return out, failure
+}
+
+// readSpooled loads one committed shard back from the spool directory,
+// re-checking its fingerprint: a spool file tampered with (or clobbered
+// by another process) between commit and merge must fail loudly, not
+// pool.
+func (c *Coordinator) readSpooled(campaign, rep int) (measure.CampaignResult, error) {
+	path := c.spoolPath(campaign, rep)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return measure.CampaignResult{}, fmt.Errorf("read spooled shard: %w", err)
+	}
+	res, err := measure.DecodeCampaignResult(data)
+	if err != nil {
+		return measure.CampaignResult{}, fmt.Errorf("decode spooled shard %s: %w", path, err)
+	}
+	if res.Fingerprint != c.prints[campaign] {
+		return measure.CampaignResult{}, fmt.Errorf("spooled shard %s fingerprint %016x does not match campaign (%016x)",
+			path, res.Fingerprint, c.prints[campaign])
+	}
+	return res, nil
 }
 
 // maxBody bounds request bodies: an exact shard of a deep campaign is
@@ -343,6 +633,14 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, c.leaseUnit(req.Worker))
+}
+
+func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req RenewRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	writeJSON(w, c.renewLease(req))
 }
 
 func (c *Coordinator) handleCommit(w http.ResponseWriter, r *http.Request) {

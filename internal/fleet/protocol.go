@@ -23,6 +23,21 @@
 // or arrival order — the property TestFleetFailoverMatchesSerialSweep
 // pins.
 //
+// Three hardening layers take the queue from trusted-LAN demos to shared
+// clusters:
+//
+//   - heartbeat renewal: a worker extends its lease at TTL/3 cadence
+//     (POST /v1/renew), so LeaseTTL is a failure-detection window — it
+//     can sit at seconds for fast dead-worker recovery without ever
+//     reassigning a live slow unit;
+//   - bearer-token auth: when the coordinator is built with a token,
+//     every mutating endpoint (lease, renew, commit) requires
+//     "Authorization: Bearer <token>" and answers 401 otherwise;
+//   - disk spooling: committed shards can stream to a spool directory
+//     instead of living in coordinator memory, re-read in replication
+//     order at merge time — coordinator memory stays flat however deep
+//     the sweep.
+//
 // Both pooling modes round-trip: streaming shards ship the fixed-size
 // sketch (O(KiB) per unit), exact shards ship every sample and per-run
 // result. Every shard carries its spec fingerprint and the coordinator
@@ -44,6 +59,10 @@ const (
 	PathSweep = "/v1/sweep"
 	// PathLease (POST, LeaseRequest) grants a work unit lease.
 	PathLease = "/v1/lease"
+	// PathRenew (POST, RenewRequest) extends a live lease's deadline —
+	// the heartbeat that lets LeaseTTL sit far below a slow unit's wall
+	// time.
+	PathRenew = "/v1/renew"
 	// PathCommit (POST, CommitRequest) ships a finished shard back.
 	PathCommit = "/v1/commit"
 	// PathStatus (GET) returns queue progress for dashboards and tests.
@@ -75,9 +94,13 @@ const (
 	// LeaseWait means every unit is done or leased out; retry later — an
 	// outstanding lease may yet expire and free its unit.
 	LeaseWait LeaseStatus = "wait"
-	// LeaseDone means the sweep is complete (or failed); the worker can
-	// exit.
+	// LeaseDone means the sweep completed successfully; the worker can
+	// exit cleanly.
 	LeaseDone LeaseStatus = "done"
+	// LeaseFailed means the sweep failed (a unit hit a deterministic
+	// error). Workers must exit non-zero carrying the failure reason —
+	// a failed sweep may never masquerade as a clean fleet-wide exit.
+	LeaseFailed LeaseStatus = "failed"
 )
 
 // LeaseResponse answers a lease request.
@@ -87,6 +110,8 @@ type LeaseResponse struct {
 	Lease *Lease `json:"lease,omitempty"`
 	// RetryMillis suggests a poll delay when Status is LeaseWait.
 	RetryMillis int64 `json:"retry_ms,omitempty"`
+	// Failure carries the sweep-fatal error when Status is LeaseFailed.
+	Failure string `json:"failure,omitempty"`
 }
 
 // Lease is one granted work unit: replication Replication of campaign
@@ -105,14 +130,37 @@ type Lease struct {
 	// proceed.
 	Seed int64 `json:"seed"`
 	// TTLMillis is how long the lease lasts before the unit may be
-	// reassigned. A worker that expects to exceed it should not take the
-	// unit (there is no renewal; the coordinator's LeaseTTL must be sized
-	// to the slowest unit).
+	// reassigned. Workers renew at TTL/3 cadence (PathRenew), so the TTL
+	// is a heartbeat window, not a bound on unit wall time: it only has
+	// to cover a few missed heartbeats, and a unit slower than the TTL
+	// keeps its lease as long as its worker keeps renewing.
 	TTLMillis int64 `json:"ttl_ms"`
 }
 
 // TTL returns the lease duration.
 func (l *Lease) TTL() time.Duration { return time.Duration(l.TTLMillis) * time.Millisecond }
+
+// RenewRequest extends a lease before it expires. Only the unit's
+// current lease may renew; a renewal can also revive a lease that
+// expired but whose unit has not yet been handed to anyone else (a late
+// heartbeat from a live worker beats thrashing its work).
+type RenewRequest struct {
+	Worker      string `json:"worker"`
+	LeaseID     uint64 `json:"lease_id"`
+	Campaign    int    `json:"campaign"`
+	Replication int    `json:"replication"`
+}
+
+// RenewResponse answers a renewal. A refused renewal (unit committed, or
+// lease superseded by an expiry reassignment) tells the worker to stop
+// heartbeating; the commit exchange then adjudicates what happened to
+// the unit — a refused renewal on its own is never a worker error.
+type RenewResponse struct {
+	Renewed bool `json:"renewed"`
+	// TTLMillis echoes the fresh deadline's TTL when Renewed.
+	TTLMillis int64  `json:"ttl_ms,omitempty"`
+	Reason    string `json:"reason,omitempty"`
+}
 
 // CommitRequest ships one finished unit back. Exactly one of Result or
 // Error is set: Result carries the shard (measure.CampaignResult wire
@@ -147,13 +195,20 @@ type CommitResponse struct {
 type StatusResponse struct {
 	// Units is the total unit count (sum of campaign replications).
 	Units int `json:"units"`
-	// Done, Leased and Pending partition Units.
+	// Done, Leased, Expired and Pending partition Units. Leased counts
+	// only live leases; Expired counts leases past their deadline whose
+	// unit has not been reclaimed yet — a non-zero Expired that does not
+	// drain is a stalled queue (dead workers, nobody polling), which a
+	// combined "leased" count would mask.
 	Done    int `json:"done"`
 	Leased  int `json:"leased"`
+	Expired int `json:"expired"`
 	Pending int `json:"pending"`
 	// Reassigned counts lease expiries that handed a unit to another
 	// worker — each one is a survived worker failure.
 	Reassigned int `json:"reassigned"`
+	// Renewed counts granted heartbeat renewals.
+	Renewed int `json:"renewed"`
 	// Complete is true once every unit committed (or the sweep failed).
 	Complete bool `json:"complete"`
 	// Failed carries the sweep-fatal error, if any.

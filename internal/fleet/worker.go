@@ -28,6 +28,10 @@ type Worker struct {
 	Parallelism int
 	// RetryInterval backs off transient coordinator errors (default 1s).
 	RetryInterval time.Duration
+	// Token authenticates against a coordinator built with
+	// CoordinatorConfig.Token (attached as a bearer token to every
+	// request). Leave empty for an open coordinator.
+	Token string
 	// HTTPClient overrides http.DefaultClient.
 	HTTPClient *http.Client
 }
@@ -64,8 +68,15 @@ func sleep(ctx context.Context, d time.Duration) error {
 // execution fails for a non-cancellation reason is reported to the
 // coordinator (failing the sweep fast) rather than retried: the failure
 // is as deterministic as the results are.
+//
+// The first slot to hit a fatal error cancels its siblings: without
+// that, a worker that has already decided to exit non-zero would keep
+// leasing and computing units (or spin on LeaseWait) for a sweep it is
+// about to report as failed. Sibling slots unwound by that cancellation
+// are not themselves failures — Run returns the real errors only.
 func (w *Worker) Run(ctx context.Context) error {
 	client := NewClient(w.CoordinatorURL, w.HTTPClient)
+	client.Token = w.Token
 	sweep, err := w.fetchSweep(ctx, client)
 	if err != nil {
 		return err
@@ -80,18 +91,47 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 	}
 
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	par := w.parallelism()
 	errs := make([]error, par)
+	fatal := make([]bool, par)
 	var wg sync.WaitGroup
 	for i := 0; i < par; i++ {
 		wg.Add(1)
 		go func(slot int) {
 			defer wg.Done()
-			errs[slot] = w.loop(ctx, client, sweep.Campaigns)
+			err := w.loop(runCtx, client, sweep.Campaigns)
+			errs[slot] = err
+			// Fatality is decided by the run's own state, never by
+			// unwrapping the error chain: exhausted transport budgets
+			// wrap the HTTP client's context.DeadlineExceeded, so "is
+			// this a context error" cannot distinguish a real failure
+			// from a slot unwound by cancellation — but a slot that
+			// errored while the run was still live is always fatal
+			// (version skew, persistent rejection, sweep failure, dead
+			// coordinator). Cancel the sibling slots rather than letting
+			// them drain a queue this worker will report as failed.
+			if err != nil && runCtx.Err() == nil {
+				fatal[slot] = true
+				cancel()
+			}
 		}(i)
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+
+	var real []error
+	for slot, err := range errs {
+		if fatal[slot] {
+			real = append(real, err)
+		}
+	}
+	if len(real) > 0 {
+		return errors.Join(real...)
+	}
+	// No fatal slot error: either every slot saw LeaseDone (clean exit,
+	// nil), or the slots were unwound by the caller's own cancellation.
+	return ctx.Err()
 }
 
 // Transport-failure budgets. An unreachable coordinator must not spin a
@@ -121,6 +161,11 @@ func (w *Worker) fetchSweep(ctx context.Context, client *Client) (SweepResponse,
 		if ctx.Err() != nil {
 			return SweepResponse{}, err
 		}
+		// The coordinator itself serves the sweep unauthenticated, but a
+		// fronting proxy may not — and a 401 never heals by retrying.
+		if errors.Is(err, ErrUnauthorized) {
+			return SweepResponse{}, err
+		}
 		if err := sleep(ctx, w.retryInterval()); err != nil {
 			return SweepResponse{}, err
 		}
@@ -140,6 +185,11 @@ func (w *Worker) loop(ctx context.Context, client *Client, campaigns []experimen
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
+			if errors.Is(err, ErrUnauthorized) {
+				// Retrying with the same (wrong or missing) token can
+				// never succeed.
+				return err
+			}
 			if leaseFailures++; leaseFailures >= maxLeaseFailures {
 				return fmt.Errorf("fleet: coordinator unreachable for %d consecutive polls (sweep finished elsewhere, or coordinator died): %w",
 					leaseFailures, err)
@@ -153,6 +203,11 @@ func (w *Worker) loop(ctx context.Context, client *Client, campaigns []experimen
 		switch resp.Status {
 		case LeaseDone:
 			return nil
+		case LeaseFailed:
+			// The sweep failed on some unit — possibly on another worker
+			// entirely. Exiting zero here would make a failed sweep look
+			// clean on every machine but the one that ran the bad unit.
+			return fmt.Errorf("fleet: sweep failed: %s", resp.Failure)
 		case LeaseWait:
 			retry := time.Duration(resp.RetryMillis) * time.Millisecond
 			if retry <= 0 {
@@ -171,7 +226,10 @@ func (w *Worker) loop(ctx context.Context, client *Client, campaigns []experimen
 	}
 }
 
-// runLease executes one granted unit and commits the shard.
+// runLease executes one granted unit and commits the shard. For the
+// unit's whole run a heartbeat goroutine renews the lease at TTL/3
+// cadence, so the lease stays live however slow the unit is; the
+// heartbeat stops when the unit finishes (commit, error, or ctx cancel).
 func (w *Worker) runLease(ctx context.Context, client *Client, campaigns []experiment.CampaignSpec, l *Lease) error {
 	if l == nil || l.Campaign < 0 || l.Campaign >= len(campaigns) {
 		return fmt.Errorf("fleet: coordinator granted lease for unknown campaign")
@@ -187,16 +245,46 @@ func (w *Worker) runLease(ctx context.Context, client *Client, campaigns []exper
 		Campaign:    l.Campaign,
 		Replication: l.Replication,
 	}
-	res, err := experiment.RunUnit(ctx, cs, l.Replication)
+
+	// unitCtx bounds the simulation: the heartbeat cancels it if the
+	// coordinator refuses a renewal (lease superseded, or unit already
+	// committed elsewhere) — from that moment every commit this worker
+	// could send is provably stale, so finishing an hours-long unit
+	// would be pure waste.
+	unitCtx, cancelUnit := context.WithCancel(ctx)
+	renewCtx, stopRenew := context.WithCancel(ctx)
+	var renewWG sync.WaitGroup
+	renewWG.Add(1)
+	go func() {
+		defer renewWG.Done()
+		w.renewLoop(renewCtx, client, l, cancelUnit)
+	}()
+	// The heartbeat spans the commit exchange too — a megabyte exact
+	// shard takes a while to upload, and the lease must stay live until
+	// the coordinator has adjudicated it — then stops when the unit is
+	// settled, waited out so a slot never leaves a stray renewer behind.
+	defer func() {
+		stopRenew()
+		renewWG.Wait()
+		cancelUnit()
+	}()
+
+	res, err := experiment.RunUnit(unitCtx, cs, l.Replication)
 	switch {
 	case err == nil:
 		if commit.Result, err = measure.EncodeCampaignResult(res); err != nil {
 			return err
 		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		// Our own shutdown, not the unit's fault: walk away and let the
-		// lease expire so another worker picks the unit up.
-		return ctx.Err()
+		if ctx.Err() != nil {
+			// Our own shutdown, not the unit's fault: walk away and let
+			// the lease expire so another worker picks the unit up.
+			return ctx.Err()
+		}
+		// The heartbeat lost the lease: the unit is settled (reassigned
+		// or already committed) elsewhere, and a commit from us would be
+		// rejected as stale. Abandon it and lease fresh work.
+		return nil
 	default:
 		commit.Error = err.Error()
 	}
@@ -220,6 +308,51 @@ func (w *Worker) runLease(ctx context.Context, client *Client, campaigns []exper
 	return nil
 }
 
+// renewLoop heartbeats one lease at TTL/3 cadence until ctx is cancelled
+// or the coordinator refuses the renewal (unit committed elsewhere, or
+// the lease was superseded). A refusal calls cancelUnit so the running
+// simulation aborts instead of burning hours on a shard whose commit is
+// already guaranteed a stale rejection. Transport errors are tolerated:
+// the next beat retries, and the TTL/3 cadence means two beats can fail
+// outright before the lease is even at risk. Renewal failures are never
+// surfaced as worker errors — the worst a lost lease costs is one
+// abandoned (re-runnable) unit, which is benign.
+func (w *Worker) renewLoop(ctx context.Context, client *Client, l *Lease, cancelUnit context.CancelFunc) {
+	interval := l.TTL() / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	req := RenewRequest{Worker: w.Name, LeaseID: l.ID, Campaign: l.Campaign, Replication: l.Replication}
+	for {
+		if sleep(ctx, interval) != nil {
+			return
+		}
+		// Bound each beat to its own slot in the cadence: a hung request
+		// (blackholed packets — no RST) must be abandoned before the next
+		// beat is due, or one stall would silently eat the whole TTL.
+		beatCtx, cancelBeat := context.WithTimeout(ctx, interval)
+		resp, err := client.Renew(beatCtx, req)
+		cancelBeat()
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			if errors.Is(err, ErrUnauthorized) {
+				// Auth failures are permanent: the lease will expire and
+				// the commit would 401 too, so finishing the unit is as
+				// futile as after a refused renewal.
+				cancelUnit()
+				return
+			}
+			continue
+		}
+		if !resp.Renewed {
+			cancelUnit()
+			return
+		}
+	}
+}
+
 // commitWithRetry retries transient transport errors; the at-most-once
 // guarantee lives in the coordinator, so resending is always safe.
 func (w *Worker) commitWithRetry(ctx context.Context, client *Client, req CommitRequest) (CommitResponse, error) {
@@ -233,6 +366,9 @@ func (w *Worker) commitWithRetry(ctx context.Context, client *Client, req Commit
 		lastErr = err
 		if ctx.Err() != nil {
 			return CommitResponse{}, ctx.Err()
+		}
+		if errors.Is(err, ErrUnauthorized) {
+			return CommitResponse{}, err
 		}
 		if err := sleep(ctx, w.retryInterval()); err != nil {
 			return CommitResponse{}, err

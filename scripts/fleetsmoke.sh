@@ -2,33 +2,47 @@
 # fleetsmoke.sh [BINDIR]
 #
 # End-to-end proof of the fleet subsystem's headline guarantee: a tiny
-# Figure 3 sweep is run twice —
+# Figure 3 sweep is run three ways —
 #
-#   1. distributed: a coordinator plus 2 local workers, with one induced
-#      worker failure (a unit leased and abandoned, reassigned after the
-#      lease TTL);
-#   2. single-process: the same sweep through bcbpt-sim's local engine —
+#   1. distributed: a coordinator plus 2 local workers behind a bearer
+#      token, shards spooled to disk, with one induced worker failure (a
+#      unit leased and abandoned, reassigned after the lease TTL — the
+#      dead "worker" sends no heartbeats, live workers renew theirs);
+#   2. distributed again, but defined by the checked-in custom sweep
+#      JSON (examples/sweeps/figure3-smoke.json) instead of the preset;
+#   3. single-process: the same sweep through bcbpt-sim's local engine —
 #
-# and the two merged CDF CSVs must be byte-identical. Any divergence in
-# unit execution, shard serialization, lease failover, or merge order
-# shows up as a diff. CI runs this on every push (make fleet-smoke).
+# and all three merged CDF CSVs must be byte-identical. Any divergence
+# in unit execution, shard serialization/spooling, lease
+# renewal/failover, sweep-file parsing, or merge order shows up as a
+# diff. CI runs this on every push (make fleet-smoke).
 set -eu
 
 bin="${1:-$(mktemp -d)}"
 go build -o "$bin" ./cmd/bcbpt-fleet ./cmd/bcbpt-sim
 
 sweep="-experiment figure3 -nodes 120 -runs 5 -replications 2 -seed 1"
+token="fleetsmoke-$$"
 
-echo "fleetsmoke: distributed run (2 workers, 1 induced failure)"
-"$bin/bcbpt-fleet" run $sweep -fleet-workers 2 -induce-failure -lease-ttl 3s -csv "$bin/fleet.csv"
+echo "fleetsmoke: distributed run (2 workers, 1 induced failure, token auth, disk spool)"
+"$bin/bcbpt-fleet" run $sweep -fleet-workers 2 -induce-failure -lease-ttl 3s \
+    -token "$token" -spool-dir "$bin/spool" -csv "$bin/fleet.csv"
+
+echo "fleetsmoke: distributed run from custom sweep JSON"
+"$bin/bcbpt-fleet" run -sweep examples/sweeps/figure3-smoke.json -fleet-workers 2 \
+    -token "$token" -csv "$bin/sweepfile.csv"
 
 echo "fleetsmoke: single-process run"
 "$bin/bcbpt-sim" $sweep -csv "$bin/sim.csv" > /dev/null
 
-if cmp -s "$bin/fleet.csv" "$bin/sim.csv"; then
-    echo "fleetsmoke: OK — distributed and single-process outputs are byte-identical"
-else
-    echo "fleetsmoke: FAIL — distributed output differs from single-process output" >&2
-    diff "$bin/fleet.csv" "$bin/sim.csv" >&2 || true
-    exit 1
-fi
+fail=0
+for csv in fleet.csv sweepfile.csv; do
+    if cmp -s "$bin/$csv" "$bin/sim.csv"; then
+        echo "fleetsmoke: OK — $csv is byte-identical to the single-process output"
+    else
+        echo "fleetsmoke: FAIL — $csv differs from single-process output" >&2
+        diff "$bin/$csv" "$bin/sim.csv" >&2 || true
+        fail=1
+    fi
+done
+exit "$fail"
