@@ -22,6 +22,7 @@ import (
 	"repro/internal/chain"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/geo"
 	"repro/internal/measure"
 	"repro/internal/p2p"
 	"repro/internal/sim"
@@ -241,20 +242,21 @@ func BenchmarkSchedulerReference(b *testing.B) { benchSchedulerKernel(b, sim.New
 // One 2000-node network flooded through the measuring-node methodology,
 // one injection per iteration with inventory reset in between — the inner
 // loop of every campaign. Run with -benchmem: with the arena kernel's
-// AfterCall events, pooled delivery/verify payloads, shared per-hash INV
-// messages and in-place inventory resets, steady-state allocs/op here is
-// the flood's allocation budget and benchdiff.sh flags regressions.
+// AfterCall events, pooled delivery/verify payloads, pooled per-recipient
+// INV/TX/GETDATA messages and generation-stamp inventory resets,
+// steady-state allocs/op here is the flood's allocation budget and
+// benchdiff.sh flags regressions (zero tolerance on both allocs/op and
+// B/op for flood benches).
 //
-// Current budget (Xeon @ 2.70 GHz reference): ~19k allocs/op. The former
-// residuals — a payload slice built per delivery by wire.EncodedSize, a
-// GETDATA message + item slice per (node, first INV), per-probe ping
-// padding, and the per-run watch map — are gone: messages size themselves
-// without encoding (payloadSize), GETDATA/ping/pong wrappers recycle
-// through Network pools after dispatch, pings share one zeroed pad, and
-// the measuring node reuses its watch map (and, in streaming campaigns,
-// its per-run delta maps) across runs. What remains is dominated by the
-// per-(node, tx) first-sight bookkeeping maps, which ResetInventory
-// already recycles across runs.
+// Current budget (Xeon @ 2.10 GHz reference): ~760 allocs/op at
+// -benchtime 60x, down from ~19k under the retired map-based node
+// layout. The first iteration warms the message/delivery pools and grows
+// each node's flat inventory arrays; after that the residual is the
+// transaction's own construction, hashing and per-run result map — the
+// relay path itself runs out of recycled state. The per-(node, tx)
+// first-sight maps that used to dominate are gone: inventory is
+// generation-stamped flat arrays and ResetInventory is a generation
+// bump (see internal/p2p/node.go).
 
 func BenchmarkFlood2000(b *testing.B) {
 	built, err := experiment.Build(context.Background(), experiment.Spec{
@@ -283,6 +285,66 @@ func BenchmarkFlood2000(b *testing.B) {
 			b.Fatal("flood reached no connections")
 		}
 	}
+}
+
+// BenchmarkFlood100k floods a 100,000-node overlay — ring plus seven
+// random chords per node, degree ~16 — end to end in RAM: the scale
+// target the struct-of-arrays node layout exists for. Each iteration is
+// one full-network injection after a generation-bump inventory reset.
+// Alongside wall clock it reports node-B, the retained per-node hot
+// state (p2p.Network.NodeFootprintBytes / nodes), whose hard ceiling is
+// asserted by TestFlood100kFootprintBudget in internal/p2p.
+func BenchmarkFlood100k(b *testing.B) {
+	const n = 100_000
+	cfg := p2p.DefaultConfig()
+	cfg.Validation = p2p.ValidationNone
+	cfg.PingInterval = 0
+	net, err := p2p.NewNetwork(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.Reserve(n)
+	placer := geo.DefaultPlacer()
+	pr := net.Streams().Stream("placement")
+	nodes := make([]*p2p.Node, n)
+	for i := range nodes {
+		nodes[i] = net.AddNode(placer.Place(pr))
+	}
+	wires := rand.New(rand.NewSource(1))
+	for i := range nodes {
+		if err := net.Connect(nodes[i].ID(), nodes[(i+1)%n].ID()); err != nil {
+			b.Fatal(err)
+		}
+		for c := 0; c < 7; c++ {
+			if j := wires.Intn(n); j != i {
+				_ = net.Connect(nodes[i].ID(), nodes[j].ID()) // dups/full peers skip
+			}
+		}
+	}
+	key, err := chain.GenerateKey(rand.New(rand.NewSource(99)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reached := 0
+	net.OnTxFirstSeen = func(p2p.NodeID, chain.Hash, sim.Time) { reached++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ResetInventory()
+		reached = 0
+		tx := chain.Coinbase(uint64(i)+1, 1000, key.Address())
+		if err := nodes[i%n].SubmitTx(tx); err != nil {
+			b.Fatal(err)
+		}
+		if err := net.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if reached != n {
+			b.Fatalf("flood reached %d of %d nodes", reached, n)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(net.NodeFootprintBytes())/float64(net.NumNodes()), "node-B")
 }
 
 // --- Tentpole: exact vs streaming campaign pooling ---

@@ -43,6 +43,14 @@ type Tx struct {
 	Inputs   []TxIn
 	Outputs  []TxOut
 	LockTime uint32
+
+	// id caches the transaction hash: every node on a flood path hashes
+	// the same shared *Tx at least twice (receive and accept), and the
+	// serialize-and-digest would otherwise run once per hop. Fields must
+	// not be mutated after the first ID() call; SignAllInputs (the one
+	// in-package mutator) invalidates it.
+	id      Hash
+	idValid bool
 }
 
 // Coinbase builds a mining-reward transaction paying value to addr. The
@@ -120,8 +128,16 @@ func (tx *Tx) Size() int {
 	return n
 }
 
-// ID returns the transaction hash over the full serialization.
-func (tx *Tx) ID() Hash { return DoubleSHA256(tx.Bytes()) }
+// ID returns the transaction hash over the full serialization, computed
+// once and cached. The transaction must not be mutated after the first
+// call.
+func (tx *Tx) ID() Hash {
+	if !tx.idValid {
+		tx.id = DoubleSHA256(tx.Bytes())
+		tx.idValid = true
+	}
+	return tx.id
+}
 
 // SigHash returns the digest every input signs: the serialization with
 // signatures and pubkeys excluded.
@@ -146,6 +162,7 @@ func (tx *Tx) SignAllInputs(keys []*KeyPair) error {
 		tx.Inputs[i].Sig = sig
 		tx.Inputs[i].PubKey = k.PubKey()
 	}
+	tx.idValid = false
 	return nil
 }
 

@@ -186,6 +186,7 @@ func Build(ctx context.Context, spec Spec) (*Built, error) {
 	if err != nil {
 		return nil, err
 	}
+	net.Reserve(spec.Nodes)
 	b := &Built{Net: net, Seed: topology.NewDNSSeed()}
 	if err := b.build(ctx, spec); err != nil {
 		b.Close()

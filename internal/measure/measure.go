@@ -25,10 +25,15 @@ type MeasuringNode struct {
 	node *p2p.Node
 	r    *rand.Rand
 
-	// watch is MeasureOnce's per-run wait set. The set's content is
-	// rebuilt from the live peer list every run; keeping the map itself
-	// avoids one allocation per injection over thousands of runs.
-	watch map[p2p.NodeID]struct{}
+	// watchGen and watchID form MeasureOnce's per-run wait set as a flat
+	// array keyed by dense node slot: slot s is watched this run iff
+	// watchGen[s] == watchRun and watchID[s] still names the node that
+	// occupied the slot when the run started (slots recycle under churn).
+	// Starting a run is a generation bump plus one write per connection —
+	// no map to clear or rehash across thousands of injections.
+	watchGen []uint32
+	watchID  []p2p.NodeID
+	watchRun uint32
 	// deltaPool and missingPool recycle per-run result state in streaming
 	// campaigns, where a run's RunResult is folded into the sketch and
 	// discarded: the campaign's thousandth run then allocates no result
@@ -113,16 +118,28 @@ func (m *MeasuringNode) MeasureOnce(ctx context.Context, tx *chain.Tx, deadline 
 	start := m.net.Now()
 	res := RunResult{TxID: txID, InjectedAt: start, Deltas: m.newDeltas()}
 
-	if m.watch == nil {
-		m.watch = make(map[p2p.NodeID]struct{}, len(peers))
-	} else {
-		clear(m.watch)
+	m.watchRun++
+	if m.watchRun == 0 {
+		// Generation wrap: stale stamps could alias, so hard-reset once.
+		clear(m.watchGen)
+		m.watchRun = 1
 	}
-	watch := m.watch
+	if sc := m.net.SlotCap(); len(m.watchGen) < sc {
+		m.watchGen = append(m.watchGen, make([]uint32, sc-len(m.watchGen))...)
+		m.watchID = append(m.watchID, make([]p2p.NodeID, sc-len(m.watchID))...)
+	}
+	remaining := 0
 	for _, p := range peers {
-		watch[p] = struct{}{}
+		slot, ok := m.net.SlotOf(p)
+		if !ok {
+			continue
+		}
+		if m.watchGen[slot] != m.watchRun {
+			m.watchGen[slot] = m.watchRun
+			m.watchID[slot] = p
+			remaining++
+		}
 	}
-	remaining := len(watch)
 
 	prevHook := m.net.OnTxFirstSeen
 	m.net.OnTxFirstSeen = func(id p2p.NodeID, h chain.Hash, at sim.Time) {
@@ -132,12 +149,13 @@ func (m *MeasuringNode) MeasureOnce(ctx context.Context, tx *chain.Tx, deadline 
 		if h != txID {
 			return
 		}
-		if _, ok := watch[id]; !ok {
+		slot, ok := m.net.SlotOf(id)
+		if !ok || slot >= len(m.watchGen) || m.watchGen[slot] != m.watchRun || m.watchID[slot] != id {
 			return
 		}
-		if _, dup := res.Deltas[id]; dup {
-			return
-		}
+		// Consume the slot: first sight per connection per run, dup-proof
+		// without a map lookup.
+		m.watchGen[slot] = m.watchRun - 1
 		res.Deltas[id] = time.Duration(at - start)
 		remaining--
 		if remaining == 0 {

@@ -218,6 +218,27 @@ func (n *Node) HasTx(id chain.Hash) bool {
 	return ok
 }
 
+// InventorySize returns the number of transactions currently held.
+func (n *Node) InventorySize() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.known)
+}
+
+// ResetInventory clears the node's transaction inventory, the live
+// counterpart of the simulator's generation-bump reset
+// (p2p.Network.ResetInventory): between back-to-back campaign runs on
+// the same overlay, every node is reset so a re-injected transaction
+// floods fresh instead of dying at peers that remember it. Connections,
+// cluster membership, and RTT estimators survive — only first-sight
+// state is dropped. Safe to call while peers are relaying; transactions
+// arriving after the reset are simply accepted (and re-announced) anew.
+func (n *Node) ResetInventory() {
+	n.mu.Lock()
+	clear(n.known)
+	n.mu.Unlock()
+}
+
 // RTT returns the smoothed estimate for a peer address, if measured.
 func (n *Node) RTT(addr string) (time.Duration, bool) {
 	n.mu.Lock()

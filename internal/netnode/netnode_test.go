@@ -2,6 +2,7 @@ package netnode
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -97,6 +98,38 @@ func TestTxPropagatesAcrossLiveNetwork(t *testing.T) {
 		n := n
 		waitFor(t, 5*time.Second, func() bool { return n.HasTx(tx.ID()) },
 			"tx at node "+string(rune('a'+i)))
+	}
+}
+
+func TestResetInventoryRefloodsLive(t *testing.T) {
+	// Back-to-back live runs on one overlay: after every node resets, the
+	// same transaction injected again must flood the whole chain — no
+	// stale first-sight state may survive and strand the re-injection.
+	nodes := []*Node{startNode(t, nil), startNode(t, nil), startNode(t, nil)}
+	for i := 0; i < len(nodes)-1; i++ {
+		if _, err := nodes[i].Connect(nodes[i+1].Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx := liveTx(t, 7)
+	for run := 0; run < 2; run++ {
+		if err := nodes[0].SubmitTx(tx); err != nil {
+			t.Fatal(err)
+		}
+		for i, n := range nodes {
+			n := n
+			waitFor(t, 5*time.Second, func() bool { return n.HasTx(tx.ID()) },
+				fmt.Sprintf("run %d: tx at node %d", run, i))
+		}
+		for _, n := range nodes {
+			n.ResetInventory()
+			if n.InventorySize() != 0 {
+				t.Fatalf("run %d: inventory not empty after reset", run)
+			}
+			if n.HasTx(tx.ID()) {
+				t.Fatalf("run %d: stale first-sight state survived reset", run)
+			}
+		}
 	}
 }
 

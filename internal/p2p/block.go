@@ -21,7 +21,7 @@ func (nd *Node) SubmitBlock(b *chain.Block) error {
 // acceptBlock records and relays a block. from == 0 means local origin.
 func (nd *Node) acceptBlock(b *chain.Block, from NodeID) error {
 	h := b.Header.Hash()
-	if _, seen := nd.known[h]; seen {
+	if e := nd.entryFor(h); e != nil && e.seenGen == nd.net.invGen {
 		return nil
 	}
 	// Structural checks only: full contextual validation needs a chain
@@ -34,55 +34,48 @@ func (nd *Node) acceptBlock(b *chain.Block, from NodeID) error {
 			return chain.ErrBadSignature
 		}
 	}
-	nd.known[h] = nd.net.Now()
-	if nd.blockData == nil {
-		nd.blockData = make(map[chain.Hash]*chain.Block)
-	}
-	nd.blockData[h] = b
-	delete(nd.requested, h)
+	hi := nd.net.hashSlot(h)
+	e := nd.invEnsure(hi)
+	e.seenGen = nd.net.invGen
+	e.seenAt = nd.net.Now()
+	nd.storeBlock(hi, b)
+	e.reqGen = 0
 	if nd.net.OnBlockFirstSeen != nil {
 		nd.net.OnBlockFirstSeen(nd.id, h, nd.net.Now())
 	}
-	nd.announceBlock(h, from)
+	nd.announceBlock(hi, h, from)
 	return nil
 }
 
 // announceBlock sends a block INV to every peer not known to have it.
-// As with transaction announce, one immutable MsgInv is shared by every
-// recipient.
-func (nd *Node) announceBlock(h chain.Hash, except NodeID) {
-	holders := nd.peerInv[h]
-	var inv *wire.MsgInv
-	for _, peerID := range nd.sortedPeers() {
-		if peerID == except {
+// As with transaction announce, each recipient gets its own pooled INV,
+// recycled once handled.
+func (nd *Node) announceBlock(hi int32, h chain.Hash, except NodeID) {
+	for _, ref := range nd.sortedPeers() {
+		if ref.id == except {
 			continue
 		}
-		if _, knows := holders[peerID]; knows {
+		if nd.holderHas(hi, ref.pos) {
 			continue
 		}
-		if inv == nil {
-			inv = &wire.MsgInv{Items: []wire.InvVect{{Type: wire.InvBlock, Hash: h}}}
-		}
-		nd.net.send(nd.id, peerID, inv)
+		nd.net.deliver(nd, ref.node, nd.net.newInv(wire.InvBlock, h))
 	}
 }
 
 // handleBlockInv requests announced blocks we have not seen. Called from
-// handleInv for InvBlock items.
-func (nd *Node) handleBlockInv(from NodeID, items []wire.InvVect) {
+// handleInv for InvBlock items; fromPos is the sender's adjacency
+// position (or -1), computed once there.
+func (nd *Node) handleBlockInv(from NodeID, fromPos int32, items []wire.InvVect) {
 	want := nd.net.newGetData()
+	gen := nd.net.invGen
 	for _, item := range items {
-		nd.markPeerHas(from, item.Hash)
-		if _, seen := nd.known[item.Hash]; seen {
+		hi := nd.net.hashSlot(item.Hash)
+		nd.markPeerHas(from, fromPos, hi)
+		e := nd.invEnsure(hi)
+		if e.seenGen == gen || e.reqGen == gen {
 			continue
 		}
-		if nd.requested == nil {
-			nd.requested = make(map[chain.Hash]struct{})
-		}
-		if _, inflight := nd.requested[item.Hash]; inflight {
-			continue
-		}
-		nd.requested[item.Hash] = struct{}{}
+		e.reqGen = gen
 		want.Items = append(want.Items, item)
 	}
 	if len(want.Items) > 0 {
@@ -96,8 +89,8 @@ func (nd *Node) handleBlockInv(from NodeID, items []wire.InvVect) {
 func (nd *Node) handleBlock(from NodeID, m *wire.MsgBlock) {
 	b := m.Block
 	h := b.Header.Hash()
-	nd.markPeerHas(from, h)
-	if _, seen := nd.known[h]; seen {
+	nd.markPeerHas(from, nd.peerPos(from), nd.net.hashSlot(h))
+	if e := nd.entryFor(h); e != nil && e.seenGen == nd.net.invGen {
 		return
 	}
 	utxoLen := 0
@@ -110,6 +103,9 @@ func (nd *Node) handleBlock(from NodeID, m *wire.MsgBlock) {
 
 // HasBlock reports whether the node holds the block.
 func (nd *Node) HasBlock(h chain.Hash) bool {
-	_, ok := nd.blockData[h]
-	return ok
+	if hi, ok := nd.net.findHash(h); ok {
+		_, has := nd.blockFor(hi)
+		return has
+	}
+	return false
 }

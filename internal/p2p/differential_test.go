@@ -1,0 +1,396 @@
+package p2p
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/geo"
+	"repro/internal/sim"
+)
+
+// Differential harness: drive the flat struct-of-arrays Network and the
+// map-based ReferenceNetwork through an identical operation script and
+// require every observable to match bit for bit — first-seen event order
+// and times, final FirstSeen state, traffic counters, and adjacency.
+// Both networks derive their randomness from the same named streams with
+// the same seed, so any divergence is a real behavioural difference in
+// the flat layout, not noise.
+
+// seenEvent is one OnTxFirstSeen/OnBlockFirstSeen firing, in order.
+type seenEvent struct {
+	node  NodeID
+	hash  chain.Hash
+	at    sim.Time
+	block bool
+}
+
+// diffConfig builds the shared config for one differential run.
+func diffConfig(validation ValidationMode, relay RelayMode, loss bool, seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.Validation = validation
+	cfg.Relay = relay
+	cfg.Seed = seed
+	cfg.PingInterval = 0
+	if loss {
+		cfg.LossProb = 0.05
+	}
+	return cfg
+}
+
+// diffHarness owns one flat network and one reference network being
+// driven in lockstep.
+type diffHarness struct {
+	t    testing.TB
+	flat *Network
+	ref  *ReferenceNetwork
+
+	flatEvents []seenEvent
+	refEvents  []seenEvent
+
+	hashes  []chain.Hash
+	nextTx  uint64
+	addr    chain.Address
+	removed map[NodeID]bool
+}
+
+func newDiffHarness(t testing.TB, cfg Config, nodes int) *diffHarness {
+	t.Helper()
+	flat, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewReferenceNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placer := geo.DefaultPlacer()
+	fr := flat.Streams().Stream("placement")
+	rr := ref.streams.Stream("placement")
+	for i := 0; i < nodes; i++ {
+		flat.AddNode(placer.Place(fr))
+		ref.AddNode(placer.Place(rr))
+	}
+	key, err := chain.GenerateKey(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &diffHarness{t: t, flat: flat, ref: ref, addr: key.Address(), removed: map[NodeID]bool{}}
+	flat.OnTxFirstSeen = func(id NodeID, hash chain.Hash, at sim.Time) {
+		h.flatEvents = append(h.flatEvents, seenEvent{node: id, hash: hash, at: at})
+	}
+	ref.OnTxFirstSeen = func(id NodeID, hash chain.Hash, at sim.Time) {
+		h.refEvents = append(h.refEvents, seenEvent{node: id, hash: hash, at: at})
+	}
+	flat.OnBlockFirstSeen = func(id NodeID, hash chain.Hash, at sim.Time) {
+		h.flatEvents = append(h.flatEvents, seenEvent{node: id, hash: hash, at: at, block: true})
+	}
+	ref.OnBlockFirstSeen = func(id NodeID, hash chain.Hash, at sim.Time) {
+		h.refEvents = append(h.refEvents, seenEvent{node: id, hash: hash, at: at, block: true})
+	}
+	return h
+}
+
+// liveIDs returns the ascending live node IDs (identical in both nets by
+// construction; verified in compare).
+func (h *diffHarness) liveIDs() []NodeID { return h.flat.NodeIDs() }
+
+// pick maps a script byte onto a live node ID.
+func (h *diffHarness) pick(b byte) (NodeID, bool) {
+	ids := h.liveIDs()
+	if len(ids) == 0 {
+		return 0, false
+	}
+	return ids[int(b)%len(ids)], true
+}
+
+func (h *diffHarness) connect(a, b NodeID) {
+	errFlat := h.flat.Connect(a, b)
+	errRef := h.ref.Connect(a, b)
+	if (errFlat == nil) != (errRef == nil) {
+		h.t.Fatalf("Connect(%d,%d): flat err %v, ref err %v", a, b, errFlat, errRef)
+	}
+}
+
+func (h *diffHarness) disconnect(a, b NodeID) {
+	h.flat.Disconnect(a, b)
+	h.ref.Disconnect(a, b)
+}
+
+func (h *diffHarness) removeNode(id NodeID) {
+	h.flat.RemoveNode(id)
+	h.ref.RemoveNode(id)
+	h.removed[id] = true
+}
+
+func (h *diffHarness) addNode() NodeID {
+	placer := geo.DefaultPlacer()
+	fr := h.flat.Streams().Stream("placement")
+	rr := h.ref.streams.Stream("placement")
+	fn := h.flat.AddNode(placer.Place(fr))
+	rn := h.ref.AddNode(placer.Place(rr))
+	if fn.ID() != rn.ID() {
+		h.t.Fatalf("AddNode id mismatch: flat %d, ref %d", fn.ID(), rn.ID())
+	}
+	return fn.ID()
+}
+
+func (h *diffHarness) submitTx(at NodeID) {
+	h.nextTx++
+	tx := chain.Coinbase(h.nextTx, 1000, h.addr)
+	h.hashes = append(h.hashes, tx.ID())
+	fn, ok := h.flat.Node(at)
+	if !ok {
+		return
+	}
+	rn, _ := h.ref.Node(at)
+	errFlat := fn.SubmitTx(tx)
+	errRef := rn.SubmitTx(tx)
+	if (errFlat == nil) != (errRef == nil) {
+		h.t.Fatalf("SubmitTx at %d: flat err %v, ref err %v", at, errFlat, errRef)
+	}
+}
+
+func (h *diffHarness) submitBlock(at NodeID) {
+	h.nextTx++
+	cb := chain.Coinbase(h.nextTx, 1000, h.addr)
+	blk := &chain.Block{
+		Header: chain.BlockHeader{TargetBits: 4, MerkleRoot: chain.MerkleRoot([]*chain.Tx{cb})},
+		Txs:    []*chain.Tx{cb},
+	}
+	if !blk.Mine(1 << 20) {
+		h.t.Fatal("mining failed")
+	}
+	h.hashes = append(h.hashes, blk.Header.Hash())
+	fn, ok := h.flat.Node(at)
+	if !ok {
+		return
+	}
+	rn, _ := h.ref.Node(at)
+	errFlat := fn.SubmitBlock(blk)
+	errRef := rn.SubmitBlock(blk)
+	if (errFlat == nil) != (errRef == nil) {
+		h.t.Fatalf("SubmitBlock at %d: flat err %v, ref err %v", at, errFlat, errRef)
+	}
+}
+
+func (h *diffHarness) probe(a, b NodeID) {
+	fn, ok := h.flat.Node(a)
+	if !ok {
+		return
+	}
+	rn, _ := h.ref.Node(a)
+	fn.Probe(b, nil)
+	rn.Probe(b, nil)
+}
+
+func (h *diffHarness) runFor(d time.Duration) {
+	limit := h.flat.Now() + sim.Time(d)
+	if err := h.flat.RunUntil(context.Background(), limit); err != nil {
+		h.t.Fatalf("flat RunUntil: %v", err)
+	}
+	if err := h.ref.RunUntil(context.Background(), limit); err != nil {
+		h.t.Fatalf("ref RunUntil: %v", err)
+	}
+}
+
+func (h *diffHarness) reset() {
+	h.flat.ResetInventory()
+	h.ref.ResetInventory()
+}
+
+func (h *diffHarness) drain() {
+	if err := h.flat.Run(); err != nil {
+		h.t.Fatalf("flat Run: %v", err)
+	}
+	if err := h.ref.Run(); err != nil {
+		h.t.Fatalf("ref Run: %v", err)
+	}
+}
+
+// compare requires every observable to match exactly.
+func (h *diffHarness) compare() {
+	h.t.Helper()
+	if h.flat.Now() != h.ref.Now() {
+		h.t.Fatalf("clock divergence: flat %v, ref %v", h.flat.Now(), h.ref.Now())
+	}
+	if len(h.flatEvents) != len(h.refEvents) {
+		h.t.Fatalf("event count: flat %d, ref %d", len(h.flatEvents), len(h.refEvents))
+	}
+	for i := range h.flatEvents {
+		if h.flatEvents[i] != h.refEvents[i] {
+			h.t.Fatalf("event %d: flat %+v, ref %+v", i, h.flatEvents[i], h.refEvents[i])
+		}
+	}
+	if h.flat.Stats() != h.ref.Stats() {
+		h.t.Fatalf("stats divergence:\nflat: %+v\nref:  %+v", h.flat.Stats(), h.ref.Stats())
+	}
+	flatIDs := h.flat.NodeIDs()
+	refIDs := h.ref.NodeIDs()
+	if len(flatIDs) != len(refIDs) {
+		h.t.Fatalf("population: flat %d, ref %d", len(flatIDs), len(refIDs))
+	}
+	for i, id := range flatIDs {
+		if refIDs[i] != id {
+			h.t.Fatalf("node set mismatch at %d: flat %d, ref %d", i, id, refIDs[i])
+		}
+		fn, _ := h.flat.Node(id)
+		rn, _ := h.ref.Node(id)
+		fp, rp := fn.Peers(), rn.Peers()
+		if len(fp) != len(rp) {
+			h.t.Fatalf("node %d peer count: flat %d, ref %d", id, len(fp), len(rp))
+		}
+		for j := range fp {
+			if fp[j] != rp[j] {
+				h.t.Fatalf("node %d peer %d: flat %d, ref %d", id, j, fp[j], rp[j])
+			}
+		}
+		if fn.Outbound() != rn.Outbound() {
+			h.t.Fatalf("node %d outbound: flat %d, ref %d", id, fn.Outbound(), rn.Outbound())
+		}
+		for _, hash := range h.hashes {
+			ft, fok := fn.FirstSeen(hash)
+			rt, rok := rn.FirstSeen(hash)
+			if fok != rok || ft != rt {
+				h.t.Fatalf("node %d FirstSeen(%x): flat (%v,%v), ref (%v,%v)", id, hash[:4], ft, fok, rt, rok)
+			}
+		}
+	}
+}
+
+// runScript interprets a byte script as a sequence of network operations
+// applied to both networks. Every byte sequence is a valid script, so the
+// fuzzer can explore freely.
+func runScript(t testing.TB, cfg Config, script []byte) {
+	h := newDiffHarness(t, cfg, 12)
+	// Start from a ring so floods reach everyone even with empty scripts.
+	ids := h.liveIDs()
+	for i := range ids {
+		h.connect(ids[i], ids[(i+1)%len(ids)])
+	}
+	for i := 0; i+2 < len(script); i += 3 {
+		op, x, y := script[i], script[i+1], script[i+2]
+		a, ok := h.pick(x)
+		if !ok {
+			break
+		}
+		b, _ := h.pick(y)
+		switch op % 8 {
+		case 0:
+			if a != b {
+				h.connect(a, b)
+			}
+		case 1:
+			if a != b {
+				h.disconnect(a, b)
+			}
+		case 2:
+			h.submitTx(a)
+		case 3:
+			h.runFor(time.Duration(int(x)+1) * 100 * time.Millisecond)
+		case 4:
+			h.reset()
+		case 5:
+			// Keep a quorum alive so scripts cannot empty the network.
+			if h.flat.NumNodes() > 4 {
+				h.removeNode(a)
+			}
+		case 6:
+			nid := h.addNode()
+			if nid != b {
+				h.connect(nid, b)
+			}
+		case 7:
+			if a != b {
+				h.probe(a, b)
+			}
+		}
+	}
+	// Always end with a flood so every script exercises the full relay
+	// path, then drain in-flight events and compare.
+	if a, ok := h.pick(3); ok {
+		h.submitTx(a)
+	}
+	h.drain()
+	h.compare()
+}
+
+// TestFlatNodeMatchesReference pins the flat layout to the map-based
+// oracle across validation modes, relay modes, loss injection and churn.
+func TestFlatNodeMatchesReference(t *testing.T) {
+	scripts := map[string][]byte{
+		"flood":      {2, 0, 0, 3, 10, 0, 2, 5, 0, 3, 50, 0},
+		"churn":      {2, 0, 0, 3, 5, 0, 5, 3, 0, 6, 0, 7, 1, 2, 8, 0, 9, 4, 3, 20, 0, 2, 6, 0},
+		"reset":      {2, 0, 0, 3, 200, 0, 4, 0, 0, 2, 1, 0, 3, 200, 0, 4, 0, 0, 2, 2, 0},
+		"rewire":     {0, 2, 9, 2, 0, 0, 3, 30, 0, 1, 2, 9, 0, 4, 11, 2, 4, 0, 3, 30, 0},
+		"probes":     {7, 0, 5, 7, 1, 6, 3, 10, 0, 2, 0, 0, 7, 2, 7, 3, 10, 0},
+		"blocks":     {2, 0, 0, 3, 255, 0, 4, 0, 0, 3, 10, 0, 2, 4, 0},
+		"mixed-ops":  {6, 0, 1, 2, 3, 0, 3, 40, 0, 5, 7, 0, 0, 1, 8, 2, 2, 0, 3, 90, 0, 4, 0, 0, 2, 5, 0},
+		"mid-flight": {2, 0, 0, 3, 1, 0, 5, 4, 0, 3, 1, 0, 5, 6, 0, 3, 100, 0},
+	}
+	type mode struct {
+		name       string
+		validation ValidationMode
+		relay      RelayMode
+		loss       bool
+	}
+	modes := []mode{
+		{"light-inv", ValidationLight, RelayInv, false},
+		{"none-inv", ValidationNone, RelayInv, false},
+		{"light-direct", ValidationLight, RelayDirect, false},
+		{"none-inv-loss", ValidationNone, RelayInv, true},
+	}
+	for _, m := range modes {
+		for name, script := range scripts {
+			t.Run(fmt.Sprintf("%s/%s", m.name, name), func(t *testing.T) {
+				runScript(t, diffConfig(m.validation, m.relay, m.loss, 42), script)
+			})
+		}
+	}
+}
+
+// TestFlatBlockRelayMatchesReference covers block submission, which the
+// byte scripts keep separate because mining has nonzero cost.
+func TestFlatBlockRelayMatchesReference(t *testing.T) {
+	cfg := diffConfig(ValidationLight, RelayInv, false, 9)
+	h := newDiffHarness(t, cfg, 10)
+	ids := h.liveIDs()
+	for i := range ids {
+		h.connect(ids[i], ids[(i+1)%len(ids)])
+		h.connect(ids[i], ids[(i+3)%len(ids)])
+	}
+	h.submitBlock(ids[2])
+	h.runFor(2 * time.Second)
+	h.submitTx(ids[5])
+	h.drain()
+	h.reset()
+	h.submitBlock(ids[7])
+	h.drain()
+	h.compare()
+}
+
+// FuzzFlatNodeMatchesReference lets the fuzzer search for op sequences
+// where the flat layout diverges from the oracle. The seed corpus covers
+// every opcode, churn around in-flight messages, and back-to-back resets.
+func FuzzFlatNodeMatchesReference(f *testing.F) {
+	f.Add(int64(1), []byte{2, 0, 0, 3, 10, 0})
+	f.Add(int64(2), []byte{2, 0, 0, 3, 5, 0, 5, 3, 0, 6, 0, 7, 3, 50, 0})
+	f.Add(int64(3), []byte{2, 0, 0, 4, 0, 0, 2, 1, 0, 3, 200, 0, 4, 0, 0, 2, 2, 0})
+	f.Add(int64(4), []byte{0, 2, 9, 1, 2, 9, 7, 0, 5, 3, 30, 0, 2, 0, 0})
+	f.Add(int64(5), []byte{2, 0, 0, 3, 1, 0, 5, 4, 0, 5, 6, 0, 3, 100, 0, 6, 0, 2})
+	f.Fuzz(func(t *testing.T, seed int64, script []byte) {
+		if len(script) > 96 {
+			script = script[:96]
+		}
+		cfg := diffConfig(ValidationMode(uint(seed)%3), RelayMode(uint(seed>>2)%2), seed%5 == 0, seed)
+		if cfg.Validation == ValidationFull {
+			// Full validation rejects bare coinbases at the mempool; the
+			// differential scripts exercise Light and None.
+			cfg.Validation = ValidationLight
+		}
+		runScript(t, cfg, script)
+	})
+}

@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"slices"
 	"sort"
 	"time"
 
@@ -11,47 +12,111 @@ import (
 	"repro/internal/wire"
 )
 
-// peerState is per-connection bookkeeping on one side of an edge.
-type peerState struct {
+// peerEntry is one stable adjacency slot on one side of an edge. Slots
+// are positions in Node.peerTab: a peer keeps its position for the life
+// of the connection, freed positions are recycled LIFO, and per-hash
+// holder bitsets index by position — so "peer P is known to have hash H"
+// is one bit, not a map entry.
+type peerEntry struct {
+	id       NodeID
+	node     *Node
 	outbound bool
 }
 
-// pendingPing tracks an in-flight ping probe.
+// peerRef is one entry of the sorted peer cache: the ascending-ID view
+// the relay loops iterate, carrying the adjacency position (for holder
+// bitset tests) and the peer pointer (so announcing skips the network's
+// by-ID lookup entirely).
+type peerRef struct {
+	id   NodeID
+	pos  int32
+	node *Node
+}
+
+// pendingPing tracks an in-flight ping probe. Probes in flight per node
+// number at most a few dozen (keepalive plus join-time candidate
+// probing), so a linear slice beats a map allocation per node.
 type pendingPing struct {
+	nonce  uint64
 	sentAt sim.Time
 	target NodeID
 	done   func(rtt time.Duration)
 }
 
-// Node is one simulated Bitcoin peer.
-type Node struct {
-	id  NodeID
-	loc geo.Location
-	net *Network
+// estEntry is one per-target RTT estimator, kept sorted by target in a
+// contiguous per-node slice.
+type estEntry struct {
+	target NodeID
+	est    *latency.Estimator
+}
 
-	peers map[NodeID]*peerState
-	// peerList caches the sorted peer IDs; peersValid is flipped off on
-	// every connect/disconnect. The flood hot path walks the peer set once
-	// per (node, hash), so rebuilding the sorted order per call would
-	// allocate per announcement.
-	peerList   []NodeID
+// invEntry is one hash's bookkeeping on one node, addressed by the
+// network's dense hash index. Every marker is a generation stamp: a
+// field equals the network's current inventory generation or it does
+// not exist, so ResetInventory is a single generation bump instead of a
+// per-node map rebuild.
+type invEntry struct {
+	seenGen   uint32 // hash accepted (first-seen time in seenAt)
+	reqGen    uint32 // GETDATA in flight
+	txGen     uint32 // inv.tx[hi] holds the transaction
+	blockGen  uint32 // inv.block[hi] holds the block
+	holderGen uint32 // holder bitset words for this hash are live
+	seenAt    sim.Time
+}
+
+// spillFact records "holder is known to have the hash at dense index
+// hi" for a holder that has no adjacency position on this node — a
+// sender that disconnected with the message in flight, or a peer whose
+// edge was torn down after it announced. The map is empty on the flood
+// hot path (a length check guards every use) and is lazily invalidated
+// by generation, so it costs nothing when churn is off.
+type spillFact struct {
+	hi     int32
+	holder NodeID
+}
+
+// nodeInv is one node's inventory state, laid out as flat arrays keyed
+// by the network's dense hash index. entries/tx/block grow to the
+// number of distinct hashes seen this generation (one or two in a
+// measurement run); holderBits holds peerWords() words per hash — one
+// bit per adjacency position.
+type nodeInv struct {
+	entries    []invEntry
+	tx         []*chain.Tx
+	block      []*chain.Block
+	holderBits []uint64
+	spill      map[spillFact]struct{}
+	spillGen   uint32
+}
+
+// Node is one simulated Bitcoin peer. Hot state lives in flat slices —
+// adjacency in stable peerTab positions, inventory in generation-stamped
+// arrays keyed by dense hash index — so a node costs a few hundred bytes
+// instead of four maps, and a 100k-node network floods without touching
+// the allocator. The retired map-based layout survives as ReferenceNode,
+// the oracle the differential and fuzz tests pin this one against.
+type Node struct {
+	id   NodeID
+	slot int32
+	loc  geo.Location
+	net  *Network
+
+	// peerTab is the stable-position adjacency table (id == 0 marks a
+	// free position, recycled through peerFree LIFO).
+	peerTab  []peerEntry
+	peerFree []int32
+	nPeers   int
+	nOut     int
+	// peerList caches the ascending-ID peer view; peersValid is flipped
+	// off on every connect/disconnect. The flood hot path walks the peer
+	// set once per (node, hash), so rebuilding the sorted order per call
+	// would allocate per announcement.
+	peerList   []peerRef
 	peersValid bool
 
-	// known maps every accepted inventory hash to its first-seen time.
-	known map[chain.Hash]sim.Time
-	// txData holds full transactions available for serving GETDATA.
-	txData map[chain.Hash]*chain.Tx
-	// blockData holds full blocks available for serving GETDATA.
-	blockData map[chain.Hash]*chain.Block
-	// peerInv records, per hash, which peers are already known to have
-	// it (because they announced or sent it to us), so we never announce
-	// back. This is the standard Bitcoin relay optimisation.
-	peerInv map[chain.Hash]map[NodeID]struct{}
-	// invSetPool recycles peerInv inner sets across ResetInventory calls.
-	invSetPool []map[NodeID]struct{}
-	// requested marks hashes we have asked for, to avoid duplicate
-	// GETDATAs while one is in flight.
-	requested map[chain.Hash]struct{}
+	// inv is the flat inventory replacing the known/peerInv/requested/
+	// txData/blockData maps of the reference layout.
+	inv nodeInv
 
 	// mempool is present in ValidationFull mode only.
 	mempool *chain.Mempool
@@ -60,12 +125,12 @@ type Node struct {
 	// transmission; Network.deliver queues sends behind it.
 	uplinkFreeAt sim.Time
 
-	// pending ping probes by nonce.
-	pending   map[uint64]pendingPing
+	// pending ping probes, appended in send order.
+	pending   []pendingPing
 	nextNonce uint64
 
-	// estimators holds per-target RTT estimators fed by Probe.
-	estimators map[NodeID]*latency.Estimator
+	// ests holds per-target RTT estimators fed by Probe, sorted by target.
+	ests []estEntry
 
 	// extraHandler receives messages the base node does not consume
 	// (JOIN/CLUSTER); the topology layer installs it.
@@ -87,22 +152,119 @@ func (nd *Node) Send(to NodeID, msg wire.Message) {
 // ID returns the node's identifier.
 func (nd *Node) ID() NodeID { return nd.id }
 
+// Slot returns the node's dense index in the network's node table,
+// stable for the node's lifetime and always < Network.SlotCap().
+// Measurement hooks key flat per-node arrays by it.
+func (nd *Node) Slot() int { return int(nd.slot) }
+
 // Location returns the node's (self-reported) geographic placement.
 func (nd *Node) Location() geo.Location { return nd.loc }
 
-// sortedPeers returns the cached ascending peer list, rebuilding it in
+// --- adjacency ---
+
+// addPeer installs peer at a stable position and returns it. Recycled
+// positions may carry holder bits or spill facts from an earlier peer,
+// so both are reconciled here: stale bits for the position are cleared,
+// and spill facts about this peer migrate into the bitset.
+func (nd *Node) addPeer(peer *Node, outbound bool) int32 {
+	var pos int32
+	if last := len(nd.peerFree) - 1; last >= 0 {
+		pos = nd.peerFree[last]
+		nd.peerFree = nd.peerFree[:last]
+	} else {
+		pos = int32(len(nd.peerTab))
+		nd.peerTab = append(nd.peerTab, peerEntry{})
+	}
+	nd.peerTab[pos] = peerEntry{id: peer.id, node: peer, outbound: outbound}
+	nd.nPeers++
+	if outbound {
+		nd.nOut++
+	}
+	gen := nd.net.invGen
+	w := nd.net.peerWords
+	for hi := range nd.inv.entries {
+		if nd.inv.entries[hi].holderGen == gen {
+			nd.inv.holderBits[int32(hi)*w+pos/64] &^= 1 << uint(pos%64)
+		}
+	}
+	if nd.inv.spillGen == gen && len(nd.inv.spill) > 0 {
+		for fact := range nd.inv.spill {
+			if fact.holder == peer.id {
+				nd.setHolderBit(fact.hi, pos)
+				delete(nd.inv.spill, fact)
+			}
+		}
+	}
+	nd.peersValid = false
+	return pos
+}
+
+// removePeer tears down the adjacency entry for id, preserving holder
+// facts about the departing peer in the spill set — the reference
+// semantics remember that a disconnected peer holds a hash, and so a
+// reconnect within the same generation must too.
+func (nd *Node) removePeer(id NodeID) {
+	pos := nd.peerPos(id)
+	if pos < 0 {
+		return
+	}
+	gen := nd.net.invGen
+	w := nd.net.peerWords
+	for hi := range nd.inv.entries {
+		if nd.inv.entries[hi].holderGen != gen {
+			continue
+		}
+		word := &nd.inv.holderBits[int32(hi)*w+pos/64]
+		if *word&(1<<uint(pos%64)) != 0 {
+			*word &^= 1 << uint(pos%64)
+			nd.spillAdd(int32(hi), id)
+		}
+	}
+	if nd.peerTab[pos].outbound {
+		nd.nOut--
+	}
+	nd.peerTab[pos] = peerEntry{}
+	nd.peerFree = append(nd.peerFree, pos)
+	nd.nPeers--
+	nd.peersValid = false
+}
+
+// peerPos returns id's adjacency position, or -1 if not a peer. The
+// table is at most MaxPeers entries and usually ~16, so a linear scan
+// stays in one or two cache lines.
+func (nd *Node) peerPos(id NodeID) int32 {
+	for i := range nd.peerTab {
+		if nd.peerTab[i].id == id {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+// sortedPeers returns the cached ascending peer view, rebuilding it in
 // place after a connectivity change. The returned slice is shared: it is
 // valid until the next connect/disconnect and must not be mutated or
 // retained — internal read-only iteration only.
-func (nd *Node) sortedPeers() []NodeID {
+func (nd *Node) sortedPeers() []peerRef {
 	if nd.peersValid {
 		return nd.peerList
 	}
 	nd.peerList = nd.peerList[:0]
-	for id := range nd.peers {
-		nd.peerList = append(nd.peerList, id)
+	for i := range nd.peerTab {
+		if nd.peerTab[i].id != 0 {
+			nd.peerList = append(nd.peerList, peerRef{id: nd.peerTab[i].id, pos: int32(i), node: nd.peerTab[i].node})
+		}
 	}
-	sort.Slice(nd.peerList, func(i, j int) bool { return nd.peerList[i] < nd.peerList[j] })
+	slices.SortFunc(nd.peerList, func(a, b peerRef) int {
+		switch {
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		default:
+			return 0
+		}
+	})
 	nd.peersValid = true
 	return nd.peerList
 }
@@ -114,7 +276,12 @@ func (nd *Node) invalidatePeers() { nd.peersValid = false }
 // Peers returns the connected peer IDs in ascending order. The slice is
 // the caller's to keep.
 func (nd *Node) Peers() []NodeID {
-	return append([]NodeID(nil), nd.sortedPeers()...)
+	refs := nd.sortedPeers()
+	out := make([]NodeID, len(refs))
+	for i, ref := range refs {
+		out[i] = ref.id
+	}
+	return out
 }
 
 // EachPeer calls f for every connected peer in ascending ID order,
@@ -122,43 +289,172 @@ func (nd *Node) Peers() []NodeID {
 // topology maintenance loops that count or scan neighbours per candidate
 // use it on their hot paths. f must not connect or disconnect peers.
 func (nd *Node) EachPeer(f func(NodeID) bool) {
-	for _, id := range nd.sortedPeers() {
-		if !f(id) {
+	for _, ref := range nd.sortedPeers() {
+		if !f(ref.id) {
 			return
 		}
 	}
 }
 
 // NumPeers returns the number of connections.
-func (nd *Node) NumPeers() int { return len(nd.peers) }
+func (nd *Node) NumPeers() int { return nd.nPeers }
 
 // Outbound returns the number of connections this node initiated.
-func (nd *Node) Outbound() int {
-	c := 0
-	for _, p := range nd.peers {
-		if p.outbound {
-			c++
-		}
-	}
-	return c
-}
+func (nd *Node) Outbound() int { return nd.nOut }
 
 // IsPeer reports whether id is a connected peer.
-func (nd *Node) IsPeer(id NodeID) bool {
-	_, ok := nd.peers[id]
-	return ok
+func (nd *Node) IsPeer(id NodeID) bool { return nd.peerPos(id) >= 0 }
+
+// --- inventory primitives ---
+
+// invEnsure grows the entry array to cover dense hash index hi and
+// returns the entry. Growth is amortised and bounded by the number of
+// distinct hashes in one inventory generation.
+func (nd *Node) invEnsure(hi int32) *invEntry {
+	for int(hi) >= len(nd.inv.entries) {
+		nd.inv.entries = append(nd.inv.entries, invEntry{})
+	}
+	return &nd.inv.entries[hi]
 }
 
-// FirstSeen returns when the node first accepted the hash, if ever.
+// entryFor returns the live entry for hash h without assigning a dense
+// index, or nil if h has no index or no entry this generation.
+func (nd *Node) entryFor(h chain.Hash) *invEntry {
+	hi, ok := nd.net.findHash(h)
+	if !ok || int(hi) >= len(nd.inv.entries) {
+		return nil
+	}
+	return &nd.inv.entries[hi]
+}
+
+// seen reports whether the node accepted hash index hi this generation.
+func (nd *Node) seenIdx(hi int32) bool {
+	return int(hi) < len(nd.inv.entries) && nd.inv.entries[hi].seenGen == nd.net.invGen
+}
+
+// FirstSeen returns when the node first accepted the hash, if ever
+// (within the current inventory generation).
 func (nd *Node) FirstSeen(h chain.Hash) (sim.Time, bool) {
-	t, ok := nd.known[h]
-	return t, ok
+	if e := nd.entryFor(h); e != nil && e.seenGen == nd.net.invGen {
+		return e.seenAt, true
+	}
+	return 0, false
+}
+
+// txFor returns the stored transaction for hi, if present this generation.
+func (nd *Node) txFor(hi int32) (*chain.Tx, bool) {
+	if int(hi) < len(nd.inv.entries) && nd.inv.entries[hi].txGen == nd.net.invGen {
+		return nd.inv.tx[hi], true
+	}
+	return nil, false
+}
+
+// storeTx records the full transaction for hi.
+func (nd *Node) storeTx(hi int32, tx *chain.Tx) {
+	e := nd.invEnsure(hi)
+	for int(hi) >= len(nd.inv.tx) {
+		nd.inv.tx = append(nd.inv.tx, nil)
+	}
+	nd.inv.tx[hi] = tx
+	e.txGen = nd.net.invGen
+}
+
+// blockFor returns the stored block for hi, if present this generation.
+func (nd *Node) blockFor(hi int32) (*chain.Block, bool) {
+	if int(hi) < len(nd.inv.entries) && nd.inv.entries[hi].blockGen == nd.net.invGen {
+		return nd.inv.block[hi], true
+	}
+	return nil, false
+}
+
+// storeBlock records the full block for hi.
+func (nd *Node) storeBlock(hi int32, b *chain.Block) {
+	e := nd.invEnsure(hi)
+	for int(hi) >= len(nd.inv.block) {
+		nd.inv.block = append(nd.inv.block, nil)
+	}
+	nd.inv.block[hi] = b
+	e.blockGen = nd.net.invGen
+}
+
+// holderWords returns hi's live holder bitset, zeroing recycled words on
+// first touch in a generation.
+func (nd *Node) holderWords(hi int32) []uint64 {
+	e := nd.invEnsure(hi)
+	w := nd.net.peerWords
+	for int(hi+1)*int(w) > len(nd.inv.holderBits) {
+		nd.inv.holderBits = append(nd.inv.holderBits, 0)
+	}
+	words := nd.inv.holderBits[hi*w : (hi+1)*w]
+	if gen := nd.net.invGen; e.holderGen != gen {
+		for i := range words {
+			words[i] = 0
+		}
+		e.holderGen = gen
+	}
+	return words
+}
+
+// setHolderBit marks adjacency position pos as holding hash index hi.
+func (nd *Node) setHolderBit(hi, pos int32) {
+	nd.holderWords(hi)[pos/64] |= 1 << uint(pos%64)
+}
+
+// holderHas reports whether adjacency position pos is known to hold hi.
+func (nd *Node) holderHas(hi, pos int32) bool {
+	if int(hi) >= len(nd.inv.entries) || nd.inv.entries[hi].holderGen != nd.net.invGen {
+		return false
+	}
+	w := nd.net.peerWords
+	return nd.inv.holderBits[hi*w+pos/64]&(1<<uint(pos%64)) != 0
+}
+
+// spillAdd records a holder fact for a holder without an adjacency
+// position, lazily resetting a stale-generation spill set.
+func (nd *Node) spillAdd(hi int32, holder NodeID) {
+	if gen := nd.net.invGen; nd.inv.spillGen != gen {
+		clear(nd.inv.spill)
+		nd.inv.spillGen = gen
+	}
+	if nd.inv.spill == nil {
+		nd.inv.spill = make(map[spillFact]struct{}, 4)
+	}
+	nd.inv.spill[spillFact{hi: hi, holder: holder}] = struct{}{}
+}
+
+// markPeerHas records that peer (at adjacency position pos, or -1 for a
+// non-peer) is known to hold the hash at dense index hi. This is the
+// standard Bitcoin relay optimisation: never announce a hash back to
+// whoever announced or sent it to us.
+func (nd *Node) markPeerHas(peer NodeID, pos, hi int32) {
+	if pos < 0 {
+		nd.spillAdd(hi, peer)
+		return
+	}
+	nd.setHolderBit(hi, pos)
 }
 
 // Estimator returns the RTT estimator for a probed target, if any.
 func (nd *Node) Estimator(target NodeID) (*latency.Estimator, bool) {
-	e, ok := nd.estimators[target]
-	return e, ok
+	i := sort.Search(len(nd.ests), func(i int) bool { return nd.ests[i].target >= target })
+	if i < len(nd.ests) && nd.ests[i].target == target {
+		return nd.ests[i].est, true
+	}
+	return nil, false
+}
+
+// estFor returns (creating if needed) the estimator for target, keeping
+// the slice sorted by target.
+func (nd *Node) estFor(target NodeID) *latency.Estimator {
+	i := sort.Search(len(nd.ests), func(i int) bool { return nd.ests[i].target >= target })
+	if i < len(nd.ests) && nd.ests[i].target == target {
+		return nd.ests[i].est
+	}
+	est := &latency.Estimator{}
+	nd.ests = append(nd.ests, estEntry{})
+	copy(nd.ests[i+1:], nd.ests[i:])
+	nd.ests[i] = estEntry{target: target, est: est}
+	return est
 }
 
 // --- transaction origination and relay (Fig. 1) ---
@@ -176,7 +472,7 @@ func (nd *Node) SubmitTx(tx *chain.Tx) error {
 // from == 0 means locally submitted.
 func (nd *Node) acceptTx(tx *chain.Tx, from NodeID) error {
 	id := tx.ID()
-	if _, seen := nd.known[id]; seen {
+	if e := nd.entryFor(id); e != nil && e.seenGen == nd.net.invGen {
 		return nil
 	}
 	switch nd.net.cfg.Validation {
@@ -189,71 +485,47 @@ func (nd *Node) acceptTx(tx *chain.Tx, from NodeID) error {
 			return err
 		}
 	}
-	nd.known[id] = nd.net.Now()
-	if nd.txData == nil {
-		nd.txData = make(map[chain.Hash]*chain.Tx)
-	}
-	nd.txData[id] = tx
-	delete(nd.requested, id)
+	hi := nd.net.hashSlot(id)
+	e := nd.invEnsure(hi)
+	e.seenGen = nd.net.invGen
+	e.seenAt = nd.net.Now()
+	nd.storeTx(hi, tx)
+	e.reqGen = 0
 	if nd.net.OnTxFirstSeen != nil {
 		nd.net.OnTxFirstSeen(nd.id, id, nd.net.Now())
 	}
-	nd.announce(id, from)
+	nd.announce(hi, id, from)
 	return nil
 }
 
-// announce offers hash to every peer not already known to have it: an
-// INV in RelayInv mode (Fig. 1), or the full transaction immediately in
-// RelayDirect mode (the refs [9]/[10] pipelining ablation). Iteration is
-// in sorted peer order: delivery delays draw from a shared random stream,
-// so a stable order is required for run-to-run determinism.
+// announce offers the hash at dense index hi to every peer not already
+// known to have it: an INV in RelayInv mode (Fig. 1), or the full
+// transaction immediately in RelayDirect mode (the refs [9]/[10]
+// pipelining ablation). Iteration is in sorted peer order: delivery
+// delays draw from a shared random stream, so a stable order is required
+// for run-to-run determinism.
 //
-// One message value is shared by every recipient of this announcement —
-// messages are immutable after send, so a 2000-node flood builds one
-// MsgInv (or MsgTx) per hash rather than one per (peer, hash) pair.
-func (nd *Node) announce(h chain.Hash, except NodeID) {
-	holders := nd.peerInv[h]
+// Announcement messages are single-recipient and recycled through the
+// network's message pools once handled, so a steady-state flood builds
+// no INV or TX wrappers at all.
+func (nd *Node) announce(hi int32, h chain.Hash, except NodeID) {
 	direct := nd.net.cfg.Relay == RelayDirect
-	var inv *wire.MsgInv
-	var txMsg *wire.MsgTx
-	for _, peerID := range nd.sortedPeers() {
-		if peerID == except {
+	for _, ref := range nd.sortedPeers() {
+		if ref.id == except {
 			continue
 		}
-		if _, knows := holders[peerID]; knows {
+		if nd.holderHas(hi, ref.pos) {
 			continue
 		}
 		if direct {
-			if tx, ok := nd.txData[h]; ok {
-				if txMsg == nil {
-					txMsg = &wire.MsgTx{Tx: tx}
-				}
-				nd.markPeerHas(peerID, h)
-				nd.net.send(nd.id, peerID, txMsg)
+			if tx, ok := nd.txFor(hi); ok {
+				nd.setHolderBit(hi, ref.pos)
+				nd.net.deliver(nd, ref.node, nd.net.newTxMsg(tx))
 				continue
 			}
 		}
-		if inv == nil {
-			inv = &wire.MsgInv{Items: []wire.InvVect{{Type: wire.InvTx, Hash: h}}}
-		}
-		nd.net.send(nd.id, peerID, inv)
+		nd.net.deliver(nd, ref.node, nd.net.newInv(wire.InvTx, h))
 	}
-}
-
-// markPeerHas records that a peer is known to hold a hash. Inner sets are
-// recycled through invSetPool across ResetInventory calls.
-func (nd *Node) markPeerHas(peer NodeID, h chain.Hash) {
-	set, ok := nd.peerInv[h]
-	if !ok {
-		if last := len(nd.invSetPool) - 1; last >= 0 {
-			set = nd.invSetPool[last]
-			nd.invSetPool = nd.invSetPool[:last]
-		} else {
-			set = make(map[NodeID]struct{}, 8)
-		}
-		nd.peerInv[h] = set
-	}
-	set[peer] = struct{}{}
 }
 
 // handleMessage dispatches a delivered wire message.
@@ -291,6 +563,7 @@ func (nd *Node) handleMessage(from NodeID, msg wire.Message) {
 // one message and one slice allocation per (node, hash).
 func (nd *Node) handleInv(from NodeID, m *wire.MsgInv) {
 	var blocks []wire.InvVect
+	fromPos := nd.peerPos(from)
 	want := nd.net.newGetData()
 	for _, item := range m.Items {
 		if item.Type == wire.InvBlock {
@@ -300,17 +573,14 @@ func (nd *Node) handleInv(from NodeID, m *wire.MsgInv) {
 		if item.Type != wire.InvTx {
 			continue
 		}
-		nd.markPeerHas(from, item.Hash)
-		if _, seen := nd.known[item.Hash]; seen {
+		hi := nd.net.hashSlot(item.Hash)
+		nd.markPeerHas(from, fromPos, hi)
+		e := nd.invEnsure(hi)
+		gen := nd.net.invGen
+		if e.seenGen == gen || e.reqGen == gen {
 			continue
 		}
-		if nd.requested == nil {
-			nd.requested = make(map[chain.Hash]struct{})
-		}
-		if _, inflight := nd.requested[item.Hash]; inflight {
-			continue
-		}
-		nd.requested[item.Hash] = struct{}{}
+		e.reqGen = gen
 		want.Items = append(want.Items, item)
 	}
 	if len(want.Items) > 0 {
@@ -319,23 +589,28 @@ func (nd *Node) handleInv(from NodeID, m *wire.MsgInv) {
 		nd.net.recycleMessage(want)
 	}
 	if len(blocks) > 0 {
-		nd.handleBlockInv(from, blocks)
+		nd.handleBlockInv(from, fromPos, blocks)
 	}
 }
 
 // handleGetData serves full transactions and blocks we hold.
 func (nd *Node) handleGetData(from NodeID, m *wire.MsgGetData) {
+	fromPos := nd.peerPos(from)
 	for _, item := range m.Items {
+		hi, ok := nd.net.findHash(item.Hash)
+		if !ok {
+			continue
+		}
 		switch item.Type {
 		case wire.InvTx:
-			if tx, ok := nd.txData[item.Hash]; ok {
-				nd.markPeerHas(from, item.Hash)
-				nd.net.send(nd.id, from, &wire.MsgTx{Tx: tx})
+			if tx, ok := nd.txFor(hi); ok {
+				nd.markPeerHas(from, fromPos, hi)
+				nd.net.send(nd.id, from, nd.net.newTxMsg(tx))
 			}
 		case wire.InvBlock:
-			if b, ok := nd.blockData[item.Hash]; ok {
-				nd.markPeerHas(from, item.Hash)
-				nd.net.send(nd.id, from, &wire.MsgBlock{Block: b})
+			if b, ok := nd.blockFor(hi); ok {
+				nd.markPeerHas(from, fromPos, hi)
+				nd.net.send(nd.id, from, nd.net.newBlockMsg(b))
 			}
 		}
 	}
@@ -345,8 +620,8 @@ func (nd *Node) handleGetData(from NodeID, m *wire.MsgGetData) {
 func (nd *Node) handleTx(from NodeID, m *wire.MsgTx) {
 	tx := m.Tx
 	id := tx.ID()
-	nd.markPeerHas(from, id)
-	if _, seen := nd.known[id]; seen {
+	nd.markPeerHas(from, nd.peerPos(from), nd.net.hashSlot(id))
+	if e := nd.entryFor(id); e != nil && e.seenGen == nd.net.invGen {
 		return
 	}
 	// Fig. 1: the peer verifies the transaction BEFORE announcing it
@@ -367,7 +642,7 @@ func (nd *Node) handleTx(from NodeID, m *wire.MsgTx) {
 func (nd *Node) Probe(target NodeID, done func(rtt time.Duration)) {
 	nd.nextNonce++
 	nonce := nd.nextNonce
-	nd.pending[nonce] = pendingPing{sentAt: nd.net.Now(), target: target, done: done}
+	nd.pending = append(nd.pending, pendingPing{nonce: nonce, sentAt: nd.net.Now(), target: target, done: done})
 	pad := nd.net.cfg.Latency.PingBytes - 12 // nonce + length prefix
 	if pad < 0 {
 		pad = 0
@@ -387,14 +662,14 @@ func (nd *Node) ProbeN(target NodeID, n int, gap time.Duration, done func(est *l
 	for i := 0; i < n; i++ {
 		delay := time.Duration(i) * gap
 		nd.net.sched.After(delay, func() {
-			node, ok := nd.net.nodes[nd.id]
-			if !ok {
+			node := nd.net.nodeAt(nd.slot, nd.id)
+			if node == nil {
 				return
 			}
 			node.Probe(target, func(time.Duration) {
 				remaining--
 				if remaining == 0 && done != nil {
-					if est, ok := node.estimators[target]; ok {
+					if est, ok := node.Estimator(target); ok {
 						done(est)
 					}
 				}
@@ -405,21 +680,20 @@ func (nd *Node) ProbeN(target NodeID, n int, gap time.Duration, done func(est *l
 
 // handlePong matches a pong to its pending probe and updates estimators.
 func (nd *Node) handlePong(from NodeID, m *wire.MsgPong) {
-	p, ok := nd.pending[m.Nonce]
-	if !ok || p.target != from {
+	i := -1
+	for j := range nd.pending {
+		if nd.pending[j].nonce == m.Nonce {
+			i = j
+			break
+		}
+	}
+	if i < 0 || nd.pending[i].target != from {
 		return // stale or spoofed; drop
 	}
-	delete(nd.pending, m.Nonce)
+	p := nd.pending[i]
+	nd.pending = append(nd.pending[:i], nd.pending[i+1:]...)
 	rtt := time.Duration(nd.net.Now() - p.sentAt)
-	if nd.estimators == nil {
-		nd.estimators = make(map[NodeID]*latency.Estimator)
-	}
-	est, ok := nd.estimators[from]
-	if !ok {
-		est = &latency.Estimator{}
-		nd.estimators[from] = est
-	}
-	est.Observe(rtt)
+	nd.estFor(from).Observe(rtt)
 	if p.done != nil {
 		p.done(rtt)
 	}
@@ -428,13 +702,13 @@ func (nd *Node) handlePong(from NodeID, m *wire.MsgPong) {
 // handleGetAddr replies with a sample of this node's peer addresses —
 // "the normal Bitcoin network nodes discovery mechanism" (§IV.B).
 func (nd *Node) handleGetAddr(from NodeID) {
-	peers := nd.sortedPeers()
-	addrs := make([]wire.NetAddr, 0, len(peers))
-	for _, id := range peers {
-		if id == from {
+	refs := nd.sortedPeers()
+	addrs := make([]wire.NetAddr, 0, len(refs))
+	for _, ref := range refs {
+		if ref.id == from {
 			continue
 		}
-		addrs = append(addrs, wire.NetAddr{NodeID: uint64(id)})
+		addrs = append(addrs, wire.NetAddr{NodeID: uint64(ref.id)})
 	}
 	nd.net.send(nd.id, from, &wire.MsgAddr{Addrs: addrs})
 }

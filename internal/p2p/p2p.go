@@ -9,6 +9,17 @@
 // can dial any other over IP); the peer graph only determines where
 // gossip flows. That distinction is what lets BCBPT ping-probe discovered
 // nodes before deciding to peer with them.
+//
+// Node state is laid out struct-of-arrays style: every node has a dense
+// slot index, inventory state lives in generation-stamped flat arrays
+// keyed by a network-wide dense hash index, and per-hash relay facts are
+// bitsets over stable adjacency positions. ResetInventory is therefore a
+// generation bump plus an O(active hashes) registry clear — not a
+// per-node map rebuild — which is what lets a 100k+ node network run
+// thousand-injection campaigns in bounded memory. The retired map-based
+// layout is preserved as ReferenceNetwork/ReferenceNode (reference.go),
+// the oracle that differential and fuzz tests pin this layout against,
+// bit for bit.
 package p2p
 
 import (
@@ -96,7 +107,9 @@ type Config struct {
 	Relay RelayMode
 	// MaxOutbound caps connections a node initiates (Bitcoin: 8).
 	MaxOutbound int
-	// MaxPeers caps total connections per node (Bitcoin: 125).
+	// MaxPeers caps total connections per node (Bitcoin: 125). It also
+	// fixes the width of the per-hash holder bitsets, so it is immutable
+	// for the network's lifetime.
 	MaxPeers int
 	// PingInterval is the keepalive ping period for connected peers.
 	// Zero disables keepalive pings.
@@ -136,6 +149,28 @@ type Network struct {
 	nextID NodeID
 	links  map[linkKey]latency.Link
 
+	// slots is the dense node table: every live node occupies one slot
+	// for its lifetime, freed slots recycle LIFO. In-flight deliveries
+	// carry (slot, id) so dispatch never pays a map lookup, and flat
+	// per-node measurement arrays key by slot.
+	slots    []*Node
+	slotFree []int32
+
+	// invGen is the current inventory generation. Every per-node
+	// inventory marker is a stamp compared against it: bumping the
+	// generation invalidates all node state at once, which is all
+	// ResetInventory does.
+	invGen uint32
+	// hashIdx assigns each distinct inventory hash of the current
+	// generation a dense index; hashN counts them. The registry is the
+	// only inventory state cleared on reset, and its size is the number
+	// of in-flight hashes per run (one, for a measurement flood).
+	hashIdx map[chain.Hash]int32
+	hashN   int32
+	// peerWords is the per-hash holder bitset width in uint64 words,
+	// fixed by MaxPeers.
+	peerWords int32
+
 	// Hot-path random streams, resolved once at construction so delivery
 	// never pays the Streams map lookup. Stream derivation is a pure
 	// function of (seed, name), so pre-resolving changes nothing.
@@ -144,25 +179,27 @@ type Network struct {
 	linksRng    *rand.Rand
 
 	// deliveryPool and verifyPool recycle the payload structs behind the
-	// scheduler's AfterCall events: a 2000-node flood schedules one
-	// delivery per in-flight message and one verify job per (node, tx)
-	// first-sight, and pooling them (with the arena kernel's closure-free
-	// AfterCall) keeps the steady-state flood at zero allocations per
-	// event instead of one closure per (peer, hash) pair.
+	// scheduler's AfterCall events: a flood schedules one delivery per
+	// in-flight message and one verify job per (node, tx) first-sight,
+	// and pooling them (with the arena kernel's closure-free AfterCall)
+	// keeps the steady-state flood at zero allocations per event instead
+	// of one closure per (peer, hash) pair.
 	deliveryPool []*delivery
 	verifyPool   []*verifyJob
 
-	// pingPool, pongPool and getDataPool recycle the three message types
-	// that are built fresh per recipient on hot paths (announcements share
-	// one INV/TX across recipients, but every GETDATA, keepalive ping and
-	// pong is its own message). These messages are single-recipient and
+	// Message pools. Every hot-path message type is single-recipient and
 	// consumed entirely inside handleMessage, so runDelivery returns them
-	// to the pools right after dispatch. Messages dropped by loss or a
-	// vanished sender simply miss the pool — correctness never depends on
-	// recycling.
-	pingPool    []*wire.MsgPing
-	pongPool    []*wire.MsgPong
-	getDataPool []*wire.MsgGetData
+	// to the pools right after dispatch: GETDATAs, keepalive pings/pongs,
+	// and — since the flat-inventory layout — the per-recipient INV, TX
+	// and BLOCK announcement wrappers too. Messages dropped by loss or a
+	// vanished endpoint simply miss the pool — correctness never depends
+	// on recycling.
+	pingPool     []*wire.MsgPing
+	pongPool     []*wire.MsgPong
+	getDataPool  []*wire.MsgGetData
+	invPool      []*wire.MsgInv
+	txMsgPool    []*wire.MsgTx
+	blockMsgPool []*wire.MsgBlock
 	// pingPad is the shared keepalive/probe padding: pings carry Pad only
 	// so their on-wire size matches the latency model's Mping, the bytes
 	// are never read, and messages are immutable after send — so every
@@ -214,10 +251,28 @@ func NewNetwork(cfg Config) (*Network, error) {
 		model:       model,
 		nodes:       make(map[NodeID]*Node),
 		links:       make(map[linkKey]latency.Link),
+		invGen:      1,
+		hashIdx:     make(map[chain.Hash]int32, 16),
+		peerWords:   int32((cfg.MaxPeers + 63) / 64),
 		lossRng:     streams.Stream("loss"),
 		deliveryRng: streams.Stream("delivery"),
 		linksRng:    streams.Stream("links"),
 	}, nil
+}
+
+// Reserve pre-sizes the network's node and link tables for an expected
+// population, so a large build does not pay incremental map and slice
+// growth. Calling it after nodes exist, or not at all, only costs
+// amortised growth — behaviour is identical either way.
+func (n *Network) Reserve(nodes int) {
+	if nodes <= 0 || len(n.nodes) > 0 {
+		return
+	}
+	n.nodes = make(map[NodeID]*Node, nodes)
+	// Links are created per communicating pair; seed the table at the
+	// expected edge count for a degree-~2×MaxOutbound overlay.
+	n.links = make(map[linkKey]latency.Link, nodes*2*max(n.cfg.MaxOutbound, 1))
+	n.slots = make([]*Node, 0, nodes)
 }
 
 // Scheduler exposes the simulation clock and event queue.
@@ -241,18 +296,48 @@ func (n *Network) Now() sim.Time { return n.sched.Now() }
 // NumNodes returns the number of live nodes.
 func (n *Network) NumNodes() int { return len(n.nodes) }
 
+// SlotCap returns the dense node table size: every live node's Slot() is
+// below it. Flat per-node arrays (measurement watch sets, partition
+// maps) size themselves by it.
+func (n *Network) SlotCap() int { return len(n.slots) }
+
+// SlotOf returns the dense slot index for a live node ID.
+func (n *Network) SlotOf(id NodeID) (int, bool) {
+	node, ok := n.nodes[id]
+	if !ok {
+		return 0, false
+	}
+	return int(node.slot), true
+}
+
+// nodeAt returns the node occupying slot if it is still the node with
+// the given ID — the churn-safe dense lookup used by in-flight events,
+// whose slot may have been recycled by a later joiner.
+func (n *Network) nodeAt(slot int32, id NodeID) *Node {
+	if int(slot) < len(n.slots) {
+		if nd := n.slots[slot]; nd != nil && nd.id == id {
+			return nd
+		}
+	}
+	return nil
+}
+
 // AddNode creates a node at the given location and returns it.
 func (n *Network) AddNode(loc geo.Location) *Node {
 	n.nextID++
 	id := n.nextID
 	node := &Node{
-		id:      id,
-		loc:     loc,
-		net:     n,
-		peers:   make(map[NodeID]*peerState),
-		known:   make(map[chain.Hash]sim.Time, 16),
-		peerInv: make(map[chain.Hash]map[NodeID]struct{}, 16),
-		pending: make(map[uint64]pendingPing),
+		id:  id,
+		loc: loc,
+		net: n,
+	}
+	if last := len(n.slotFree) - 1; last >= 0 {
+		node.slot = n.slotFree[last]
+		n.slotFree = n.slotFree[:last]
+		n.slots[node.slot] = node
+	} else {
+		node.slot = int32(len(n.slots))
+		n.slots = append(n.slots, node)
 	}
 	if n.cfg.Validation == ValidationFull {
 		base := n.cfg.BaseUTXO
@@ -293,18 +378,42 @@ func (n *Network) RemoveNode(id NodeID) {
 		return
 	}
 	delete(n.nodes, id)
+	n.slots[node.slot] = nil
+	n.slotFree = append(n.slotFree, node.slot)
 	for _, peerID := range node.Peers() {
-		delete(node.peers, peerID)
-		node.invalidatePeers()
+		node.removePeer(peerID)
 		if nb, ok := n.nodes[peerID]; ok {
-			delete(nb.peers, id)
-			nb.invalidatePeers()
+			nb.removePeer(id)
 		}
 		if n.OnDisconnect != nil {
 			n.OnDisconnect(id, peerID)
 		}
 	}
 }
+
+// --- dense hash registry ---
+
+// hashSlot returns (assigning on first use) the dense index for an
+// inventory hash in the current generation.
+func (n *Network) hashSlot(h chain.Hash) int32 {
+	if hi, ok := n.hashIdx[h]; ok {
+		return hi
+	}
+	hi := n.hashN
+	n.hashN++
+	n.hashIdx[h] = hi
+	return hi
+}
+
+// findHash returns the dense index for a hash without assigning one.
+func (n *Network) findHash(h chain.Hash) (int32, bool) {
+	hi, ok := n.hashIdx[h]
+	return hi, ok
+}
+
+// ActiveHashes returns the number of distinct inventory hashes seen this
+// generation — the width of every node's flat inventory arrays.
+func (n *Network) ActiveHashes() int { return int(n.hashN) }
 
 // link returns (creating on first use) the latency link between two nodes.
 func (n *Network) link(a, b *Node) latency.Link {
@@ -332,12 +441,15 @@ func (n *Network) BaseRTT(a, b NodeID) (time.Duration, bool) {
 	return n.link(na, nb).Base(), true
 }
 
-// delivery is the pooled payload behind one in-flight message event.
+// delivery is the pooled payload behind one in-flight message event. The
+// destination is addressed by (slot, id): dispatch is an array index plus
+// a liveness check, not a map lookup.
 type delivery struct {
-	net *Network
-	src NodeID
-	dst NodeID
-	msg wire.Message
+	net     *Network
+	src     NodeID
+	dstSlot int32
+	dstID   NodeID
+	msg     wire.Message
 }
 
 // runDelivery is the static dispatch target for delivery events: no
@@ -346,12 +458,12 @@ type delivery struct {
 // (relay) reuse it for their own deliveries.
 func runDelivery(a any) {
 	d := a.(*delivery)
-	n, src, dst, msg := d.net, d.src, d.dst, d.msg
+	n, src, dstSlot, dstID, msg := d.net, d.src, d.dstSlot, d.dstID, d.msg
 	d.msg = nil
 	n.deliveryPool = append(n.deliveryPool, d)
 	// The destination may have churned away mid-flight.
-	node, ok := n.nodes[dst]
-	if ok {
+	node := n.nodeAt(dstSlot, dstID)
+	if node != nil {
 		node.handleMessage(src, msg)
 	} else {
 		n.stats.Dropped++
@@ -361,9 +473,10 @@ func runDelivery(a any) {
 
 // recycleMessage returns a fully handled single-recipient message to its
 // pool. Only types that handlers never retain are pooled: pings and pongs
-// are read for their nonce, GETDATAs for their item list, and none of
-// them outlives handleMessage. Shared announcement messages (INV/TX) and
-// everything the topology layer might hold onto stay unpooled.
+// are read for their nonce, GETDATAs and INVs for their item list, and TX
+// and BLOCK wrappers for their payload pointer (the payload itself is
+// shared and immutable; the wrapper is not retained). Everything the
+// topology layer might hold onto stays unpooled.
 func (n *Network) recycleMessage(msg wire.Message) {
 	switch m := msg.(type) {
 	case *wire.MsgPing:
@@ -374,6 +487,15 @@ func (n *Network) recycleMessage(msg wire.Message) {
 	case *wire.MsgGetData:
 		m.Items = m.Items[:0]
 		n.getDataPool = append(n.getDataPool, m)
+	case *wire.MsgInv:
+		m.Items = m.Items[:0]
+		n.invPool = append(n.invPool, m)
+	case *wire.MsgTx:
+		m.Tx = nil
+		n.txMsgPool = append(n.txMsgPool, m)
+	case *wire.MsgBlock:
+		m.Block = nil
+		n.blockMsgPool = append(n.blockMsgPool, m)
 	}
 }
 
@@ -411,6 +533,39 @@ func (n *Network) newGetData() *wire.MsgGetData {
 	return &wire.MsgGetData{}
 }
 
+// newInv pops a pooled single-item INV (or allocates).
+func (n *Network) newInv(t wire.InvType, h chain.Hash) *wire.MsgInv {
+	if last := len(n.invPool) - 1; last >= 0 {
+		m := n.invPool[last]
+		n.invPool = n.invPool[:last]
+		m.Items = append(m.Items, wire.InvVect{Type: t, Hash: h})
+		return m
+	}
+	return &wire.MsgInv{Items: []wire.InvVect{{Type: t, Hash: h}}}
+}
+
+// newTxMsg pops a pooled TX wrapper (or allocates).
+func (n *Network) newTxMsg(tx *chain.Tx) *wire.MsgTx {
+	if last := len(n.txMsgPool) - 1; last >= 0 {
+		m := n.txMsgPool[last]
+		n.txMsgPool = n.txMsgPool[:last]
+		m.Tx = tx
+		return m
+	}
+	return &wire.MsgTx{Tx: tx}
+}
+
+// newBlockMsg pops a pooled BLOCK wrapper (or allocates).
+func (n *Network) newBlockMsg(b *chain.Block) *wire.MsgBlock {
+	if last := len(n.blockMsgPool) - 1; last >= 0 {
+		m := n.blockMsgPool[last]
+		n.blockMsgPool = n.blockMsgPool[:last]
+		m.Block = b
+		return m
+	}
+	return &wire.MsgBlock{Block: b}
+}
+
 // sharedPad returns a zeroed scratch slice of the given size, grown once
 // and shared by every ping in flight (ping padding is write-never data).
 func (n *Network) sharedPad(size int) []byte {
@@ -421,14 +576,14 @@ func (n *Network) sharedPad(size int) []byte {
 }
 
 // newDelivery pops a pooled payload (or allocates on first use).
-func (n *Network) newDelivery(src, dst NodeID, msg wire.Message) *delivery {
+func (n *Network) newDelivery(src NodeID, dstSlot int32, dstID NodeID, msg wire.Message) *delivery {
 	if last := len(n.deliveryPool) - 1; last >= 0 {
 		d := n.deliveryPool[last]
 		n.deliveryPool = n.deliveryPool[:last]
-		d.src, d.dst, d.msg = src, dst, msg
+		d.src, d.dstSlot, d.dstID, d.msg = src, dstSlot, dstID, msg
 		return d
 	}
-	return &delivery{net: n, src: src, dst: dst, msg: msg}
+	return &delivery{net: n, src: src, dstSlot: dstSlot, dstID: dstID, msg: msg}
 }
 
 // deliver schedules msg to arrive at dst after serialization on the
@@ -451,7 +606,7 @@ func (n *Network) deliver(src, dst *Node, msg wire.Message) {
 	}
 	src.uplinkFreeAt = start + txTime
 	delay := (start + txTime - n.sched.Now()) + n.link(src, dst).SampleOneWay(n.deliveryRng)
-	n.sched.AfterCall(delay, runDelivery, n.newDelivery(src.id, dst.id, msg))
+	n.sched.AfterCall(delay, runDelivery, n.newDelivery(src.id, dst.slot, dst.id, msg))
 }
 
 // send looks up both endpoints and delivers; it silently drops if either
@@ -507,16 +662,16 @@ func (n *Network) connect(a, b NodeID, enforceOutbound bool) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, b)
 	}
-	if _, dup := na.peers[b]; dup {
+	if na.peerPos(b) >= 0 {
 		return ErrAlreadyPeers
 	}
-	if enforceOutbound && na.Outbound() >= n.cfg.MaxOutbound {
+	if enforceOutbound && na.nOut >= n.cfg.MaxOutbound {
 		return ErrOutboundLimit
 	}
-	if len(na.peers) >= n.cfg.MaxPeers {
+	if na.nPeers >= n.cfg.MaxPeers {
 		return ErrOutboundLimit
 	}
-	if len(nb.peers) >= n.cfg.MaxPeers {
+	if nb.nPeers >= n.cfg.MaxPeers {
 		return ErrPeerCapacity
 	}
 	// Charge the handshake: version + verack each way.
@@ -524,10 +679,8 @@ func (n *Network) connect(a, b NodeID, enforceOutbound bool) error {
 	n.stats.count(wire.CmdVerack, verackSize)
 	n.stats.count(wire.CmdVersion, versionSize)
 	n.stats.count(wire.CmdVerack, verackSize)
-	na.peers[b] = &peerState{outbound: true}
-	nb.peers[a] = &peerState{outbound: false}
-	na.invalidatePeers()
-	nb.invalidatePeers()
+	na.addPeer(nb, true)
+	nb.addPeer(na, false)
 	return nil
 }
 
@@ -543,7 +696,7 @@ func (n *Network) Disconnect(a, b NodeID) {
 	if !ok {
 		return
 	}
-	if _, connected := na.peers[b]; !connected {
+	if na.peerPos(b) < 0 {
 		return
 	}
 	n.teardown(na, b)
@@ -551,11 +704,9 @@ func (n *Network) Disconnect(a, b NodeID) {
 
 // teardown removes the edge from both sides and fires OnDisconnect.
 func (n *Network) teardown(na *Node, b NodeID) {
-	delete(na.peers, b)
-	na.invalidatePeers()
+	na.removePeer(b)
 	if nb, ok := n.nodes[b]; ok {
-		delete(nb.peers, na.id)
-		nb.invalidatePeers()
+		nb.removePeer(na.id)
 	}
 	if n.OnDisconnect != nil {
 		n.OnDisconnect(na.id, b)
@@ -602,21 +753,30 @@ func (n *Network) newVerifyJob(node, from NodeID, tx *chain.Tx, block *chain.Blo
 
 // ResetInventory clears every node's seen-transaction state. Measurement
 // harnesses call this between runs so memory stays bounded over thousands
-// of injected transactions. Maps are cleared in place and peerInv inner
-// sets recycled through each node's pool, so a campaign's thousandth run
-// allocates nothing the first run did not.
+// of injected transactions. With the generation-stamped layout this is a
+// generation bump plus an O(active hashes) registry clear: no per-node
+// work at all outside ValidationFull mode, whose mempools are real
+// containers that must be drained.
 func (n *Network) ResetInventory() {
-	for _, node := range n.nodes {
-		clear(node.known)
-		for h, set := range node.peerInv {
-			clear(set)
-			node.invSetPool = append(node.invSetPool, set)
-			delete(node.peerInv, h)
+	n.invGen++
+	if n.invGen == 0 {
+		// Generation counter wrapped (after ~4 billion resets): stale
+		// stamps could alias the new generation, so hard-reset every
+		// node's arrays once and restart from generation 1.
+		n.invGen = 1
+		for _, node := range n.slots {
+			if node != nil {
+				node.inv = nodeInv{}
+			}
 		}
-		clear(node.txData)
-		clear(node.blockData)
-		clear(node.requested)
-		if node.mempool != nil {
+	}
+	clear(n.hashIdx)
+	n.hashN = 0
+	if n.cfg.Validation == ValidationFull {
+		for _, node := range n.slots {
+			if node == nil || node.mempool == nil {
+				continue
+			}
 			for _, id := range node.mempool.IDs() {
 				node.mempool.Remove(id)
 			}
@@ -640,8 +800,8 @@ func (n *Network) StartKeepalive() *sim.Ticker {
 			if !ok {
 				continue
 			}
-			for _, p := range node.sortedPeers() {
-				node.Probe(p, nil)
+			for _, ref := range node.sortedPeers() {
+				node.Probe(ref.id, nil)
 			}
 		}
 	})

@@ -741,3 +741,68 @@ func TestKeepaliveDisabled(t *testing.T) {
 		t.Error("keepalive should be nil when disabled")
 	}
 }
+
+// TestResetInventoryNoCrossRunLeakage pins the generation-bump reset:
+// two back-to-back injections on the same network must behave exactly
+// like two injections on fresh networks. Any stale first-sight state,
+// holder bit or in-flight GETDATA marker surviving a reset would change
+// the second run's message counts or suppress its first-seen events.
+func TestResetInventoryNoCrossRunLeakage(t *testing.T) {
+	net, nodes := testNetwork(t, 8, nil)
+	connectRing(t, net, nodes)
+	for i := range nodes {
+		// Chords so relay suppression (holder bits) is actually exercised.
+		if err := net.Connect(nodes[i].ID(), nodes[(i+3)%len(nodes)].ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx := testTx(t, 77)
+
+	flood := func(origin *Node) (seen int, st Stats) {
+		before := net.Stats()
+		net.OnTxFirstSeen = func(NodeID, chain.Hash, sim.Time) { seen++ }
+		defer func() { net.OnTxFirstSeen = nil }()
+		if err := origin.SubmitTx(tx); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return seen, net.Stats().Sub(before)
+	}
+
+	seen1, st1 := flood(nodes[0])
+	if seen1 != len(nodes) {
+		t.Fatalf("first run reached %d of %d nodes", seen1, len(nodes))
+	}
+	for _, nd := range nodes {
+		if _, ok := nd.FirstSeen(tx.ID()); !ok {
+			t.Fatalf("node %d missing first-seen before reset", nd.ID())
+		}
+	}
+
+	net.ResetInventory()
+	for _, nd := range nodes {
+		if at, ok := nd.FirstSeen(tx.ID()); ok {
+			t.Fatalf("node %d still reports FirstSeen %v after reset", nd.ID(), at)
+		}
+	}
+
+	// Same transaction, same origin: with no stale holder bits or seen
+	// markers, the reflooded run must produce identical traffic.
+	seen2, st2 := flood(nodes[0])
+	if seen2 != len(nodes) {
+		t.Fatalf("second run reached %d of %d nodes", seen2, len(nodes))
+	}
+	if st1.Messages != st2.Messages {
+		t.Errorf("message counts differ across reset:\nrun1: %v\nrun2: %v", st1.Messages, st2.Messages)
+	}
+
+	// A third run from a different origin still reaches everyone — no
+	// residual suppression tied to the first origin.
+	net.ResetInventory()
+	seen3, _ := flood(nodes[5])
+	if seen3 != len(nodes) {
+		t.Fatalf("third run reached %d of %d nodes", seen3, len(nodes))
+	}
+}

@@ -1,0 +1,726 @@
+package p2p
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/geo"
+	"repro/internal/latency"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// ReferenceNetwork and ReferenceNode preserve the retired map-based node
+// layout — per-node known/peerInv/requested/txData maps — as an
+// executable oracle, the same pattern as sim.ReferenceScheduler. The
+// protocol logic, random stream consumption and event scheduling are
+// kept line-for-line equivalent to the flat-array implementation, so
+// TestFlatNodeMatchesReference and FuzzFlatNodeMatchesReference can pin
+// delivery order, first-seen times and traffic counters bit-identical
+// between the two. It is test collateral: nothing on a hot path should
+// ever construct one outside a differential harness.
+
+// refPeerState is per-connection bookkeeping on one side of an edge.
+type refPeerState struct {
+	outbound bool
+}
+
+// refPendingPing tracks an in-flight ping probe.
+type refPendingPing struct {
+	sentAt sim.Time
+	target NodeID
+	done   func(rtt time.Duration)
+}
+
+// ReferenceNode is the map-based oracle node.
+type ReferenceNode struct {
+	id  NodeID
+	loc geo.Location
+	net *ReferenceNetwork
+
+	peers      map[NodeID]*refPeerState
+	peerList   []NodeID
+	peersValid bool
+
+	// known maps every accepted inventory hash to its first-seen time.
+	known map[chain.Hash]sim.Time
+	// txData holds full transactions available for serving GETDATA.
+	txData map[chain.Hash]*chain.Tx
+	// blockData holds full blocks available for serving GETDATA.
+	blockData map[chain.Hash]*chain.Block
+	// peerInv records, per hash, which peers are already known to have it.
+	peerInv map[chain.Hash]map[NodeID]struct{}
+	// requested marks hashes with a GETDATA in flight.
+	requested map[chain.Hash]struct{}
+
+	mempool *chain.Mempool
+
+	uplinkFreeAt sim.Time
+
+	pending   map[uint64]refPendingPing
+	nextNonce uint64
+
+	estimators map[NodeID]*latency.Estimator
+}
+
+// ID returns the node's identifier.
+func (nd *ReferenceNode) ID() NodeID { return nd.id }
+
+// Location returns the node's geographic placement.
+func (nd *ReferenceNode) Location() geo.Location { return nd.loc }
+
+func (nd *ReferenceNode) sortedPeers() []NodeID {
+	if nd.peersValid {
+		return nd.peerList
+	}
+	nd.peerList = nd.peerList[:0]
+	for id := range nd.peers {
+		nd.peerList = append(nd.peerList, id)
+	}
+	sort.Slice(nd.peerList, func(i, j int) bool { return nd.peerList[i] < nd.peerList[j] })
+	nd.peersValid = true
+	return nd.peerList
+}
+
+func (nd *ReferenceNode) invalidatePeers() { nd.peersValid = false }
+
+// Peers returns the connected peer IDs in ascending order.
+func (nd *ReferenceNode) Peers() []NodeID {
+	return append([]NodeID(nil), nd.sortedPeers()...)
+}
+
+// NumPeers returns the number of connections.
+func (nd *ReferenceNode) NumPeers() int { return len(nd.peers) }
+
+// Outbound returns the number of connections this node initiated.
+func (nd *ReferenceNode) Outbound() int {
+	c := 0
+	for _, p := range nd.peers {
+		if p.outbound {
+			c++
+		}
+	}
+	return c
+}
+
+// IsPeer reports whether id is a connected peer.
+func (nd *ReferenceNode) IsPeer(id NodeID) bool {
+	_, ok := nd.peers[id]
+	return ok
+}
+
+// FirstSeen returns when the node first accepted the hash, if ever.
+func (nd *ReferenceNode) FirstSeen(h chain.Hash) (sim.Time, bool) {
+	t, ok := nd.known[h]
+	return t, ok
+}
+
+// Estimator returns the RTT estimator for a probed target, if any.
+func (nd *ReferenceNode) Estimator(target NodeID) (*latency.Estimator, bool) {
+	e, ok := nd.estimators[target]
+	return e, ok
+}
+
+// SubmitTx injects a locally created transaction.
+func (nd *ReferenceNode) SubmitTx(tx *chain.Tx) error {
+	return nd.acceptTx(tx, 0)
+}
+
+func (nd *ReferenceNode) acceptTx(tx *chain.Tx, from NodeID) error {
+	id := tx.ID()
+	if _, seen := nd.known[id]; seen {
+		return nil
+	}
+	switch nd.net.cfg.Validation {
+	case ValidationFull:
+		if err := nd.mempool.Add(tx); err != nil {
+			return err
+		}
+	case ValidationLight:
+		if err := tx.CheckWellFormed(); err != nil {
+			return err
+		}
+	}
+	nd.known[id] = nd.net.Now()
+	if nd.txData == nil {
+		nd.txData = make(map[chain.Hash]*chain.Tx)
+	}
+	nd.txData[id] = tx
+	delete(nd.requested, id)
+	if nd.net.OnTxFirstSeen != nil {
+		nd.net.OnTxFirstSeen(nd.id, id, nd.net.Now())
+	}
+	nd.announce(id, from)
+	return nil
+}
+
+func (nd *ReferenceNode) announce(h chain.Hash, except NodeID) {
+	holders := nd.peerInv[h]
+	direct := nd.net.cfg.Relay == RelayDirect
+	var inv *wire.MsgInv
+	var txMsg *wire.MsgTx
+	for _, peerID := range nd.sortedPeers() {
+		if peerID == except {
+			continue
+		}
+		if _, knows := holders[peerID]; knows {
+			continue
+		}
+		if direct {
+			if tx, ok := nd.txData[h]; ok {
+				if txMsg == nil {
+					txMsg = &wire.MsgTx{Tx: tx}
+				}
+				nd.markPeerHas(peerID, h)
+				nd.net.send(nd.id, peerID, txMsg)
+				continue
+			}
+		}
+		if inv == nil {
+			inv = &wire.MsgInv{Items: []wire.InvVect{{Type: wire.InvTx, Hash: h}}}
+		}
+		nd.net.send(nd.id, peerID, inv)
+	}
+}
+
+func (nd *ReferenceNode) markPeerHas(peer NodeID, h chain.Hash) {
+	set, ok := nd.peerInv[h]
+	if !ok {
+		set = make(map[NodeID]struct{}, 8)
+		nd.peerInv[h] = set
+	}
+	set[peer] = struct{}{}
+}
+
+func (nd *ReferenceNode) handleMessage(from NodeID, msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.MsgInv:
+		nd.handleInv(from, m)
+	case *wire.MsgGetData:
+		nd.handleGetData(from, m)
+	case *wire.MsgTx:
+		nd.handleTx(from, m)
+	case *wire.MsgBlock:
+		nd.handleBlock(from, m)
+	case *wire.MsgPing:
+		nd.net.send(nd.id, from, &wire.MsgPong{Nonce: m.Nonce})
+	case *wire.MsgPong:
+		nd.handlePong(from, m)
+	}
+}
+
+func (nd *ReferenceNode) handleInv(from NodeID, m *wire.MsgInv) {
+	var blocks []wire.InvVect
+	want := &wire.MsgGetData{}
+	for _, item := range m.Items {
+		if item.Type == wire.InvBlock {
+			blocks = append(blocks, item)
+			continue
+		}
+		if item.Type != wire.InvTx {
+			continue
+		}
+		nd.markPeerHas(from, item.Hash)
+		if _, seen := nd.known[item.Hash]; seen {
+			continue
+		}
+		if nd.requested == nil {
+			nd.requested = make(map[chain.Hash]struct{})
+		}
+		if _, inflight := nd.requested[item.Hash]; inflight {
+			continue
+		}
+		nd.requested[item.Hash] = struct{}{}
+		want.Items = append(want.Items, item)
+	}
+	if len(want.Items) > 0 {
+		nd.net.send(nd.id, from, want)
+	}
+	if len(blocks) > 0 {
+		nd.handleBlockInv(from, blocks)
+	}
+}
+
+func (nd *ReferenceNode) handleGetData(from NodeID, m *wire.MsgGetData) {
+	for _, item := range m.Items {
+		switch item.Type {
+		case wire.InvTx:
+			if tx, ok := nd.txData[item.Hash]; ok {
+				nd.markPeerHas(from, item.Hash)
+				nd.net.send(nd.id, from, &wire.MsgTx{Tx: tx})
+			}
+		case wire.InvBlock:
+			if b, ok := nd.blockData[item.Hash]; ok {
+				nd.markPeerHas(from, item.Hash)
+				nd.net.send(nd.id, from, &wire.MsgBlock{Block: b})
+			}
+		}
+	}
+}
+
+func (nd *ReferenceNode) handleTx(from NodeID, m *wire.MsgTx) {
+	tx := m.Tx
+	id := tx.ID()
+	nd.markPeerHas(from, id)
+	if _, seen := nd.known[id]; seen {
+		return
+	}
+	utxoLen := 0
+	if nd.mempool != nil {
+		utxoLen = nd.mempool.Len()
+	}
+	cost := nd.net.cfg.VerifyCost.TxCost(tx, utxoLen)
+	nd.net.sched.AfterCall(cost, runRefVerify, nd.net.newVerifyJob(nd.id, from, tx, nil))
+}
+
+// Probe sends a single measurement ping to target.
+func (nd *ReferenceNode) Probe(target NodeID, done func(rtt time.Duration)) {
+	nd.nextNonce++
+	nonce := nd.nextNonce
+	nd.pending[nonce] = refPendingPing{sentAt: nd.net.Now(), target: target, done: done}
+	pad := nd.net.cfg.Latency.PingBytes - 12 // nonce + length prefix
+	if pad < 0 {
+		pad = 0
+	}
+	nd.net.send(nd.id, target, &wire.MsgPing{Nonce: nonce, Pad: nd.net.sharedPad(pad)})
+}
+
+func (nd *ReferenceNode) handlePong(from NodeID, m *wire.MsgPong) {
+	p, ok := nd.pending[m.Nonce]
+	if !ok || p.target != from {
+		return
+	}
+	delete(nd.pending, m.Nonce)
+	rtt := time.Duration(nd.net.Now() - p.sentAt)
+	if nd.estimators == nil {
+		nd.estimators = make(map[NodeID]*latency.Estimator)
+	}
+	est, ok := nd.estimators[from]
+	if !ok {
+		est = &latency.Estimator{}
+		nd.estimators[from] = est
+	}
+	est.Observe(rtt)
+	if p.done != nil {
+		p.done(rtt)
+	}
+}
+
+// SubmitBlock injects a locally mined block.
+func (nd *ReferenceNode) SubmitBlock(b *chain.Block) error {
+	return nd.acceptBlock(b, 0)
+}
+
+func (nd *ReferenceNode) acceptBlock(b *chain.Block, from NodeID) error {
+	h := b.Header.Hash()
+	if _, seen := nd.known[h]; seen {
+		return nil
+	}
+	if nd.net.cfg.Validation != ValidationNone {
+		if !b.Header.CheckPoW() {
+			return chain.ErrBadSignature
+		}
+		if b.Header.MerkleRoot != chain.MerkleRoot(b.Txs) {
+			return chain.ErrBadSignature
+		}
+	}
+	nd.known[h] = nd.net.Now()
+	if nd.blockData == nil {
+		nd.blockData = make(map[chain.Hash]*chain.Block)
+	}
+	nd.blockData[h] = b
+	delete(nd.requested, h)
+	if nd.net.OnBlockFirstSeen != nil {
+		nd.net.OnBlockFirstSeen(nd.id, h, nd.net.Now())
+	}
+	nd.announceBlock(h, from)
+	return nil
+}
+
+func (nd *ReferenceNode) announceBlock(h chain.Hash, except NodeID) {
+	holders := nd.peerInv[h]
+	var inv *wire.MsgInv
+	for _, peerID := range nd.sortedPeers() {
+		if peerID == except {
+			continue
+		}
+		if _, knows := holders[peerID]; knows {
+			continue
+		}
+		if inv == nil {
+			inv = &wire.MsgInv{Items: []wire.InvVect{{Type: wire.InvBlock, Hash: h}}}
+		}
+		nd.net.send(nd.id, peerID, inv)
+	}
+}
+
+func (nd *ReferenceNode) handleBlockInv(from NodeID, items []wire.InvVect) {
+	want := &wire.MsgGetData{}
+	for _, item := range items {
+		nd.markPeerHas(from, item.Hash)
+		if _, seen := nd.known[item.Hash]; seen {
+			continue
+		}
+		if nd.requested == nil {
+			nd.requested = make(map[chain.Hash]struct{})
+		}
+		if _, inflight := nd.requested[item.Hash]; inflight {
+			continue
+		}
+		nd.requested[item.Hash] = struct{}{}
+		want.Items = append(want.Items, item)
+	}
+	if len(want.Items) > 0 {
+		nd.net.send(nd.id, from, want)
+	}
+}
+
+func (nd *ReferenceNode) handleBlock(from NodeID, m *wire.MsgBlock) {
+	b := m.Block
+	h := b.Header.Hash()
+	nd.markPeerHas(from, h)
+	if _, seen := nd.known[h]; seen {
+		return
+	}
+	utxoLen := 0
+	if nd.mempool != nil {
+		utxoLen = nd.mempool.Len()
+	}
+	cost := nd.net.cfg.VerifyCost.BlockCost(b, utxoLen)
+	nd.net.sched.AfterCall(cost, runRefVerify, nd.net.newVerifyJob(nd.id, from, nil, b))
+}
+
+// HasBlock reports whether the node holds the block.
+func (nd *ReferenceNode) HasBlock(h chain.Hash) bool {
+	_, ok := nd.blockData[h]
+	return ok
+}
+
+// ReferenceNetwork is the map-based oracle network.
+type ReferenceNetwork struct {
+	cfg     Config
+	sched   *sim.Scheduler
+	streams *sim.Streams
+	model   *latency.Model
+
+	nodes  map[NodeID]*ReferenceNode
+	nextID NodeID
+	links  map[linkKey]latency.Link
+
+	lossRng     *rand.Rand
+	deliveryRng *rand.Rand
+	linksRng    *rand.Rand
+
+	pingPad []byte
+
+	stats Stats
+
+	// OnTxFirstSeen fires when a node accepts a transaction it had not
+	// seen before.
+	OnTxFirstSeen func(node NodeID, tx chain.Hash, at sim.Time)
+	// OnBlockFirstSeen fires when a node accepts a block it had not seen
+	// before.
+	OnBlockFirstSeen func(node NodeID, block chain.Hash, at sim.Time)
+	// OnDisconnect fires after a connection is torn down.
+	OnDisconnect func(a, b NodeID)
+}
+
+// NewReferenceNetwork creates an empty oracle network. It draws from the
+// same named random streams as NewNetwork with the same seed, which is
+// what makes the two comparable event for event.
+func NewReferenceNetwork(cfg Config) (*ReferenceNetwork, error) {
+	if cfg.MaxOutbound <= 0 || cfg.MaxPeers <= 0 {
+		return nil, errors.New("p2p: MaxOutbound and MaxPeers must be positive")
+	}
+	if cfg.MaxOutbound > cfg.MaxPeers {
+		return nil, fmt.Errorf("p2p: MaxOutbound %d > MaxPeers %d", cfg.MaxOutbound, cfg.MaxPeers)
+	}
+	if cfg.LossProb < 0 || cfg.LossProb >= 1 {
+		return nil, fmt.Errorf("p2p: LossProb %g outside [0,1)", cfg.LossProb)
+	}
+	model, err := latency.NewModel(cfg.Latency)
+	if err != nil {
+		return nil, err
+	}
+	streams := sim.NewStreams(cfg.Seed)
+	return &ReferenceNetwork{
+		cfg:         cfg,
+		sched:       sim.NewScheduler(),
+		streams:     streams,
+		model:       model,
+		nodes:       make(map[NodeID]*ReferenceNode),
+		links:       make(map[linkKey]latency.Link),
+		lossRng:     streams.Stream("loss"),
+		deliveryRng: streams.Stream("delivery"),
+		linksRng:    streams.Stream("links"),
+	}, nil
+}
+
+// Scheduler exposes the simulation clock and event queue.
+func (n *ReferenceNetwork) Scheduler() *sim.Scheduler { return n.sched }
+
+// Stats returns a snapshot of the message counters.
+func (n *ReferenceNetwork) Stats() Stats { return n.stats }
+
+// Now returns the current virtual time.
+func (n *ReferenceNetwork) Now() sim.Time { return n.sched.Now() }
+
+// NumNodes returns the number of live nodes.
+func (n *ReferenceNetwork) NumNodes() int { return len(n.nodes) }
+
+// AddNode creates a node at the given location and returns it.
+func (n *ReferenceNetwork) AddNode(loc geo.Location) *ReferenceNode {
+	n.nextID++
+	id := n.nextID
+	node := &ReferenceNode{
+		id:      id,
+		loc:     loc,
+		net:     n,
+		peers:   make(map[NodeID]*refPeerState),
+		known:   make(map[chain.Hash]sim.Time, 16),
+		peerInv: make(map[chain.Hash]map[NodeID]struct{}, 16),
+		pending: make(map[uint64]refPendingPing),
+	}
+	if n.cfg.Validation == ValidationFull {
+		base := n.cfg.BaseUTXO
+		if base == nil {
+			base = chain.NewUTXOSet()
+		}
+		node.mempool = chain.NewMempool(base.Clone(), 0)
+	}
+	n.nodes[id] = node
+	return node
+}
+
+// Node returns the node with the given ID, if it exists.
+func (n *ReferenceNetwork) Node(id NodeID) (*ReferenceNode, bool) {
+	node, ok := n.nodes[id]
+	return node, ok
+}
+
+// NodeIDs returns all live node IDs in ascending order.
+func (n *ReferenceNetwork) NodeIDs() []NodeID {
+	ids := make([]NodeID, 0, len(n.nodes))
+	for id := NodeID(1); id <= n.nextID; id++ {
+		if _, ok := n.nodes[id]; ok {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// RemoveNode disconnects and deletes a node (a churn "leave" event).
+func (n *ReferenceNetwork) RemoveNode(id NodeID) {
+	node, ok := n.nodes[id]
+	if !ok {
+		return
+	}
+	delete(n.nodes, id)
+	for _, peerID := range node.Peers() {
+		delete(node.peers, peerID)
+		node.invalidatePeers()
+		if nb, ok := n.nodes[peerID]; ok {
+			delete(nb.peers, id)
+			nb.invalidatePeers()
+		}
+		if n.OnDisconnect != nil {
+			n.OnDisconnect(id, peerID)
+		}
+	}
+}
+
+func (n *ReferenceNetwork) link(a, b *ReferenceNode) latency.Link {
+	key := mkLinkKey(a.id, b.id)
+	if l, ok := n.links[key]; ok {
+		return l
+	}
+	l := n.model.NewLink(n.linksRng, a.loc.Coord, b.loc.Coord)
+	n.links[key] = l
+	return l
+}
+
+// refDelivery is the payload behind one in-flight oracle message event.
+type refDelivery struct {
+	net *ReferenceNetwork
+	src NodeID
+	dst NodeID
+	msg wire.Message
+}
+
+func runRefDelivery(a any) {
+	d := a.(*refDelivery)
+	n, src, dst, msg := d.net, d.src, d.dst, d.msg
+	node, ok := n.nodes[dst]
+	if ok {
+		node.handleMessage(src, msg)
+	} else {
+		n.stats.Dropped++
+	}
+}
+
+func (n *ReferenceNetwork) sharedPad(size int) []byte {
+	if size > len(n.pingPad) {
+		n.pingPad = make([]byte, size)
+	}
+	return n.pingPad[:size]
+}
+
+func (n *ReferenceNetwork) deliver(src, dst *ReferenceNode, msg wire.Message) {
+	size := wire.EncodedSize(msg)
+	n.stats.count(msg.Command(), size)
+	if n.cfg.LossProb > 0 && n.lossRng.Float64() < n.cfg.LossProb {
+		n.stats.Lost++
+		return
+	}
+	txTime := time.Duration(float64(size) / n.cfg.Latency.RateBytesPerSec * float64(time.Second))
+	start := n.sched.Now()
+	if src.uplinkFreeAt > start {
+		start = src.uplinkFreeAt
+	}
+	src.uplinkFreeAt = start + txTime
+	delay := (start + txTime - n.sched.Now()) + n.link(src, dst).SampleOneWay(n.deliveryRng)
+	n.sched.AfterCall(delay, runRefDelivery, &refDelivery{net: n, src: src.id, dst: dst.id, msg: msg})
+}
+
+func (n *ReferenceNetwork) send(from NodeID, to NodeID, msg wire.Message) {
+	src, ok := n.nodes[from]
+	if !ok {
+		n.stats.Dropped++
+		return
+	}
+	dst, ok := n.nodes[to]
+	if !ok {
+		n.stats.Dropped++
+		return
+	}
+	n.deliver(src, dst, msg)
+}
+
+// Connect establishes a connection initiated by a to b.
+func (n *ReferenceNetwork) Connect(a, b NodeID) error {
+	return n.connect(a, b, true)
+}
+
+// ConnectUnbounded is Connect without the initiator's outbound cap.
+func (n *ReferenceNetwork) ConnectUnbounded(a, b NodeID) error {
+	return n.connect(a, b, false)
+}
+
+func (n *ReferenceNetwork) connect(a, b NodeID, enforceOutbound bool) error {
+	if a == b {
+		return ErrSelfConnect
+	}
+	na, ok := n.nodes[a]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, a)
+	}
+	nb, ok := n.nodes[b]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, b)
+	}
+	if _, dup := na.peers[b]; dup {
+		return ErrAlreadyPeers
+	}
+	if enforceOutbound && na.Outbound() >= n.cfg.MaxOutbound {
+		return ErrOutboundLimit
+	}
+	if len(na.peers) >= n.cfg.MaxPeers {
+		return ErrOutboundLimit
+	}
+	if len(nb.peers) >= n.cfg.MaxPeers {
+		return ErrPeerCapacity
+	}
+	n.stats.count(wire.CmdVersion, versionSize)
+	n.stats.count(wire.CmdVerack, verackSize)
+	n.stats.count(wire.CmdVersion, versionSize)
+	n.stats.count(wire.CmdVerack, verackSize)
+	na.peers[b] = &refPeerState{outbound: true}
+	nb.peers[a] = &refPeerState{outbound: false}
+	na.invalidatePeers()
+	nb.invalidatePeers()
+	return nil
+}
+
+// Disconnect tears down the connection between a and b (no-op if absent).
+func (n *ReferenceNetwork) Disconnect(a, b NodeID) {
+	na, ok := n.nodes[a]
+	if !ok {
+		return
+	}
+	if _, connected := na.peers[b]; !connected {
+		return
+	}
+	delete(na.peers, b)
+	na.invalidatePeers()
+	if nb, ok := n.nodes[b]; ok {
+		delete(nb.peers, na.id)
+		nb.invalidatePeers()
+	}
+	if n.OnDisconnect != nil {
+		n.OnDisconnect(na.id, b)
+	}
+}
+
+// refVerifyJob is the payload behind a deferred oracle verification event.
+type refVerifyJob struct {
+	net   *ReferenceNetwork
+	node  NodeID
+	from  NodeID
+	tx    *chain.Tx
+	block *chain.Block
+}
+
+func runRefVerify(a any) {
+	j := a.(*refVerifyJob)
+	n, nodeID, from, tx, block := j.net, j.node, j.from, j.tx, j.block
+	node, ok := n.nodes[nodeID]
+	if !ok {
+		return
+	}
+	if tx != nil {
+		_ = node.acceptTx(tx, from)
+		return
+	}
+	_ = node.acceptBlock(block, from)
+}
+
+func (n *ReferenceNetwork) newVerifyJob(node, from NodeID, tx *chain.Tx, block *chain.Block) *refVerifyJob {
+	return &refVerifyJob{net: n, node: node, from: from, tx: tx, block: block}
+}
+
+// ResetInventory clears every node's seen-transaction state in place —
+// the map-rebuild behaviour the generation-bump implementation must
+// match observably.
+func (n *ReferenceNetwork) ResetInventory() {
+	for _, node := range n.nodes {
+		clear(node.known)
+		clear(node.peerInv)
+		clear(node.txData)
+		clear(node.blockData)
+		clear(node.requested)
+		if node.mempool != nil {
+			for _, id := range node.mempool.IDs() {
+				node.mempool.Remove(id)
+			}
+		}
+	}
+}
+
+// Run drains the event queue.
+func (n *ReferenceNetwork) Run() error { return n.sched.Run() }
+
+// RunUntil processes events up to the virtual-time limit.
+func (n *ReferenceNetwork) RunUntil(ctx context.Context, limit sim.Time) error {
+	if err := n.sched.RunUntilCtx(ctx, limit); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("p2p: run interrupted at t=%v: %w", n.sched.Now(), err)
+		}
+		return err
+	}
+	return nil
+}

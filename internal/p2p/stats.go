@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unsafe"
 
 	"repro/internal/wire"
 )
@@ -86,4 +87,31 @@ func (s Stats) String() string {
 	}
 	fmt.Fprintf(&b, "%-8s %10d msgs %12d B (dropped %d)\n", "total", s.TotalMessages(), s.TotalBytes(), s.Dropped)
 	return b.String()
+}
+
+// NodeFootprintBytes sums the retained bytes of every node's hot state —
+// adjacency tables, sorted-peer caches, flat inventory arrays, holder
+// bitsets, spill sets, ping and estimator slices — without the shared
+// network-level state (links, hash registry, pools). Divided by
+// NumNodes it is the marginal cost of one more node, the number the
+// 100k-node budget test pins so the flat layout cannot quietly regrow
+// pointer-rich per-node state.
+func (n *Network) NodeFootprintBytes() int {
+	var total uintptr
+	for _, nd := range n.slots {
+		if nd == nil {
+			continue
+		}
+		total += unsafe.Sizeof(*nd)
+		total += uintptr(cap(nd.peerTab)) * unsafe.Sizeof(peerEntry{})
+		total += uintptr(cap(nd.peerFree)) * unsafe.Sizeof(int32(0))
+		total += uintptr(cap(nd.peerList)) * unsafe.Sizeof(peerRef{})
+		total += uintptr(cap(nd.inv.entries)) * unsafe.Sizeof(invEntry{})
+		total += uintptr(cap(nd.inv.tx)+cap(nd.inv.block)) * unsafe.Sizeof(uintptr(0))
+		total += uintptr(cap(nd.inv.holderBits)) * unsafe.Sizeof(uint64(0))
+		total += uintptr(len(nd.inv.spill)) * (unsafe.Sizeof(spillFact{}) + 8)
+		total += uintptr(cap(nd.pending)) * unsafe.Sizeof(pendingPing{})
+		total += uintptr(cap(nd.ests)) * unsafe.Sizeof(estEntry{})
+	}
+	return int(total)
 }

@@ -10,11 +10,17 @@
 #     (requires -benchmem in the bench run). Allocation counts are
 #     deterministic, so the threshold is zero: the scheduler and flood
 #     benchmarks are designed around a fixed steady-state allocation
-#     budget (the arena kernel dispatches at 0 allocs/op; the 2000-node
-#     flood sits at ~19k allocs/op after the message/padding pools), and
-#     a single new alloc per op there is a real hot-path regression, not
-#     noise. Baselines travel as the previous run's artifact, so a PR
-#     that legitimately lowers a budget simply becomes the next baseline.
+#     budget (the arena kernel dispatches at 0 allocs/op; the flood
+#     benches run the pooled flat-array relay path), and a single new
+#     alloc per op there is a real hot-path regression, not noise.
+#   - bytes: B/op gets the same zero-tolerance treatment on the flood
+#     benchmarks (^BenchmarkFlood). The flat node layout's whole point
+#     is a pinned per-node/per-flood byte budget, and B/op is as
+#     deterministic as allocs/op — growth there means per-hop state
+#     quietly regrew. Non-flood benches only warn on B/op growth past
+#     the wall-clock threshold, since their buffers legitimately resize.
+#     Baselines travel as the previous run's artifact, so a PR that
+#     legitimately lowers a budget simply becomes the next baseline.
 #
 # Exits 0 always — CI surfaces the report as warnings rather than failing
 # the build; the artifact history is the durable record.
@@ -36,13 +42,14 @@ awk -v threshold="$threshold" '
     /^Benchmark/ && / ns\/op/ {
         name = $1
         sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
-        ns = ""; al = ""
+        ns = ""; al = ""; by = ""
         for (i = 2; i <= NF; i++) {
             if ($(i+1) == "ns/op" && ns == "")     ns = $i
+            if ($(i+1) == "B/op" && by == "")      by = $i
             if ($(i+1) == "allocs/op" && al == "") al = $i
         }
-        if (file == 1) { old[name] = ns; oldal[name] = al }
-        else           { new[name] = ns; newal[name] = al }
+        if (file == 1) { old[name] = ns; oldal[name] = al; oldby[name] = by }
+        else           { new[name] = ns; newal[name] = al; newby[name] = by }
     }
     END {
         worst = 0
@@ -66,6 +73,18 @@ awk -v threshold="$threshold" '
                     printf "::warning title=Alloc regression::%s allocates more per op (%.0f -> %.0f allocs/op)\n", name, oldal[name], newal[name]
                 } else if (newal[name] + 0 < oldal[name] + 0) {
                     printf "alloc-ok   %-40s %12.0f -> %12.0f allocs/op (improved)\n", name, oldal[name], newal[name]
+                }
+            }
+            # Byte diff: zero tolerance on the flood benches (pinned
+            # per-flood byte budget); threshold-gated elsewhere.
+            if (oldby[name] != "" && newby[name] != "" && oldby[name] + 0 > 0) {
+                bdelta = (newby[name] - oldby[name]) * 100.0 / oldby[name]
+                flood = (name ~ /^BenchmarkFlood/)
+                if ((flood && newby[name] + 0 > oldby[name] + 0) || (!flood && bdelta > threshold)) {
+                    printf "BYTES-REG  %-40s %12.0f -> %12.0f B/op (%+.1f%%)\n", name, oldby[name], newby[name], bdelta
+                    printf "::warning title=Bytes regression::%s uses more memory per op (%.0f -> %.0f B/op)\n", name, oldby[name], newby[name]
+                } else if (newby[name] + 0 < oldby[name] + 0) {
+                    printf "bytes-ok   %-40s %12.0f -> %12.0f B/op (improved)\n", name, oldby[name], newby[name]
                 }
             }
         }
