@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+// vetConfig mirrors the JSON unit-check configuration cmd/go writes for
+// `go vet -vettool` tools (the same protocol x/tools' unitchecker
+// speaks): one compiled package's files, its import→path map, and the
+// export-data file for every package in the typing closure.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standalone                bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck runs the suite over one vet unit config and returns the
+// process exit code (0 clean, 1 error, 2 findings).
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bcbpt-lint: reading vet config: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "bcbpt-lint: parsing vet config %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// cmd/go records the .vetx facts file as this unit's build output;
+	// the suite has no cross-package facts, so an empty file satisfies
+	// the cache. In VetxOnly mode (dependency pre-pass) that's the whole
+	// job — skip type-checking entirely.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "bcbpt-lint: writing %s: %v\n", cfg.VetxOutput, err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := analysis.NewImporter(fset, func(path string) (string, bool) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		return file, ok
+	})
+
+	pkg, err := analysis.TypeCheck(fset, cfg.ImportPath, cfg.GoVersion, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "bcbpt-lint: %v\n", err)
+		return 1
+	}
+
+	diags, err := lint.Check(pkg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bcbpt-lint: %v\n", err)
+		return 1
+	}
+	writeVetx()
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	return 2
+}

@@ -1,8 +1,10 @@
 package chain
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Validation errors surfaced by the UTXO set and mempool. They are
@@ -146,7 +148,9 @@ func (u *UTXOSet) BalanceOf(addr Address) Amount {
 	return sum
 }
 
-// OutpointsOf lists unspent outpoints owned by addr. Order is unspecified.
+// OutpointsOf lists unspent outpoints owned by addr in ascending
+// (TxID, Index) order, so callers that spend "the first output" behave
+// identically run to run.
 func (u *UTXOSet) OutpointsOf(addr Address) []Outpoint {
 	var ops []Outpoint
 	for op, out := range u.entries {
@@ -154,5 +158,11 @@ func (u *UTXOSet) OutpointsOf(addr Address) []Outpoint {
 			ops = append(ops, op)
 		}
 	}
+	sort.Slice(ops, func(i, j int) bool {
+		if c := bytes.Compare(ops[i].TxID[:], ops[j].TxID[:]); c != 0 {
+			return c < 0
+		}
+		return ops[i].Index < ops[j].Index
+	})
 	return ops
 }

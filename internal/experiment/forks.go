@@ -113,6 +113,7 @@ func ForkRace(ctx context.Context, spec ForkSpec) (ForkResult, error) {
 		arrivals []sim.Time
 	}
 	tracks := make(map[chain.Hash]*blockTrack)
+	var mined []chain.Hash // tracks keys in mined order, for deterministic iteration
 	net.OnBlockFirstSeen = func(node p2p.NodeID, h chain.Hash, at sim.Time) {
 		if t, ok := tracks[h]; ok {
 			t.arrivals = append(t.arrivals, at)
@@ -150,6 +151,7 @@ func ForkRace(ctx context.Context, spec ForkSpec) (ForkResult, error) {
 			blk := makeBlock(height, spec.BlockTxs, key.Address())
 			h := blk.Header.Hash()
 			tracks[h] = &blockTrack{foundAt: net.Now()}
+			mined = append(mined, h)
 			lastBlock = h
 			if err := node.SubmitBlock(blk); err == nil {
 				// Submission counts as the miner's own first-seen; record
@@ -171,7 +173,8 @@ func ForkRace(ctx context.Context, spec ForkSpec) (ForkResult, error) {
 	// Coverage: per block, time until 90% of nodes had it.
 	var cover []time.Duration
 	total := net.NumNodes()
-	for _, t := range tracks {
+	for _, h := range mined {
+		t := tracks[h]
 		if len(t.arrivals) < total*9/10 {
 			continue // block never reached 90% (churn or cut): skip
 		}

@@ -354,6 +354,7 @@ func (c *Coordinator) finishCommit(req CommitRequest, cs experiment.CampaignSpec
 		return CommitResponse{Accepted: true}
 	}
 	if spoolTmp != "" {
+		//bcbptlint:allow lockio — rename-only atomic publish; the payload was written outside the lock
 		if err := os.Rename(spoolTmp, c.spoolPath(req.Campaign, req.Replication)); err != nil {
 			return c.failSpoolLocked(err)
 		}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// DirectiveAnalyzerName tags diagnostics about the //bcbptlint:allow
+// directives themselves (malformed, unknown analyzer, unused).
+const DirectiveAnalyzerName = "bcbptlint"
+
+const directivePrefix = "//bcbptlint:"
+
+// allowDirective is one parsed //bcbptlint:allow comment. A directive
+// suppresses findings of one named analyzer on the directive's own line
+// (trailing-comment form) or the line directly below it (comment-above
+// form). The reason after the — separator is mandatory: suppressions
+// must explain themselves at the site, not in review history.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+	pos      token.Pos
+	used     bool
+	problem  string // non-empty if the directive itself is malformed
+}
+
+// collectAllows parses every bcbptlint directive in the package's
+// lintable files. known is the full analyzer registry, used to reject
+// directives naming a nonexistent analyzer (usually a typo that would
+// otherwise silently suppress nothing).
+func collectAllows(pkg *Package, known map[string]bool) []*allowDirective {
+	var out []*allowDirective
+	for _, f := range pkg.Files {
+		if !pkg.Lintable[f] {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d := &allowDirective{file: pos.Filename, line: pos.Line, pos: c.Pos()}
+				out = append(out, d)
+
+				rest := c.Text[len(directivePrefix):]
+				verb, args, _ := strings.Cut(rest, " ")
+				if verb != "allow" {
+					d.problem = "unknown bcbptlint directive " + strings.TrimSpace(verb) + ": only //bcbptlint:allow <analyzer> — <reason> is recognized"
+					continue
+				}
+				name, reason, ok := cutSeparator(strings.TrimSpace(args))
+				d.analyzer = name
+				d.reason = reason
+				switch {
+				case name == "":
+					d.problem = "malformed //bcbptlint:allow: want //bcbptlint:allow <analyzer> — <reason>"
+				case !known[name]:
+					d.problem = "//bcbptlint:allow names unknown analyzer " + name
+				case !ok || reason == "":
+					d.problem = "//bcbptlint:allow " + name + " needs a reason: //bcbptlint:allow " + name + " — <why this exception is sound>"
+				}
+			}
+		}
+	}
+	return out
+}
+
+// cutSeparator splits "<analyzer> — <reason>" on the first em-dash or
+// "--" separator, tolerating either spelling.
+func cutSeparator(s string) (name, reason string, ok bool) {
+	for _, sep := range []string{"—", "--"} {
+		if before, after, found := strings.Cut(s, sep); found {
+			return strings.TrimSpace(before), strings.TrimSpace(after), true
+		}
+	}
+	return strings.TrimSpace(s), "", false
+}
+
+// suppressed reports whether a well-formed allow directive covers a
+// finding by analyzer at pos, marking the directive used.
+func suppressed(allows []*allowDirective, analyzer string, pos token.Position) bool {
+	hit := false
+	for _, a := range allows {
+		if a.problem != "" || a.analyzer != analyzer || a.file != pos.Filename {
+			continue
+		}
+		if a.line == pos.Line || a.line == pos.Line-1 {
+			a.used = true
+			hit = true
+		}
+	}
+	return hit
+}

@@ -1,0 +1,169 @@
+// Package analysistest runs internal/lint analyzers over fixture
+// packages in testdata, mirroring golang.org/x/tools' analysistest
+// conventions: each fixture directory is one package, and trailing
+//
+//	// want "regexp"
+//
+// comments assert that a diagnostic matching the regexp is reported on
+// that line. Fixtures import real repro/... and standard-library
+// packages; imports resolve offline through `go list -export` build
+// cache data.
+//
+// Because the analyzers scope themselves by import path (see
+// internal/lint/detpkgs.go), every fixture is loaded under a caller
+// supplied "as-if" path — e.g. a detrand fixture is checked as if it
+// were repro/internal/sim, and a clean-scope fixture as a package the
+// analyzer ignores.
+package analysistest
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// Load parses and type-checks the fixture directory as a package with
+// import path asPath.
+func Load(t *testing.T, dir, asPath string) *analysis.Package {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in %s (err=%v)", dir, err)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	// Parse once without types to discover the fixture's imports, then
+	// resolve the full closure's export data in one `go list` run.
+	pkg, err := analysis.TypeCheck(fset, asPath, "", names, analysis.NewImporter(fset, exportLookup(t, dir, names)))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	return pkg
+}
+
+// Run checks the fixture package at dir (as import path asPath) with the
+// given analyzers and compares the findings against the fixture's
+// // want comments. known is the full analyzer-name registry (see
+// lint.Names), so fixtures can also exercise directive validation.
+func Run(t *testing.T, dir, asPath string, analyzers []*analysis.Analyzer, known []string) []analysis.Diagnostic {
+	t.Helper()
+	pkg := Load(t, dir, asPath)
+	diags, err := analysis.Run(pkg, analyzers, known)
+	if err != nil {
+		t.Fatalf("running analyzers over %s: %v", dir, err)
+	}
+
+	type expectation struct {
+		file string
+		line int
+		rx   *regexp.Regexp
+		met  bool
+	}
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want pattern %q", pos.Filename, pos.Line, q)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+	return diags
+}
+
+// exportLookup resolves the fixture's imports (and their transitive
+// closure) to export-data files via one `go list` invocation, run
+// lazily on first lookup so fixtures with no imports skip it.
+func exportLookup(t *testing.T, dir string, names []string) func(string) (string, bool) {
+	t.Helper()
+	var exports map[string]string
+	return func(path string) (string, bool) {
+		if exports == nil {
+			exports = map[string]string{}
+			imports := fixtureImports(t, names)
+			if len(imports) > 0 {
+				listed, err := analysis.GoList(".", imports...)
+				if err != nil {
+					t.Fatalf("resolving fixture %s imports: %v", dir, err)
+				}
+				for _, p := range listed {
+					if p.Export != "" {
+						exports[p.ImportPath] = p.Export
+					}
+				}
+			}
+		}
+		f, ok := exports[path]
+		return f, ok
+	}
+}
+
+func fixtureImports(t *testing.T, names []string) []string {
+	t.Helper()
+	seen := map[string]bool{}
+	var out []string
+	fset := token.NewFileSet()
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", name, err)
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path == "unsafe" || seen[path] {
+				continue
+			}
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

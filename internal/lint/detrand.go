@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// wallClockFuncs are the package-level time functions that read or react
+// to the machine clock. Simulation code runs on virtual time
+// (sim.Scheduler.Now); any of these in a deterministic package makes
+// output depend on host scheduling.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// globalRandExempt are the math/rand (and v2) package-level functions
+// that do NOT draw from the process-global source: constructors for
+// explicitly seeded generators, which are exactly the sanctioned idiom.
+var globalRandExempt = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Detrand bans wall-clock reads and the global math/rand source in the
+// deterministic packages (see deterministicPkgs). Every replication
+// must be a pure function of its seed chain: draw randomness from a
+// seed-chained *rand.Rand (sim.Streams / sim.DeriveSeed) and timestamps
+// from the scheduler clock.
+var Detrand = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "ban time.Now/time.Since and global math/rand in deterministic packages; " +
+		"use sim.Scheduler.Now and seed-chained RNG streams instead",
+	Run: runDetrand,
+}
+
+func runDetrand(pass *analysis.Pass) error {
+	if !deterministicPkgs[pass.Path()] {
+		return nil
+	}
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		if !pass.Lintable(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are the sanctioned form
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"wall-clock time.%s in deterministic package %s: derive time from the scheduler clock (sim.Scheduler.Now / virtual delays)",
+						fn.Name(), pass.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				if !globalRandExempt[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"global %s.%s draws from the process-wide source in deterministic package %s: use a seed-chained stream (sim.Streams / rand.New(rand.NewSource(seed)))",
+						fn.Pkg().Path(), fn.Name(), pass.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+// Fixture for the detrand analyzer: checked as-if it were a
+// deterministic package (repro/internal/sim).
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func flagged() {
+	_ = time.Now()                     // want `wall-clock time\.Now`
+	_ = time.Since(time.Time{})        // want `wall-clock time\.Since`
+	time.Sleep(time.Millisecond)       // want `wall-clock time\.Sleep`
+	_ = rand.Intn(10)                  // want `global math/rand\.Intn`
+	_ = rand.Float64()                 // want `global math/rand\.Float64`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand\.Shuffle`
+}
+
+func clean() {
+	// Explicitly seeded generators and their methods are the sanctioned
+	// idiom; constructors are exempt and methods never match.
+	r := rand.New(rand.NewSource(1))
+	_ = r.Intn(10)
+	_ = r.Float64()
+	// Pure time arithmetic and constructors do not read the clock.
+	_ = time.Unix(42, 0)
+	_ = 5 * time.Millisecond
+	_ = time.Duration(7).String()
+}

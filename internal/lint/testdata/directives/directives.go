@@ -1,0 +1,35 @@
+// Fixture for //bcbptlint:allow directive handling: valid directives in
+// both placements suppress, while malformed, misspelled, and unused ones
+// are themselves findings. The expected diagnostics are asserted
+// programmatically in lint_test.go (a want comment cannot share a line
+// with a directive — they would be one comment), checked as-if the
+// package were repro/internal/sim.
+package fixture
+
+import "time"
+
+func suppressedTrailing() time.Time {
+	return time.Now() //bcbptlint:allow detrand — fixture: exercising the trailing-comment form
+}
+
+func suppressedAbove() time.Time {
+	//bcbptlint:allow detrand — fixture: exercising the comment-above form
+	return time.Now()
+}
+
+func missingReason() time.Time {
+	return time.Now() //bcbptlint:allow detrand
+}
+
+func unknownAnalyzer() time.Time {
+	return time.Now() //bcbptlint:allow detrnd — typo in the analyzer name
+}
+
+func unusedAllow() int {
+	//bcbptlint:allow detrand — nothing below triggers detrand
+	return 1
+}
+
+func unknownVerb() {
+	//bcbptlint:deny detrand — only the allow verb exists
+}

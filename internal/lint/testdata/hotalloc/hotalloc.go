@@ -1,0 +1,27 @@
+// Fixture for the hotalloc analyzer: checked as-if it were the flood
+// hot-path package (repro/internal/p2p).
+package fixture
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func dispatch(a any) {}
+
+func flagged(s *sim.Scheduler, id int) {
+	s.After(time.Millisecond, func() {}) // want `closure-form Scheduler\.After`
+	s.At(0, func() {})                   // want `closure-form Scheduler\.At allocates`
+	_ = fmt.Sprintf("node-%d", id)       // want `fmt\.Sprintf allocates`
+	_ = fmt.Sprint(id)                   // want `fmt\.Sprint allocates`
+}
+
+func clean(s *sim.Scheduler, err error) error {
+	// Pooled static-dispatch scheduling: zero closure allocations.
+	s.AfterCall(time.Millisecond, dispatch, nil)
+	s.AtCall(0, dispatch, nil)
+	// Error construction is a failure path, deliberately exempt.
+	return fmt.Errorf("wrap: %w", err)
+}

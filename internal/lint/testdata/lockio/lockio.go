@@ -1,0 +1,68 @@
+// Fixture for the lockio analyzer: checked as-if it were a fleet
+// package (repro/internal/fleet).
+package fixture
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+)
+
+type coord struct {
+	mu    sync.Mutex
+	state map[string]int
+}
+
+func (c *coord) directUnderLock() {
+	c.mu.Lock()
+	os.WriteFile("x", nil, 0o644) // want `I/O call os\.WriteFile while c\.mu is held`
+	c.mu.Unlock()
+}
+
+// afterUnlock does the write outside the critical section — the fix the
+// analyzer steers toward.
+func (c *coord) afterUnlock() {
+	c.mu.Lock()
+	c.state["a"]++
+	c.mu.Unlock()
+	_ = os.WriteFile("x", nil, 0o644)
+}
+
+// persist reaches I/O transitively; its callers inherit the charge.
+func persist(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("state.json", data, 0o644)
+}
+
+func (c *coord) transitiveUnderDefer(v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.state["a"]++
+	persist(v) // want `I/O call persist \(which reaches encoding/json\.Marshal\) while c\.mu is held`
+}
+
+func (c *coord) decodeUnderLock(dec *json.Decoder) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var v map[string]int
+	dec.Decode(&v) // want `I/O call \(Decoder\)\.Decode while c\.mu is held`
+}
+
+// spawnUnderLock hands the I/O to another goroutine, which runs outside
+// this critical section.
+func (c *coord) spawnUnderLock() {
+	c.mu.Lock()
+	go persist(c.state)
+	c.mu.Unlock()
+}
+
+// pureUnderLock holds the lock around in-memory work only.
+func (c *coord) pureUnderLock(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.state[k]++
+	return c.state[k]
+}

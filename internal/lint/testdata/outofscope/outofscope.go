@@ -1,0 +1,30 @@
+// Fixture proving the analyzers scope by import path: this file breaks
+// every rule but is checked as-if it were repro/internal/netnode, which
+// is in no analyzer's scope (the live node runs on real clocks and
+// sockets by design), so the suite must stay silent.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+
+func everythingTheRulesBan(m map[int]int) []int {
+	_ = time.Now()
+	_ = rand.Intn(10)
+	_ = fmt.Sprintf("x-%d", 1)
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+		fmt.Println(k)
+	}
+	mu.Lock()
+	_ = os.WriteFile("x", nil, 0o644)
+	mu.Unlock()
+	return keys
+}

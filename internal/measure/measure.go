@@ -90,7 +90,7 @@ func sortedIDs(m map[p2p.NodeID]time.Duration) []p2p.NodeID {
 // caller's backing array (streaming folds pass a per-campaign scratch).
 func appendSortedIDs(ids []p2p.NodeID, m map[p2p.NodeID]time.Duration) []p2p.NodeID {
 	for id := range m {
-		ids = append(ids, id)
+		ids = append(ids, id) //bcbptlint:allow maporder — the insertion sort below canonicalises the order
 	}
 	for i := 1; i < len(ids); i++ {
 		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {

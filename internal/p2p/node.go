@@ -658,23 +658,24 @@ func (nd *Node) ProbeN(target NodeID, n int, gap time.Duration, done func(est *l
 	if n <= 0 {
 		return
 	}
+	// One completion callback shared by all n pings — the single
+	// allocation a ProbeN costs. The pings themselves schedule through
+	// the pooled probeJob payload (closure-free AfterCall, see hotalloc).
 	remaining := n
-	for i := 0; i < n; i++ {
-		delay := time.Duration(i) * gap
-		nd.net.sched.After(delay, func() {
-			node := nd.net.nodeAt(nd.slot, nd.id)
-			if node == nil {
-				return
-			}
-			node.Probe(target, func(time.Duration) {
-				remaining--
-				if remaining == 0 && done != nil {
-					if est, ok := node.Estimator(target); ok {
-						done(est)
-					}
+	net := nd.net
+	slot, id := nd.slot, nd.id
+	onPong := func(time.Duration) {
+		remaining--
+		if remaining == 0 && done != nil {
+			if node := net.nodeAt(slot, id); node != nil {
+				if est, ok := node.Estimator(target); ok {
+					done(est)
 				}
-			})
-		})
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		net.sched.AfterCall(time.Duration(i)*gap, runProbe, net.newProbeJob(slot, id, target, onPong))
 	}
 }
 

@@ -65,7 +65,7 @@ func (v ValidationMode) String() string {
 	case ValidationNone:
 		return "none"
 	default:
-		return fmt.Sprintf("ValidationMode(%d)", int(v))
+		return fmt.Sprintf("ValidationMode(%d)", int(v)) //bcbptlint:allow hotalloc — cold debug path, never on the flood hot path
 	}
 }
 
@@ -91,7 +91,7 @@ func (m RelayMode) String() string {
 	case RelayDirect:
 		return "direct"
 	default:
-		return fmt.Sprintf("RelayMode(%d)", int(m))
+		return fmt.Sprintf("RelayMode(%d)", int(m)) //bcbptlint:allow hotalloc — cold debug path, never on the flood hot path
 	}
 }
 
@@ -186,6 +186,7 @@ type Network struct {
 	// of one closure per (peer, hash) pair.
 	deliveryPool []*delivery
 	verifyPool   []*verifyJob
+	probePool    []*probeJob
 
 	// Message pools. Every hot-path message type is single-recipient and
 	// consumed entirely inside handleMessage, so runDelivery returns them
@@ -749,6 +750,41 @@ func (n *Network) newVerifyJob(node, from NodeID, tx *chain.Tx, block *chain.Blo
 		return j
 	}
 	return &verifyJob{net: n, node: node, from: from, tx: tx, block: block}
+}
+
+// probeJob is the pooled payload behind one scheduled ProbeN ping: the
+// churn-safe (slot, id) handle of the probing node, its target, and the
+// completion callback shared by all pings of one ProbeN call.
+type probeJob struct {
+	net    *Network
+	slot   int32
+	id     NodeID
+	target NodeID
+	onPong func(time.Duration)
+}
+
+// runProbe is the static dispatch target for ProbeN's spaced pings.
+func runProbe(a any) {
+	j := a.(*probeJob)
+	n, slot, id, target, onPong := j.net, j.slot, j.id, j.target, j.onPong
+	j.onPong = nil
+	n.probePool = append(n.probePool, j)
+	node := n.nodeAt(slot, id)
+	if node == nil {
+		return // prober churned out; the probe is simply lost
+	}
+	node.Probe(target, onPong)
+}
+
+// newProbeJob pops a pooled payload (or allocates on first use).
+func (n *Network) newProbeJob(slot int32, id, target NodeID, onPong func(time.Duration)) *probeJob {
+	if last := len(n.probePool) - 1; last >= 0 {
+		j := n.probePool[last]
+		n.probePool = n.probePool[:last]
+		j.slot, j.id, j.target, j.onPong = slot, id, target, onPong
+		return j
+	}
+	return &probeJob{net: n, slot: slot, id: id, target: target, onPong: onPong}
 }
 
 // ResetInventory clears every node's seen-transaction state. Measurement

@@ -22,13 +22,33 @@
 #     Baselines travel as the previous run's artifact, so a PR that
 #     legitimately lowers a budget simply becomes the next baseline.
 #
-# Exits 0 always — CI surfaces the report as warnings rather than failing
-# the build; the artifact history is the durable record.
+# Exit status: the timing/bytes report is advisory (warnings only —
+# shared-runner noise must not fail builds), with ONE hard gate: the
+# arena scheduler kernel (BenchmarkSchedulerArena) dispatching at
+# anything above 0 allocs/op fails the script. That zero is the load-
+# bearing invariant the arena exists for, it is checked against the NEW
+# output alone (no baseline needed, so first runs enforce it too), and
+# an alloc count is deterministic — nonzero is a real regression.
 set -eu
 
 old="${1:?usage: benchdiff.sh OLD NEW [threshold-pct]}"
 new="${2:?usage: benchdiff.sh OLD NEW [threshold-pct]}"
 threshold="${3:-30}"
+
+# Hard gate first: SchedulerArena must stay at 0 allocs/op.
+if ! awk '
+    /^BenchmarkSchedulerArena/ && / allocs\/op/ {
+        for (i = 2; i <= NF; i++)
+            if ($(i+1) == "allocs/op" && $i + 0 > 0) {
+                printf "benchdiff: HARD FAIL: %s reports %s allocs/op; the arena kernel must dispatch at 0\n", $1, $i
+                printf "::error title=Arena alloc budget broken::%s reports %s allocs/op (must be 0)\n", $1, $i
+                bad = 1
+            }
+    }
+    END { exit bad }
+' "$new"; then
+    exit 1
+fi
 
 if [ ! -f "$old" ]; then
     echo "benchdiff: no previous bench output at $old (first run?); nothing to diff"
