@@ -37,6 +37,7 @@ race:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzFlatNodeMatchesReference -fuzztime=30s ./internal/p2p
 	$(GO) test -run='^$$' -fuzz=FuzzArenaMatchesReference -fuzztime=30s ./internal/sim
+	$(GO) test -run='^$$' -fuzz=FuzzParallelMatchesSerial -fuzztime=30s ./internal/sim
 
 # Distributed-campaign smoke: a coordinator + 2 local workers (one
 # induced worker failure) must merge a tiny sweep byte-identical to the

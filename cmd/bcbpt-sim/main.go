@@ -49,6 +49,7 @@ func main() {
 		csvPath      = flag.String("csv", "", "write figure CDF data to this CSV file (figure3/figure4 only)")
 		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign-engine worker pool size")
 		buildWorkers = flag.Int("build-workers", 0, "worker pool size inside each network build (0 = GOMAXPROCS); any value builds an identical network")
+		simWorkers   = flag.Int("sim-workers", 1, "event-dispatch workers inside each simulation (1 = serial kernel; >= 2 enables cluster-partitioned parallel dispatch); any value produces identical output")
 		reps         = flag.Int("replications", 1, "independently seeded networks per series (samples pool)")
 		timeout      = flag.Duration("timeout", 0, "wall-clock budget for the whole experiment (0 = none)")
 		streaming    = flag.Bool("streaming", false, "pool samples into bounded-memory sketches (~1% quantile error) instead of retaining every Δt; use for paper-scale sweeps")
@@ -65,6 +66,7 @@ func main() {
 		ChurnOn:      *churnOn,
 		Workers:      *workers,
 		BuildWorkers: *buildWorkers,
+		SimWorkers:   *simWorkers,
 		Replications: *reps,
 		Streaming:    *streaming,
 	}

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestParallelDispatchEngages pins that the spec knob actually switches
+// the network onto the parallel dispatcher for cluster-forming protocols
+// (a silent fallback everywhere would make the byte-identity test below
+// vacuous), and that the serial default leaves it off.
+func TestParallelDispatchEngages(t *testing.T) {
+	for _, tc := range []struct {
+		proto   ProtocolKind
+		workers int
+		want    bool
+	}{
+		{ProtoLBC, 4, true},
+		{ProtoBCBPT, 4, true},
+		{ProtoBitcoin, 4, true}, // geographic-region fallback partition
+		{ProtoLBC, 1, false},
+	} {
+		b, err := Build(context.Background(), Spec{
+			Nodes: 80, Seed: 1, Protocol: tc.proto, SimWorkers: tc.workers,
+		})
+		if err != nil {
+			t.Fatalf("%s/%d: %v", tc.proto, tc.workers, err)
+		}
+		_, on := b.Net.ParallelLookahead()
+		if on != tc.want {
+			t.Errorf("%s with SimWorkers=%d: parallel dispatch engaged = %v, want %v",
+				tc.proto, tc.workers, on, tc.want)
+		}
+		b.Close()
+	}
+}
+
+// TestParallelDispatchMatchesSerial is the tentpole contract: the figure3
+// CSV must be byte-identical between the serial kernel and parallel
+// dispatch at every worker count. Same sweep parameters as the golden
+// smoke test, so this transitively pins the parallel output to the
+// checked-in golden file too.
+func TestParallelDispatchMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-replication sweep; skipped in -short")
+	}
+	render := func(simWorkers int) []byte {
+		t.Helper()
+		fig, err := Figure3Ctx(context.Background(), Options{
+			Nodes: 120, Runs: 5, Seed: 1, Replications: 2, SimWorkers: simWorkers,
+		})
+		if err != nil {
+			t.Fatalf("figure3 with SimWorkers=%d: %v", simWorkers, err)
+		}
+		var buf bytes.Buffer
+		if err := fig.WriteCSV(&buf); err != nil {
+			t.Fatalf("render CSV: %v", err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	for _, workers := range []int{2, 4, 16} {
+		got := render(workers)
+		if !bytes.Equal(got, serial) {
+			i := 0
+			for i < len(got) && i < len(serial) && got[i] == serial[i] {
+				i++
+			}
+			lo := i - 80
+			if lo < 0 {
+				lo = 0
+			}
+			show := func(b []byte) []byte {
+				hi := i + 80
+				if hi > len(b) {
+					hi = len(b)
+				}
+				return b[lo:hi]
+			}
+			t.Fatalf("figure3 CSV diverged at SimWorkers=%d (byte %d of %d vs %d):\nserial: …%s…\nparallel: …%s…",
+				workers, i, len(serial), len(got), show(serial), show(got))
+		}
+	}
+}

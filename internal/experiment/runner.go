@@ -90,9 +90,10 @@ func (c CampaignSpec) ReplicationSeed(i int) int64 {
 // Fingerprint returns a stable hash identifying the experiment this
 // campaign defines: an FNV-64a of the canonical JSON of the defaulted
 // spec, with the fields that cannot influence results excluded — Name (a
-// display label) and Spec.BuildWorkers (a host-parallelism knob that is
-// bit-identical for every value). Spec.BaseUTXO is excluded too (it does
-// not serialize); fleet sweeps reject it via CheckShippable.
+// display label) and the host-parallelism knobs Spec.BuildWorkers and
+// Spec.SimWorkers, both bit-identical for every value. Spec.BaseUTXO is
+// excluded too (it does not serialize); fleet sweeps reject it via
+// CheckShippable.
 //
 // The campaign engine stamps every shard result with this fingerprint and
 // measure.MergeCampaignResults refuses to blend shards whose fingerprints
@@ -102,6 +103,7 @@ func (c CampaignSpec) Fingerprint() uint64 {
 	c = c.withDefaults()
 	c.Name = ""
 	c.Spec.BuildWorkers = 0
+	c.Spec.SimWorkers = 0
 	data, err := json.Marshal(c)
 	if err != nil {
 		// Every serializable field is plain data; Marshal cannot fail.

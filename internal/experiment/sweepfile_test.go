@@ -149,6 +149,35 @@ func TestParseSweepChurnDurations(t *testing.T) {
 	}
 }
 
+// TestParseSweepSimWorkers: sweep files can ask fleet workers for
+// parallel event dispatch. The knob must round-trip through the strict
+// schema and must NOT enter the spec fingerprint — it is a
+// host-parallelism setting with bit-identical results, so a worker
+// running a campaign at a different worker count must still merge into
+// the same sweep.
+func TestParseSweepSimWorkers(t *testing.T) {
+	sf, err := ParseSweep([]byte(`{
+		"campaigns": [{
+			"name": "lbc-parallel",
+			"spec": {"nodes": 500, "seed": 7, "protocol": "lbc", "sim_workers": 4},
+			"runs": 50
+		}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := sf.Campaigns[0]
+	if cs.Spec.SimWorkers != 4 {
+		t.Fatalf("sim_workers parsed as %d, want 4", cs.Spec.SimWorkers)
+	}
+	serial := cs
+	serial.Spec.SimWorkers = 0
+	if cs.Fingerprint() != serial.Fingerprint() {
+		t.Errorf("fingerprint depends on sim_workers: %016x (workers=4) != %016x (serial)",
+			cs.Fingerprint(), serial.Fingerprint())
+	}
+}
+
 // TestExampleSweepMatchesFigure3Preset pins the checked-in example sweep
 // to the figure3 preset it claims to reproduce: same series names, same
 // spec fingerprints. scripts/fleetsmoke.sh byte-diffs the two outputs,

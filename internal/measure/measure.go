@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chain"
@@ -34,6 +35,13 @@ type MeasuringNode struct {
 	watchGen []uint32
 	watchID  []p2p.NodeID
 	watchRun uint32
+	// deltaAt records, per consumed slot, the first-seen time the hook
+	// observed. The hook writes a flat Time cell instead of a map entry so
+	// it stays safe under parallel dispatch, where it fires concurrently
+	// from different partitions: each slot belongs to exactly one
+	// partition, so the per-slot write is single-writer, and the result
+	// map is assembled after the run on the driving goroutine.
+	deltaAt []sim.Time
 	// deltaPool and missingPool recycle per-run result state in streaming
 	// campaigns, where a run's RunResult is folded into the sketch and
 	// discarded: the campaign's thousandth run then allocates no result
@@ -127,8 +135,9 @@ func (m *MeasuringNode) MeasureOnce(ctx context.Context, tx *chain.Tx, deadline 
 	if sc := m.net.SlotCap(); len(m.watchGen) < sc {
 		m.watchGen = append(m.watchGen, make([]uint32, sc-len(m.watchGen))...)
 		m.watchID = append(m.watchID, make([]p2p.NodeID, sc-len(m.watchID))...)
+		m.deltaAt = append(m.deltaAt, make([]sim.Time, sc-len(m.deltaAt))...)
 	}
-	remaining := 0
+	var remaining atomic.Int32
 	for _, p := range peers {
 		slot, ok := m.net.SlotOf(p)
 		if !ok {
@@ -137,11 +146,16 @@ func (m *MeasuringNode) MeasureOnce(ctx context.Context, tx *chain.Tx, deadline 
 		if m.watchGen[slot] != m.watchRun {
 			m.watchGen[slot] = m.watchRun
 			m.watchID[slot] = p
-			remaining++
+			remaining.Add(1)
 		}
 	}
 
 	prevHook := m.net.OnTxFirstSeen
+	// Under parallel dispatch this hook fires concurrently from different
+	// partition workers, so it must only touch single-writer state: the
+	// watched slot's cells (a node's slot is touched only by its own
+	// partition) and the atomic remaining counter. The Deltas map is
+	// assembled after the run.
 	m.net.OnTxFirstSeen = func(id p2p.NodeID, h chain.Hash, at sim.Time) {
 		if prevHook != nil {
 			prevHook(id, h, at)
@@ -156,24 +170,23 @@ func (m *MeasuringNode) MeasureOnce(ctx context.Context, tx *chain.Tx, deadline 
 		// Consume the slot: first sight per connection per run, dup-proof
 		// without a map lookup.
 		m.watchGen[slot] = m.watchRun - 1
-		res.Deltas[id] = time.Duration(at - start)
-		remaining--
-		if remaining == 0 {
-			m.net.Scheduler().Stop()
+		m.deltaAt[slot] = at
+		if remaining.Add(-1) == 0 {
+			m.net.StopRun()
 		}
 	}
 	defer func() { m.net.OnTxFirstSeen = prevHook }()
 
 	// Inject: hand the tx to ONE connection, not to m's relay logic —
-	// m itself does not broadcast (Fig. 2).
+	// m itself does not broadcast (Fig. 2). The submission runs directly at
+	// the current simulation time; it must not detour through the serial
+	// scheduler, which is parked while parallel dispatch is enabled.
 	first := peers[m.r.Intn(len(peers))]
 	firstNode, ok := m.net.Node(first)
 	if !ok {
 		return RunResult{}, fmt.Errorf("measure: connection %d vanished", first)
 	}
-	m.net.Scheduler().After(0, func() {
-		_ = firstNode.SubmitTx(tx)
-	})
+	_ = firstNode.SubmitTx(tx)
 
 	err := m.net.RunUntil(ctx, start+sim.Time(deadline))
 	if err != nil && !errors.Is(err, sim.ErrStopped) {
@@ -187,13 +200,23 @@ func (m *MeasuringNode) MeasureOnce(ctx context.Context, tx *chain.Tx, deadline 
 			return RunResult{}, err
 		}
 	}
+	// Assemble the result from the flat slot cells, on the driving
+	// goroutine (the run's barrier established happens-before for every
+	// hook write). A watched slot still stamped with this run's generation
+	// was never consumed: that connection missed the deadline.
 	for _, p := range peers {
-		if _, ok := res.Deltas[p]; !ok {
-			if res.Missing == nil {
-				res.Missing = m.newMissing()
-			}
-			res.Missing = append(res.Missing, p)
+		if _, dup := res.Deltas[p]; dup {
+			continue
 		}
+		slot, ok := m.net.SlotOf(p)
+		if ok && slot < len(m.watchGen) && m.watchGen[slot] == m.watchRun-1 && m.watchID[slot] == p {
+			res.Deltas[p] = time.Duration(m.deltaAt[slot] - start)
+			continue
+		}
+		if res.Missing == nil {
+			res.Missing = m.newMissing()
+		}
+		res.Missing = append(res.Missing, p)
 	}
 	return res, nil
 }

@@ -37,11 +37,11 @@ func (nd *Node) acceptBlock(b *chain.Block, from NodeID) error {
 	hi := nd.net.hashSlot(h)
 	e := nd.invEnsure(hi)
 	e.seenGen = nd.net.invGen
-	e.seenAt = nd.net.Now()
+	e.seenAt = nd.now()
 	nd.storeBlock(hi, b)
 	e.reqGen = 0
 	if nd.net.OnBlockFirstSeen != nil {
-		nd.net.OnBlockFirstSeen(nd.id, h, nd.net.Now())
+		nd.net.OnBlockFirstSeen(nd.id, h, nd.now())
 	}
 	nd.announceBlock(hi, h, from)
 	return nil
@@ -58,7 +58,7 @@ func (nd *Node) announceBlock(hi int32, h chain.Hash, except NodeID) {
 		if nd.holderHas(hi, ref.pos) {
 			continue
 		}
-		nd.net.deliver(nd, ref.node, nd.net.newInv(wire.InvBlock, h))
+		nd.net.deliver(nd, ref.node, nd.dctx.newInv(wire.InvBlock, h))
 	}
 }
 
@@ -66,7 +66,7 @@ func (nd *Node) announceBlock(hi int32, h chain.Hash, except NodeID) {
 // handleInv for InvBlock items; fromPos is the sender's adjacency
 // position (or -1), computed once there.
 func (nd *Node) handleBlockInv(from NodeID, fromPos int32, items []wire.InvVect) {
-	want := nd.net.newGetData()
+	want := nd.dctx.newGetData()
 	gen := nd.net.invGen
 	for _, item := range items {
 		hi := nd.net.hashSlot(item.Hash)
@@ -81,7 +81,7 @@ func (nd *Node) handleBlockInv(from NodeID, fromPos int32, items []wire.InvVect)
 	if len(want.Items) > 0 {
 		nd.net.send(nd.id, from, want)
 	} else {
-		nd.net.recycleMessage(want)
+		nd.dctx.recycleMessage(want)
 	}
 }
 
@@ -98,7 +98,7 @@ func (nd *Node) handleBlock(from NodeID, m *wire.MsgBlock) {
 		utxoLen = nd.mempool.Len()
 	}
 	cost := nd.net.cfg.VerifyCost.BlockCost(b, utxoLen)
-	nd.net.sched.AfterCall(cost, runVerify, nd.net.newVerifyJob(nd.id, from, nil, b))
+	nd.dctx.sched.AfterCall(cost, runVerify, nd.dctx.newVerifyJob(nd.net, nd.id, from, nil, b))
 }
 
 // HasBlock reports whether the node holds the block.

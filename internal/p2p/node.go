@@ -100,6 +100,16 @@ type Node struct {
 	slot int32
 	loc  geo.Location
 	net  *Network
+	// dctx is the node's dispatch context: &net.serial in serial mode,
+	// the node's partition context in parallel mode. Every event this
+	// node executes — and every send, schedule, pool access and clock
+	// read it makes while executing — goes through dctx, which is what
+	// keeps the parallel hot path free of shared mutable state.
+	dctx *dispatchCtx
+	// sendSeq counts this node's deliver calls. It keys the per-send
+	// delivery RNG and canonically orders cross-partition commits; being
+	// per-sender, it is identical in serial and parallel runs.
+	sendSeq uint64
 
 	// peerTab is the stable-position adjacency table (id == 0 marks a
 	// free position, recycled through peerFree LIFO).
@@ -136,6 +146,11 @@ type Node struct {
 	// (JOIN/CLUSTER); the topology layer installs it.
 	extraHandler func(from NodeID, msg wire.Message)
 }
+
+// now returns the node's current virtual time: its partition clock in
+// parallel mode, the global clock otherwise. Handlers must use it instead
+// of Network.Now, which is only meaningful between runs.
+func (nd *Node) now() sim.Time { return nd.dctx.sched.Now() }
 
 // SetExtraHandler installs a handler for protocol-extension messages
 // (JOIN/CLUSTER). Passing nil removes it.
@@ -488,11 +503,13 @@ func (nd *Node) acceptTx(tx *chain.Tx, from NodeID) error {
 	hi := nd.net.hashSlot(id)
 	e := nd.invEnsure(hi)
 	e.seenGen = nd.net.invGen
-	e.seenAt = nd.net.Now()
+	e.seenAt = nd.now()
 	nd.storeTx(hi, tx)
 	e.reqGen = 0
 	if nd.net.OnTxFirstSeen != nil {
-		nd.net.OnTxFirstSeen(nd.id, id, nd.net.Now())
+		// In parallel mode this fires concurrently from partition
+		// workers; the hook must be safe for concurrent use.
+		nd.net.OnTxFirstSeen(nd.id, id, nd.now())
 	}
 	nd.announce(hi, id, from)
 	return nil
@@ -520,11 +537,11 @@ func (nd *Node) announce(hi int32, h chain.Hash, except NodeID) {
 		if direct {
 			if tx, ok := nd.txFor(hi); ok {
 				nd.setHolderBit(hi, ref.pos)
-				nd.net.deliver(nd, ref.node, nd.net.newTxMsg(tx))
+				nd.net.deliver(nd, ref.node, nd.dctx.newTxMsg(tx))
 				continue
 			}
 		}
-		nd.net.deliver(nd, ref.node, nd.net.newInv(wire.InvTx, h))
+		nd.net.deliver(nd, ref.node, nd.dctx.newInv(wire.InvTx, h))
 	}
 }
 
@@ -540,7 +557,7 @@ func (nd *Node) handleMessage(from NodeID, msg wire.Message) {
 	case *wire.MsgBlock:
 		nd.handleBlock(from, m)
 	case *wire.MsgPing:
-		nd.net.send(nd.id, from, nd.net.newPong(m.Nonce))
+		nd.net.send(nd.id, from, nd.dctx.newPong(m.Nonce))
 	case *wire.MsgPong:
 		nd.handlePong(from, m)
 	case *wire.MsgGetAddr:
@@ -564,7 +581,7 @@ func (nd *Node) handleMessage(from NodeID, msg wire.Message) {
 func (nd *Node) handleInv(from NodeID, m *wire.MsgInv) {
 	var blocks []wire.InvVect
 	fromPos := nd.peerPos(from)
-	want := nd.net.newGetData()
+	want := nd.dctx.newGetData()
 	for _, item := range m.Items {
 		if item.Type == wire.InvBlock {
 			blocks = append(blocks, item)
@@ -586,7 +603,7 @@ func (nd *Node) handleInv(from NodeID, m *wire.MsgInv) {
 	if len(want.Items) > 0 {
 		nd.net.send(nd.id, from, want)
 	} else {
-		nd.net.recycleMessage(want)
+		nd.dctx.recycleMessage(want)
 	}
 	if len(blocks) > 0 {
 		nd.handleBlockInv(from, fromPos, blocks)
@@ -605,12 +622,12 @@ func (nd *Node) handleGetData(from NodeID, m *wire.MsgGetData) {
 		case wire.InvTx:
 			if tx, ok := nd.txFor(hi); ok {
 				nd.markPeerHas(from, fromPos, hi)
-				nd.net.send(nd.id, from, nd.net.newTxMsg(tx))
+				nd.net.send(nd.id, from, nd.dctx.newTxMsg(tx))
 			}
 		case wire.InvBlock:
 			if b, ok := nd.blockFor(hi); ok {
 				nd.markPeerHas(from, fromPos, hi)
-				nd.net.send(nd.id, from, nd.net.newBlockMsg(b))
+				nd.net.send(nd.id, from, nd.dctx.newBlockMsg(b))
 			}
 		}
 	}
@@ -631,7 +648,7 @@ func (nd *Node) handleTx(from NodeID, m *wire.MsgTx) {
 		utxoLen = nd.mempool.Len()
 	}
 	cost := nd.net.cfg.VerifyCost.TxCost(tx, utxoLen)
-	nd.net.sched.AfterCall(cost, runVerify, nd.net.newVerifyJob(nd.id, from, tx, nil))
+	nd.dctx.sched.AfterCall(cost, runVerify, nd.dctx.newVerifyJob(nd.net, nd.id, from, tx, nil))
 }
 
 // --- ping measurement ---
@@ -642,12 +659,12 @@ func (nd *Node) handleTx(from NodeID, m *wire.MsgTx) {
 func (nd *Node) Probe(target NodeID, done func(rtt time.Duration)) {
 	nd.nextNonce++
 	nonce := nd.nextNonce
-	nd.pending = append(nd.pending, pendingPing{nonce: nonce, sentAt: nd.net.Now(), target: target, done: done})
+	nd.pending = append(nd.pending, pendingPing{nonce: nonce, sentAt: nd.now(), target: target, done: done})
 	pad := nd.net.cfg.Latency.PingBytes - 12 // nonce + length prefix
 	if pad < 0 {
 		pad = 0
 	}
-	nd.net.send(nd.id, target, nd.net.newPing(nonce, pad))
+	nd.net.send(nd.id, target, nd.dctx.newPing(nonce, pad))
 }
 
 // ProbeN sends n pings spaced by gap and calls done once all have
@@ -675,7 +692,7 @@ func (nd *Node) ProbeN(target NodeID, n int, gap time.Duration, done func(est *l
 		}
 	}
 	for i := 0; i < n; i++ {
-		net.sched.AfterCall(time.Duration(i)*gap, runProbe, net.newProbeJob(slot, id, target, onPong))
+		nd.dctx.sched.AfterCall(time.Duration(i)*gap, runProbe, nd.dctx.newProbeJob(net, slot, id, target, onPong))
 	}
 }
 
@@ -693,7 +710,7 @@ func (nd *Node) handlePong(from NodeID, m *wire.MsgPong) {
 	}
 	p := nd.pending[i]
 	nd.pending = append(nd.pending[:i], nd.pending[i+1:]...)
-	rtt := time.Duration(nd.net.Now() - p.sentAt)
+	rtt := time.Duration(nd.now() - p.sentAt)
 	nd.estFor(from).Observe(rtt)
 	if p.done != nil {
 		p.done(rtt)

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/chain"
@@ -171,43 +172,23 @@ type Network struct {
 	// fixed by MaxPeers.
 	peerWords int32
 
-	// Hot-path random streams, resolved once at construction so delivery
-	// never pays the Streams map lookup. Stream derivation is a pure
-	// function of (seed, name), so pre-resolving changes nothing.
-	lossRng     *rand.Rand
-	deliveryRng *rand.Rand
-	linksRng    *rand.Rand
+	// serial is the network's default dispatch context: the scheduler,
+	// keyed RNG scratch, message/payload pools and traffic counters every
+	// node routes through in serial mode. Parallel mode (see parallel.go)
+	// gives each partition its own context so the flood hot path stays
+	// lock-free and allocation-free; a node always dispatches through
+	// node.dctx, which points here unless parallel dispatch is enabled.
+	serial dispatchCtx
 
-	// deliveryPool and verifyPool recycle the payload structs behind the
-	// scheduler's AfterCall events: a flood schedules one delivery per
-	// in-flight message and one verify job per (node, tx) first-sight,
-	// and pooling them (with the arena kernel's closure-free AfterCall)
-	// keeps the steady-state flood at zero allocations per event instead
-	// of one closure per (peer, hash) pair.
-	deliveryPool []*delivery
-	verifyPool   []*verifyJob
-	probePool    []*probeJob
-
-	// Message pools. Every hot-path message type is single-recipient and
-	// consumed entirely inside handleMessage, so runDelivery returns them
-	// to the pools right after dispatch: GETDATAs, keepalive pings/pongs,
-	// and — since the flat-inventory layout — the per-recipient INV, TX
-	// and BLOCK announcement wrappers too. Messages dropped by loss or a
-	// vanished endpoint simply miss the pool — correctness never depends
-	// on recycling.
-	pingPool     []*wire.MsgPing
-	pongPool     []*wire.MsgPong
-	getDataPool  []*wire.MsgGetData
-	invPool      []*wire.MsgInv
-	txMsgPool    []*wire.MsgTx
-	blockMsgPool []*wire.MsgBlock
-	// pingPad is the shared keepalive/probe padding: pings carry Pad only
-	// so their on-wire size matches the latency model's Mping, the bytes
-	// are never read, and messages are immutable after send — so every
-	// ping shares one zeroed buffer instead of allocating its own.
-	pingPad []byte
-
-	stats Stats
+	// par is non-nil while conservative parallel dispatch is enabled.
+	par *parallelState
+	// hashMu guards hashIdx/hashN in parallel mode only (serial dispatch
+	// is single-threaded and skips it). Index assignment order does not
+	// affect observables — indices only key flat arrays.
+	hashMu sync.Mutex
+	// linksMu guards links in parallel mode only. Link parameters are
+	// keyed by the endpoint pair, so creation order does not matter.
+	linksMu sync.RWMutex
 
 	// OnTxFirstSeen fires when a node accepts a transaction it had not
 	// seen before (after verification delay). Measurement hooks in.
@@ -245,20 +226,19 @@ func NewNetwork(cfg Config) (*Network, error) {
 		return nil, err
 	}
 	streams := sim.NewStreams(cfg.Seed)
-	return &Network{
-		cfg:         cfg,
-		sched:       sim.NewScheduler(),
-		streams:     streams,
-		model:       model,
-		nodes:       make(map[NodeID]*Node),
-		links:       make(map[linkKey]latency.Link),
-		invGen:      1,
-		hashIdx:     make(map[chain.Hash]int32, 16),
-		peerWords:   int32((cfg.MaxPeers + 63) / 64),
-		lossRng:     streams.Stream("loss"),
-		deliveryRng: streams.Stream("delivery"),
-		linksRng:    streams.Stream("links"),
-	}, nil
+	n := &Network{
+		cfg:       cfg,
+		sched:     sim.NewScheduler(),
+		streams:   streams,
+		model:     model,
+		nodes:     make(map[NodeID]*Node),
+		links:     make(map[linkKey]latency.Link),
+		invGen:    1,
+		hashIdx:   make(map[chain.Hash]int32, 16),
+		peerWords: int32((cfg.MaxPeers + 63) / 64),
+	}
+	n.serial.init(n.sched, 0)
+	return n, nil
 }
 
 // Reserve pre-sizes the network's node and link tables for an expected
@@ -285,14 +265,38 @@ func (n *Network) Streams() *sim.Streams { return n.streams }
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
 
-// Stats returns a snapshot of the message counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns a snapshot of the message counters, summed across
+// dispatch contexts. Partition counters are flat arrays merged by
+// addition, so the parallel total is exact, not approximate.
+func (n *Network) Stats() Stats {
+	s := n.serial.stats
+	if n.par != nil {
+		for _, dc := range n.par.parts {
+			s.add(&dc.stats)
+		}
+	}
+	return s
+}
 
 // ResetStats zeroes the message counters (used between measurement runs).
-func (n *Network) ResetStats() { n.stats = Stats{} }
+func (n *Network) ResetStats() {
+	n.serial.stats = Stats{}
+	if n.par != nil {
+		for _, dc := range n.par.parts {
+			dc.stats = Stats{}
+		}
+	}
+}
 
-// Now returns the current virtual time.
-func (n *Network) Now() sim.Time { return n.sched.Now() }
+// Now returns the current virtual time. Valid between runs in parallel
+// mode (when all partition clocks agree); event handlers use their own
+// partition clock via Node.now instead.
+func (n *Network) Now() sim.Time {
+	if n.par != nil {
+		return n.par.ws.Now()
+	}
+	return n.sched.Now()
+}
 
 // NumNodes returns the number of live nodes.
 func (n *Network) NumNodes() int { return len(n.nodes) }
@@ -325,12 +329,16 @@ func (n *Network) nodeAt(slot int32, id NodeID) *Node {
 
 // AddNode creates a node at the given location and returns it.
 func (n *Network) AddNode(loc geo.Location) *Node {
+	if n.par != nil {
+		panic("p2p: AddNode while parallel dispatch enabled")
+	}
 	n.nextID++
 	id := n.nextID
 	node := &Node{
-		id:  id,
-		loc: loc,
-		net: n,
+		id:   id,
+		loc:  loc,
+		net:  n,
+		dctx: &n.serial,
 	}
 	if last := len(n.slotFree) - 1; last >= 0 {
 		node.slot = n.slotFree[last]
@@ -374,6 +382,9 @@ func (n *Network) NodeIDs() []NodeID {
 // callback can never reconnect to the departing node; peers are processed
 // in sorted order for determinism.
 func (n *Network) RemoveNode(id NodeID) {
+	if n.par != nil {
+		panic("p2p: RemoveNode while parallel dispatch enabled")
+	}
 	node, ok := n.nodes[id]
 	if !ok {
 		return
@@ -395,20 +406,41 @@ func (n *Network) RemoveNode(id NodeID) {
 // --- dense hash registry ---
 
 // hashSlot returns (assigning on first use) the dense index for an
-// inventory hash in the current generation.
+// inventory hash in the current generation. In parallel mode the registry
+// is the one piece of inventory state shared across partitions, so it
+// takes a mutex there; which partition wins an assignment race only
+// decides which dense index a hash gets, and indices never affect
+// observables — they only key flat arrays.
 func (n *Network) hashSlot(h chain.Hash) int32 {
-	if hi, ok := n.hashIdx[h]; ok {
+	if n.par == nil {
+		if hi, ok := n.hashIdx[h]; ok {
+			return hi
+		}
+		hi := n.hashN
+		n.hashN++
+		n.hashIdx[h] = hi
 		return hi
 	}
-	hi := n.hashN
-	n.hashN++
-	n.hashIdx[h] = hi
+	n.hashMu.Lock()
+	hi, ok := n.hashIdx[h]
+	if !ok {
+		hi = n.hashN
+		n.hashN++
+		n.hashIdx[h] = hi
+	}
+	n.hashMu.Unlock()
 	return hi
 }
 
 // findHash returns the dense index for a hash without assigning one.
 func (n *Network) findHash(h chain.Hash) (int32, bool) {
+	if n.par == nil {
+		hi, ok := n.hashIdx[h]
+		return hi, ok
+	}
+	n.hashMu.Lock()
 	hi, ok := n.hashIdx[h]
+	n.hashMu.Unlock()
 	return hi, ok
 }
 
@@ -416,15 +448,47 @@ func (n *Network) findHash(h chain.Hash) (int32, bool) {
 // generation — the width of every node's flat inventory arrays.
 func (n *Network) ActiveHashes() int { return int(n.hashN) }
 
-// link returns (creating on first use) the latency link between two nodes.
+// link returns (creating on first use) the latency link between two
+// nodes. Link parameters are drawn from a keyed source derived from the
+// (seed, endpoint pair), not from a shared sequential stream, so a link's
+// last-mile draw is independent of creation order — the property that
+// lets partitions create links concurrently (and lets serial and parallel
+// runs agree bit for bit). The lock is taken in parallel mode only; the
+// slow path runs once per pair and is pre-warmed for all peer edges when
+// parallel dispatch is enabled.
 func (n *Network) link(a, b *Node) latency.Link {
 	key := mkLinkKey(a.id, b.id)
+	if n.par == nil {
+		if l, ok := n.links[key]; ok {
+			return l
+		}
+		l := n.makeLink(key, a, b)
+		n.links[key] = l
+		return l
+	}
+	n.linksMu.RLock()
+	l, ok := n.links[key]
+	n.linksMu.RUnlock()
+	if ok {
+		return l
+	}
+	n.linksMu.Lock()
+	defer n.linksMu.Unlock()
 	if l, ok := n.links[key]; ok {
 		return l
 	}
-	l := n.model.NewLink(n.linksRng, a.loc.Coord, b.loc.Coord)
+	l = n.makeLink(key, a, b)
 	n.links[key] = l
 	return l
+}
+
+// makeLink draws the link's latency parameters from the pair-keyed source.
+func (n *Network) makeLink(key linkKey, a, b *Node) latency.Link {
+	var ks sim.KeyedSource
+	ks.SeedKey(sim.MixKey3(uint64(n.cfg.Seed)^linkKeyTag, uint64(key.lo), uint64(key.hi)))
+	// Cold path: runs once per node pair at link creation.
+	r := rand.New(&ks)
+	return n.model.NewLink(r, a.loc.Coord, b.loc.Coord)
 }
 
 // BaseRTT returns the congestion-free round-trip time between two nodes —
@@ -455,136 +519,29 @@ type delivery struct {
 
 // runDelivery is the static dispatch target for delivery events: no
 // closure is allocated per message. The payload struct is returned to the
-// pool before the message is handled, so handlers that immediately send
-// (relay) reuse it for their own deliveries.
+// destination's dispatch context before the message is handled, so
+// handlers that immediately send (relay) reuse it for their own
+// deliveries. Cross-partition deliveries migrate the payload from the
+// sender's pool to the receiver's — pool sizes fluctuate but total
+// in-flight count bounds them, so steady state still allocates nothing.
 func runDelivery(a any) {
 	d := a.(*delivery)
 	n, src, dstSlot, dstID, msg := d.net, d.src, d.dstSlot, d.dstID, d.msg
 	d.msg = nil
-	n.deliveryPool = append(n.deliveryPool, d)
-	// The destination may have churned away mid-flight.
+	// The destination may have churned away mid-flight (serial mode only;
+	// parallel mode forbids topology mutation).
 	node := n.nodeAt(dstSlot, dstID)
+	dc := &n.serial
+	if node != nil {
+		dc = node.dctx
+	}
+	dc.deliveryPool = append(dc.deliveryPool, d)
 	if node != nil {
 		node.handleMessage(src, msg)
 	} else {
-		n.stats.Dropped++
+		dc.stats.Dropped++
 	}
-	n.recycleMessage(msg)
-}
-
-// recycleMessage returns a fully handled single-recipient message to its
-// pool. Only types that handlers never retain are pooled: pings and pongs
-// are read for their nonce, GETDATAs and INVs for their item list, and TX
-// and BLOCK wrappers for their payload pointer (the payload itself is
-// shared and immutable; the wrapper is not retained). Everything the
-// topology layer might hold onto stays unpooled.
-func (n *Network) recycleMessage(msg wire.Message) {
-	switch m := msg.(type) {
-	case *wire.MsgPing:
-		m.Pad = nil
-		n.pingPool = append(n.pingPool, m)
-	case *wire.MsgPong:
-		n.pongPool = append(n.pongPool, m)
-	case *wire.MsgGetData:
-		m.Items = m.Items[:0]
-		n.getDataPool = append(n.getDataPool, m)
-	case *wire.MsgInv:
-		m.Items = m.Items[:0]
-		n.invPool = append(n.invPool, m)
-	case *wire.MsgTx:
-		m.Tx = nil
-		n.txMsgPool = append(n.txMsgPool, m)
-	case *wire.MsgBlock:
-		m.Block = nil
-		n.blockMsgPool = append(n.blockMsgPool, m)
-	}
-}
-
-// newPing pops a pooled ping (or allocates) with the shared pad.
-func (n *Network) newPing(nonce uint64, padBytes int) *wire.MsgPing {
-	pad := n.sharedPad(padBytes)
-	if last := len(n.pingPool) - 1; last >= 0 {
-		m := n.pingPool[last]
-		n.pingPool = n.pingPool[:last]
-		m.Nonce, m.Pad = nonce, pad
-		return m
-	}
-	return &wire.MsgPing{Nonce: nonce, Pad: pad}
-}
-
-// newPong pops a pooled pong (or allocates).
-func (n *Network) newPong(nonce uint64) *wire.MsgPong {
-	if last := len(n.pongPool) - 1; last >= 0 {
-		m := n.pongPool[last]
-		n.pongPool = n.pongPool[:last]
-		m.Nonce = nonce
-		return m
-	}
-	return &wire.MsgPong{Nonce: nonce}
-}
-
-// newGetData pops a pooled, zero-length GETDATA (or allocates); callers
-// append their wanted items to Items.
-func (n *Network) newGetData() *wire.MsgGetData {
-	if last := len(n.getDataPool) - 1; last >= 0 {
-		m := n.getDataPool[last]
-		n.getDataPool = n.getDataPool[:last]
-		return m
-	}
-	return &wire.MsgGetData{}
-}
-
-// newInv pops a pooled single-item INV (or allocates).
-func (n *Network) newInv(t wire.InvType, h chain.Hash) *wire.MsgInv {
-	if last := len(n.invPool) - 1; last >= 0 {
-		m := n.invPool[last]
-		n.invPool = n.invPool[:last]
-		m.Items = append(m.Items, wire.InvVect{Type: t, Hash: h})
-		return m
-	}
-	return &wire.MsgInv{Items: []wire.InvVect{{Type: t, Hash: h}}}
-}
-
-// newTxMsg pops a pooled TX wrapper (or allocates).
-func (n *Network) newTxMsg(tx *chain.Tx) *wire.MsgTx {
-	if last := len(n.txMsgPool) - 1; last >= 0 {
-		m := n.txMsgPool[last]
-		n.txMsgPool = n.txMsgPool[:last]
-		m.Tx = tx
-		return m
-	}
-	return &wire.MsgTx{Tx: tx}
-}
-
-// newBlockMsg pops a pooled BLOCK wrapper (or allocates).
-func (n *Network) newBlockMsg(b *chain.Block) *wire.MsgBlock {
-	if last := len(n.blockMsgPool) - 1; last >= 0 {
-		m := n.blockMsgPool[last]
-		n.blockMsgPool = n.blockMsgPool[:last]
-		m.Block = b
-		return m
-	}
-	return &wire.MsgBlock{Block: b}
-}
-
-// sharedPad returns a zeroed scratch slice of the given size, grown once
-// and shared by every ping in flight (ping padding is write-never data).
-func (n *Network) sharedPad(size int) []byte {
-	if size > len(n.pingPad) {
-		n.pingPad = make([]byte, size)
-	}
-	return n.pingPad[:size]
-}
-
-// newDelivery pops a pooled payload (or allocates on first use).
-func (n *Network) newDelivery(src NodeID, dstSlot int32, dstID NodeID, msg wire.Message) *delivery {
-	if last := len(n.deliveryPool) - 1; last >= 0 {
-		d := n.deliveryPool[last]
-		n.deliveryPool = n.deliveryPool[:last]
-		d.src, d.dstSlot, d.dstID, d.msg = src, dstSlot, dstID, msg
-		return d
-	}
-	return &delivery{net: n, src: src, dstSlot: dstSlot, dstID: dstID, msg: msg}
+	dc.recycleMessage(msg)
 }
 
 // deliver schedules msg to arrive at dst after serialization on the
@@ -593,21 +550,39 @@ func (n *Network) newDelivery(src NodeID, dstSlot int32, dstID NodeID, msg wire.
 // and queuing terms of eqs. 2 and 4 applied to all traffic, not just
 // pings) — this is what makes announcing to many peers progressively
 // slower for the later ones.
+//
+// Every random draw here is keyed by (seed, sender, per-sender send
+// sequence) rather than pulled from a shared sequential stream: the loss
+// coin and the delay sample for a given send are the same values no
+// matter what order sends execute in, which is what makes the parallel
+// kernel's per-partition dispatch bit-identical to serial. deliver always
+// runs in the sending node's dispatch context (handlers execute in their
+// own partition); a cross-partition destination is staged at the window
+// barrier with (sender, sendSeq) as the canonical tie-break key.
 func (n *Network) deliver(src, dst *Node, msg wire.Message) {
+	dc := src.dctx
 	size := wire.EncodedSize(msg)
-	n.stats.count(msg.Command(), size)
-	if n.cfg.LossProb > 0 && n.lossRng.Float64() < n.cfg.LossProb {
-		n.stats.Lost++
+	dc.stats.count(msg.Command(), size)
+	src.sendSeq++
+	dc.ksrc.SeedKey(sim.MixKey3(uint64(n.cfg.Seed)^sendKeyTag, uint64(src.id), src.sendSeq))
+	if n.cfg.LossProb > 0 && dc.krand.Float64() < n.cfg.LossProb {
+		dc.stats.Lost++
 		return
 	}
 	txTime := time.Duration(float64(size) / n.cfg.Latency.RateBytesPerSec * float64(time.Second))
-	start := n.sched.Now()
+	now := dc.sched.Now()
+	start := now
 	if src.uplinkFreeAt > start {
 		start = src.uplinkFreeAt
 	}
 	src.uplinkFreeAt = start + txTime
-	delay := (start + txTime - n.sched.Now()) + n.link(src, dst).SampleOneWay(n.deliveryRng)
-	n.sched.AfterCall(delay, runDelivery, n.newDelivery(src.id, dst.slot, dst.id, msg))
+	delay := (start + txTime - now) + n.link(src, dst).SampleOneWay(dc.krand)
+	if ddc := dst.dctx; ddc == dc {
+		dc.sched.AfterCall(delay, runDelivery, dc.newDelivery(n, src.id, dst.slot, dst.id, msg))
+	} else {
+		n.par.ws.Stage(dc.part, now+delay, ddc.part,
+			uint64(src.id), src.sendSeq, runDelivery, dc.newDelivery(n, src.id, dst.slot, dst.id, msg))
+	}
 }
 
 // send looks up both endpoints and delivers; it silently drops if either
@@ -615,12 +590,12 @@ func (n *Network) deliver(src, dst *Node, msg wire.Message) {
 func (n *Network) send(from NodeID, to NodeID, msg wire.Message) {
 	src, ok := n.nodes[from]
 	if !ok {
-		n.stats.Dropped++
+		n.serial.stats.Dropped++
 		return
 	}
 	dst, ok := n.nodes[to]
 	if !ok {
-		n.stats.Dropped++
+		n.serial.stats.Dropped++
 		return
 	}
 	n.deliver(src, dst, msg)
@@ -652,6 +627,9 @@ func (n *Network) ConnectUnbounded(a, b NodeID) error {
 }
 
 func (n *Network) connect(a, b NodeID, enforceOutbound bool) error {
+	if n.par != nil {
+		return errors.New("p2p: connect while parallel dispatch enabled")
+	}
 	if a == b {
 		return ErrSelfConnect
 	}
@@ -675,11 +653,12 @@ func (n *Network) connect(a, b NodeID, enforceOutbound bool) error {
 	if nb.nPeers >= n.cfg.MaxPeers {
 		return ErrPeerCapacity
 	}
-	// Charge the handshake: version + verack each way.
-	n.stats.count(wire.CmdVersion, versionSize)
-	n.stats.count(wire.CmdVerack, verackSize)
-	n.stats.count(wire.CmdVersion, versionSize)
-	n.stats.count(wire.CmdVerack, verackSize)
+	// Charge the handshake: version + verack each way. Connections are
+	// only made from the serial (topology) phase, never mid-window.
+	n.serial.stats.count(wire.CmdVersion, versionSize)
+	n.serial.stats.count(wire.CmdVerack, verackSize)
+	n.serial.stats.count(wire.CmdVersion, versionSize)
+	n.serial.stats.count(wire.CmdVerack, verackSize)
 	na.addPeer(nb, true)
 	nb.addPeer(na, false)
 	return nil
@@ -705,6 +684,9 @@ func (n *Network) Disconnect(a, b NodeID) {
 
 // teardown removes the edge from both sides and fires OnDisconnect.
 func (n *Network) teardown(na *Node, b NodeID) {
+	if n.par != nil {
+		panic("p2p: disconnect while parallel dispatch enabled")
+	}
 	na.removePeer(b)
 	if nb, ok := n.nodes[b]; ok {
 		nb.removePeer(na.id)
@@ -724,32 +706,24 @@ type verifyJob struct {
 	block *chain.Block
 }
 
-// runVerify is the static dispatch target for verification events.
+// runVerify is the static dispatch target for verification events. Verify
+// jobs are scheduled on the verifying node's own partition, so the pool
+// round-trips through a single dispatch context.
 func runVerify(a any) {
 	j := a.(*verifyJob)
 	n, nodeID, from, tx, block := j.net, j.node, j.from, j.tx, j.block
 	j.tx, j.block = nil, nil
-	n.verifyPool = append(n.verifyPool, j)
 	node, ok := n.nodes[nodeID]
 	if !ok {
+		n.serial.verifyPool = append(n.serial.verifyPool, j)
 		return
 	}
+	node.dctx.verifyPool = append(node.dctx.verifyPool, j)
 	if tx != nil {
 		_ = node.acceptTx(tx, from) // invalid txs die here, by design
 		return
 	}
 	_ = node.acceptBlock(block, from)
-}
-
-// newVerifyJob pops a pooled payload (or allocates on first use).
-func (n *Network) newVerifyJob(node, from NodeID, tx *chain.Tx, block *chain.Block) *verifyJob {
-	if last := len(n.verifyPool) - 1; last >= 0 {
-		j := n.verifyPool[last]
-		n.verifyPool = n.verifyPool[:last]
-		j.node, j.from, j.tx, j.block = node, from, tx, block
-		return j
-	}
-	return &verifyJob{net: n, node: node, from: from, tx: tx, block: block}
 }
 
 // probeJob is the pooled payload behind one scheduled ProbeN ping: the
@@ -764,27 +738,18 @@ type probeJob struct {
 }
 
 // runProbe is the static dispatch target for ProbeN's spaced pings.
+// Probe jobs are scheduled on the probing node's own partition.
 func runProbe(a any) {
 	j := a.(*probeJob)
 	n, slot, id, target, onPong := j.net, j.slot, j.id, j.target, j.onPong
 	j.onPong = nil
-	n.probePool = append(n.probePool, j)
 	node := n.nodeAt(slot, id)
 	if node == nil {
+		n.serial.probePool = append(n.serial.probePool, j)
 		return // prober churned out; the probe is simply lost
 	}
+	node.dctx.probePool = append(node.dctx.probePool, j)
 	node.Probe(target, onPong)
-}
-
-// newProbeJob pops a pooled payload (or allocates on first use).
-func (n *Network) newProbeJob(slot int32, id, target NodeID, onPong func(time.Duration)) *probeJob {
-	if last := len(n.probePool) - 1; last >= 0 {
-		j := n.probePool[last]
-		n.probePool = n.probePool[:last]
-		j.slot, j.id, j.target, j.onPong = slot, id, target, onPong
-		return j
-	}
-	return &probeJob{net: n, slot: slot, id: id, target: target, onPong: onPong}
 }
 
 // ResetInventory clears every node's seen-transaction state. Measurement
@@ -794,6 +759,12 @@ func (n *Network) newProbeJob(slot int32, id, target NodeID, onPong func(time.Du
 // work at all outside ValidationFull mode, whose mempools are real
 // containers that must be drained.
 func (n *Network) ResetInventory() {
+	if n.par != nil {
+		// Between-runs housekeeping for parallel dispatch: even pooled
+		// payloads back out across partitions so systematic migration
+		// drift (see rebalancePool) cannot force steady-state allocation.
+		n.par.rebalancePools()
+	}
 	n.invGen++
 	if n.invGen == 0 {
 		// Generation counter wrapped (after ~4 billion resets): stale
@@ -843,17 +814,45 @@ func (n *Network) StartKeepalive() *sim.Ticker {
 	})
 }
 
-// Run drains the event queue.
-func (n *Network) Run() error { return n.sched.Run() }
+// Run drains the event queue. Unsupported in parallel mode, which needs
+// a finite horizon to window against — use RunUntil there.
+func (n *Network) Run() error {
+	if n.par != nil {
+		return errors.New("p2p: Run unsupported in parallel mode; use RunUntil")
+	}
+	return n.sched.Run()
+}
+
+// StopRun halts the current run from inside an event callback: the serial
+// scheduler stops after the running event; the parallel kernel stops at
+// the next window barrier (conservative windows cannot be interrupted
+// without desynchronising partition clocks — the few extra events that
+// complete the window were independent of the stop decision by the
+// lookahead argument, and a subsequent RunUntil drains identically either
+// way). Safe to call from any partition's worker.
+func (n *Network) StopRun() {
+	if n.par != nil {
+		n.par.ws.Stop()
+		return
+	}
+	n.sched.Stop()
+}
 
 // RunUntil processes events up to the virtual-time limit, polling ctx so
 // a long run — a large BCBPT bootstrap, a deep measurement campaign — is
 // promptly cancellable. On cancellation it returns an error wrapping
 // ctx.Err() with the virtual time reached; pending events stay queued.
+// In parallel mode the same contract is honoured by the window kernel.
 func (n *Network) RunUntil(ctx context.Context, limit sim.Time) error {
-	if err := n.sched.RunUntilCtx(ctx, limit); err != nil {
+	var err error
+	if n.par != nil {
+		err = n.par.ws.RunUntilCtx(ctx, limit)
+	} else {
+		err = n.sched.RunUntilCtx(ctx, limit)
+	}
+	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return fmt.Errorf("p2p: run interrupted at t=%v: %w", n.sched.Now(), err)
+			return fmt.Errorf("p2p: run interrupted at t=%v: %w", n.Now(), err)
 		}
 		return err
 	}
@@ -867,6 +866,16 @@ func (n *Network) RunUntil(ctx context.Context, limit sim.Time) error {
 // half-bootstrapped network cannot keep state alive or resume by
 // accident. Close is idempotent; node state stays readable.
 func (n *Network) Close() {
+	if n.par != nil {
+		n.par.ws.Clear()
+		n.par.ws.Close()
+		for _, nd := range n.slots {
+			if nd != nil {
+				nd.dctx = &n.serial
+			}
+		}
+		n.par = nil
+	}
 	n.sched.Stop()
 	n.sched.Clear()
 	n.OnTxFirstSeen = nil

@@ -62,6 +62,10 @@ type ReferenceNode struct {
 
 	uplinkFreeAt sim.Time
 
+	// sendSeq counts sends by this node; it keys the per-send delivery
+	// RNG, mirroring the flat Node exactly.
+	sendSeq uint64
+
 	pending   map[uint64]refPendingPing
 	nextNonce uint64
 
@@ -412,9 +416,11 @@ type ReferenceNetwork struct {
 	nextID NodeID
 	links  map[linkKey]latency.Link
 
-	lossRng     *rand.Rand
-	deliveryRng *rand.Rand
-	linksRng    *rand.Rand
+	// Keyed delivery RNG — the exact mirror of the flat network's
+	// per-send keying (see Network.deliver), so the two stay comparable
+	// draw for draw.
+	ksrc  sim.KeyedSource
+	krand *rand.Rand
 
 	pingPad []byte
 
@@ -448,17 +454,16 @@ func NewReferenceNetwork(cfg Config) (*ReferenceNetwork, error) {
 		return nil, err
 	}
 	streams := sim.NewStreams(cfg.Seed)
-	return &ReferenceNetwork{
-		cfg:         cfg,
-		sched:       sim.NewScheduler(),
-		streams:     streams,
-		model:       model,
-		nodes:       make(map[NodeID]*ReferenceNode),
-		links:       make(map[linkKey]latency.Link),
-		lossRng:     streams.Stream("loss"),
-		deliveryRng: streams.Stream("delivery"),
-		linksRng:    streams.Stream("links"),
-	}, nil
+	n := &ReferenceNetwork{
+		cfg:     cfg,
+		sched:   sim.NewScheduler(),
+		streams: streams,
+		model:   model,
+		nodes:   make(map[NodeID]*ReferenceNode),
+		links:   make(map[linkKey]latency.Link),
+	}
+	n.krand = rand.New(&n.ksrc)
+	return n, nil
 }
 
 // Scheduler exposes the simulation clock and event queue.
@@ -539,7 +544,10 @@ func (n *ReferenceNetwork) link(a, b *ReferenceNode) latency.Link {
 	if l, ok := n.links[key]; ok {
 		return l
 	}
-	l := n.model.NewLink(n.linksRng, a.loc.Coord, b.loc.Coord)
+	// Pair-keyed link parameters, mirroring Network.makeLink exactly.
+	var ks sim.KeyedSource
+	ks.SeedKey(sim.MixKey3(uint64(n.cfg.Seed)^linkKeyTag, uint64(key.lo), uint64(key.hi)))
+	l := n.model.NewLink(rand.New(&ks), a.loc.Coord, b.loc.Coord)
 	n.links[key] = l
 	return l
 }
@@ -573,7 +581,10 @@ func (n *ReferenceNetwork) sharedPad(size int) []byte {
 func (n *ReferenceNetwork) deliver(src, dst *ReferenceNode, msg wire.Message) {
 	size := wire.EncodedSize(msg)
 	n.stats.count(msg.Command(), size)
-	if n.cfg.LossProb > 0 && n.lossRng.Float64() < n.cfg.LossProb {
+	// Per-send keyed draws, mirroring Network.deliver exactly.
+	src.sendSeq++
+	n.ksrc.SeedKey(sim.MixKey3(uint64(n.cfg.Seed)^sendKeyTag, uint64(src.id), src.sendSeq))
+	if n.cfg.LossProb > 0 && n.krand.Float64() < n.cfg.LossProb {
 		n.stats.Lost++
 		return
 	}
@@ -583,7 +594,7 @@ func (n *ReferenceNetwork) deliver(src, dst *ReferenceNode, msg wire.Message) {
 		start = src.uplinkFreeAt
 	}
 	src.uplinkFreeAt = start + txTime
-	delay := (start + txTime - n.sched.Now()) + n.link(src, dst).SampleOneWay(n.deliveryRng)
+	delay := (start + txTime - n.sched.Now()) + n.link(src, dst).SampleOneWay(n.krand)
 	n.sched.AfterCall(delay, runRefDelivery, &refDelivery{net: n, src: src.id, dst: dst.id, msg: msg})
 }
 

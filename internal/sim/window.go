@@ -1,0 +1,366 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Conservative parallel dispatch (Chandy–Misra–Bryant lookahead windows).
+//
+// A WindowScheduler shards one logical simulation across P partition
+// Schedulers, each owning a disjoint set of simulation entities. The caller
+// certifies a lookahead bound L: any event executed in partition i may
+// schedule into another partition j only at a timestamp at least L beyond
+// the executing partition's clock (for the p2p network this is the minimum
+// cross-partition link latency floor). Under that bound the kernel runs
+// windows: with T the earliest pending timestamp across partitions, every
+// event in [T, T+L) is independent of every concurrently executing event in
+// any other partition, so all partitions dispatch their window
+// concurrently. Cross-partition schedules made during a window are staged
+// in per-partition outboxes and committed at the window barrier in
+// canonical (at, key1, key2) order, so the destination partition's
+// (at, seq) dispatch order — and therefore every observable — is
+// independent of goroutine interleaving.
+//
+// Determinism contract: each partition's dispatch sequence is bit-identical
+// to the projection of the equivalent serial run onto that partition,
+// provided (a) every draw of randomness inside events is keyed (see
+// KeyedSource) rather than drawn from a shared sequential stream, and
+// (b) no two events in different source partitions stage into the same
+// destination partition at exactly equal (at, key1, key2). The p2p layer
+// keys by (sender, send sequence) and samples continuous delays, making
+// exact collisions a measure-zero event.
+//
+// Allocation discipline matches the serial kernel: the worker pool is
+// persistent (started once, woken by tokens on a channel), outboxes and the
+// merge scratch are reused across windows, and the sort comparator is a
+// package function, so steady-state windows allocate nothing.
+
+// stagedEvent is one cross-partition schedule buffered until the window
+// barrier. key1/key2 order ties at equal timestamps canonically (the p2p
+// layer passes sender ID and per-sender send sequence).
+type stagedEvent struct {
+	at   Time
+	key1 uint64
+	key2 uint64
+	dst  int32
+	call func(any)
+	arg  any
+}
+
+// cmpStaged is the canonical commit order: (at, key1, key2, dst).
+func cmpStaged(a, b stagedEvent) int {
+	switch {
+	case a.at != b.at:
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	case a.key1 != b.key1:
+		if a.key1 < b.key1 {
+			return -1
+		}
+		return 1
+	case a.key2 != b.key2:
+		if a.key2 < b.key2 {
+			return -1
+		}
+		return 1
+	case a.dst != b.dst:
+		if a.dst < b.dst {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// WindowScheduler coordinates P partition Schedulers through conservative
+// lookahead windows. Construct with NewWindowScheduler; drive with
+// RunUntilCtx from a single goroutine. Stage may be called from the worker
+// goroutine currently executing the source partition's window (or from the
+// driving goroutine between runs); all other methods belong to the driving
+// goroutine only.
+type WindowScheduler struct {
+	parts     []*Scheduler
+	lookahead time.Duration
+	workers   int
+
+	outbox [][]stagedEvent // staged cross-partition schedules, by source
+	merge  []stagedEvent   // reusable commit scratch
+
+	// Per-window state published to workers before tokens are sent and
+	// read back after the barrier.
+	horizon Time
+	runCtx  context.Context
+	errs    []error
+
+	stopReq atomic.Bool  // Stop() latch, observed at the next barrier
+	next    atomic.Int64 // partition claim counter for the current window
+	wg      sync.WaitGroup
+	start   chan struct{} // one token wakes one worker for one window
+	closed  bool
+}
+
+// NewWindowScheduler creates P fresh partition Schedulers (clocks at zero)
+// and starts a persistent pool of min(workers, parts) worker goroutines.
+// lookahead must be positive: it is the certified minimum cross-partition
+// scheduling distance.
+func NewWindowScheduler(parts, workers int, lookahead time.Duration) (*WindowScheduler, error) {
+	if parts < 1 {
+		return nil, fmt.Errorf("sim: window scheduler needs at least 1 partition, got %d", parts)
+	}
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("sim: window scheduler needs positive lookahead, got %v", lookahead)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > parts {
+		workers = parts
+	}
+	w := &WindowScheduler{
+		parts:     make([]*Scheduler, parts),
+		lookahead: lookahead,
+		workers:   workers,
+		outbox:    make([][]stagedEvent, parts),
+		errs:      make([]error, parts),
+		start:     make(chan struct{}),
+	}
+	for i := range w.parts {
+		w.parts[i] = NewScheduler()
+	}
+	for i := 0; i < workers; i++ {
+		go w.worker()
+	}
+	return w, nil
+}
+
+// Part returns partition i's Scheduler. Callers schedule partition-local
+// events directly on it; cross-partition schedules must go through Stage.
+func (w *WindowScheduler) Part(i int) *Scheduler { return w.parts[i] }
+
+// NumParts returns the partition count.
+func (w *WindowScheduler) NumParts() int { return len(w.parts) }
+
+// Workers returns the worker pool size (clamped to the partition count).
+func (w *WindowScheduler) Workers() int { return w.workers }
+
+// Lookahead returns the certified lookahead bound.
+func (w *WindowScheduler) Lookahead() time.Duration { return w.lookahead }
+
+// Now returns the minimum partition clock. Between RunUntilCtx calls all
+// partition clocks are equal, so this is the simulation time.
+func (w *WindowScheduler) Now() Time {
+	min := w.parts[0].Now()
+	for _, p := range w.parts[1:] {
+		if p.Now() < min {
+			min = p.Now()
+		}
+	}
+	return min
+}
+
+// Len returns the number of pending events across all partitions,
+// including staged cross-partition events not yet committed.
+func (w *WindowScheduler) Len() int {
+	n := 0
+	for _, p := range w.parts {
+		n += p.Len()
+	}
+	for _, ob := range w.outbox {
+		n += len(ob)
+	}
+	return n
+}
+
+// Executed returns the total events dispatched across all partitions.
+func (w *WindowScheduler) Executed() uint64 {
+	var n uint64
+	for _, p := range w.parts {
+		n += p.Executed()
+	}
+	return n
+}
+
+// Stop requests a halt: the current window completes (conservative windows
+// cannot be interrupted without losing clock synchronization) and the next
+// barrier returns ErrStopped. Mirrors Scheduler.Stop; safe to call from
+// event callbacks in any partition.
+func (w *WindowScheduler) Stop() { w.stopReq.Store(true) }
+
+// Stage buffers a cross-partition schedule: call(arg) will run in
+// partition dst at absolute time at, committed at the next window barrier.
+// (key1, key2) canonically orders commits that share a timestamp. The
+// caller must be the worker currently executing partition src's window, or
+// the driving goroutine between runs. at must respect the lookahead bound
+// (at least src's clock + lookahead); violations are detected at commit.
+func (w *WindowScheduler) Stage(src int32, at Time, dst int32, key1, key2 uint64, call func(any), arg any) {
+	w.outbox[src] = append(w.outbox[src], stagedEvent{
+		at:   at,
+		key1: key1,
+		key2: key2,
+		dst:  dst,
+		call: call,
+		arg:  arg,
+	})
+}
+
+// commit merges all outboxes in canonical order into the destination
+// partition heaps. Runs at the window barrier (driver goroutine only).
+func (w *WindowScheduler) commit() {
+	total := 0
+	for _, ob := range w.outbox {
+		total += len(ob)
+	}
+	if total == 0 {
+		return
+	}
+	w.merge = w.merge[:0]
+	for i, ob := range w.outbox {
+		w.merge = append(w.merge, ob...)
+		for j := range ob {
+			ob[j].call = nil
+			ob[j].arg = nil
+		}
+		w.outbox[i] = ob[:0]
+	}
+	slices.SortFunc(w.merge, cmpStaged)
+	for i := range w.merge {
+		e := &w.merge[i]
+		p := w.parts[e.dst]
+		if e.at < p.Now() {
+			panic(fmt.Sprintf("sim: window commit at %v before partition %d clock %v — lookahead bound violated",
+				e.at, e.dst, p.Now()))
+		}
+		p.AtCall(e.at, e.call, e.arg)
+		e.call = nil
+		e.arg = nil
+	}
+}
+
+// nextEvent returns the earliest pending timestamp across partitions.
+func (w *WindowScheduler) nextEvent() (Time, bool) {
+	var min Time
+	found := false
+	for _, p := range w.parts {
+		if at, ok := p.NextEventAt(); ok && (!found || at < min) {
+			min, found = at, true
+		}
+	}
+	return min, found
+}
+
+// worker is one pool goroutine: each token on start claims partitions off
+// the shared counter and runs their windows, then hits the barrier.
+func (w *WindowScheduler) worker() {
+	for range w.start {
+		for {
+			i := int(w.next.Add(1) - 1)
+			if i >= len(w.parts) {
+				break
+			}
+			p := w.parts[i]
+			if w.horizon >= p.Now() {
+				if err := p.RunUntilCtx(w.runCtx, w.horizon); err != nil {
+					w.errs[i] = err
+				}
+			}
+		}
+		w.wg.Done()
+	}
+}
+
+// RunUntilCtx dispatches all events with timestamps <= limit in
+// conservative windows, then advances every partition clock to limit.
+// Mirrors Scheduler.RunUntilCtx semantics: the context is polled at least
+// once per window (so cancellation is prompt even when event counts per
+// window are tiny), a done context stops dispatch with the clocks wherever
+// the window barrier left them, and Stop makes it return ErrStopped at the
+// next barrier with pending events retained (the run is resumable, exactly
+// like the serial kernel's stop-then-drain idiom). After a context
+// cancellation the partition clocks may be unsynchronized; such a
+// simulation must be discarded, not resumed.
+func (w *WindowScheduler) RunUntilCtx(ctx context.Context, limit Time) error {
+	if now := w.Now(); limit < now {
+		return fmt.Errorf("sim: RunUntil limit %v before now %v", limit, now)
+	}
+	w.stopReq.Store(false)
+	for {
+		w.commit()
+		if w.stopReq.Load() {
+			return ErrStopped
+		}
+		t, ok := w.nextEvent()
+		if !ok || t > limit {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Window [t, t+lookahead), i.e. inclusive horizon t+lookahead-1,
+		// clamped to limit and guarded against overflow.
+		horizon := t + w.lookahead - 1
+		if horizon < t || horizon > limit {
+			horizon = limit
+		}
+		w.horizon = horizon
+		w.runCtx = ctx
+		w.next.Store(0)
+		w.wg.Add(w.workers)
+		for i := 0; i < w.workers; i++ {
+			w.start <- struct{}{}
+		}
+		w.wg.Wait()
+		var ferr error
+		for i := range w.errs {
+			if w.errs[i] != nil && ferr == nil {
+				ferr = w.errs[i]
+			}
+			w.errs[i] = nil
+		}
+		if ferr != nil {
+			return ferr
+		}
+	}
+	for _, p := range w.parts {
+		if p.Now() < limit {
+			if err := p.RunUntilCtx(context.Background(), limit); err != nil {
+				return err
+			}
+		}
+	}
+	if w.stopReq.Load() {
+		return ErrStopped
+	}
+	return nil
+}
+
+// Clear drops every pending event — committed and staged — without running
+// it. Clocks do not move. Mirrors Scheduler.Clear.
+func (w *WindowScheduler) Clear() {
+	for _, p := range w.parts {
+		p.Clear()
+	}
+	for i, ob := range w.outbox {
+		for j := range ob {
+			ob[j].call = nil
+			ob[j].arg = nil
+		}
+		w.outbox[i] = ob[:0]
+	}
+}
+
+// Close shuts down the worker pool. The WindowScheduler must not be used
+// after Close; partition Schedulers remain readable.
+func (w *WindowScheduler) Close() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	close(w.start)
+}

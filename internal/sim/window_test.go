@@ -1,0 +1,326 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// --- differential testing of window dispatch against the serial kernel ---
+
+// The generative workload mirrors how the p2p layer uses the window
+// scheduler: events are owned by partitions, every draw of randomness is
+// keyed by the event's identity (not by dispatch order), same-partition
+// follow-ups may land at any delay >= 0, and cross-partition follow-ups
+// land at least `lookahead` ahead. Replaying the same workload on one
+// serial Scheduler gives the oracle: each partition's dispatch sequence
+// must be bit-identical to the serial run's projection onto it.
+
+type wtrace struct {
+	id uint64
+	at Time
+}
+
+type windowWorld struct {
+	seed      uint64
+	parts     int
+	lookahead time.Duration
+	traces    [][]wtrace
+	// schedule plants a follow-up event: the serial replay schedules on
+	// the one shared kernel, the parallel replay routes same-partition
+	// events to the partition heap and cross-partition events through
+	// Stage.
+	schedule func(srcPart int32, at Time, dst int32, id uint64, seq uint64, fuel int)
+}
+
+// fire is the event body shared by both replays. All randomness is keyed
+// by (world seed, event id), so the follow-up tree is a pure function of
+// the event's identity — the same property the p2p layer's keyed RNG
+// provides — and both replays grow identical trees.
+func (w *windowWorld) fire(part int32, id uint64, fuel int, now Time) {
+	w.traces[part] = append(w.traces[part], wtrace{id: id, at: now})
+	if fuel <= 0 {
+		return
+	}
+	var ks KeyedSource
+	ks.SeedKey(MixKey2(w.seed, id))
+	children := int(ks.Uint64() % 3)
+	for c := 0; c < children; c++ {
+		childID := MixKey3(w.seed, id, uint64(c)+1)
+		u := ks.Uint64()
+		dst := part
+		var at Time
+		if u%4 == 0 && w.parts > 1 {
+			// Cross-partition: at least lookahead ahead, as the
+			// conservative contract requires.
+			dst = int32(ks.Uint64() % uint64(w.parts))
+			at = now + Time(w.lookahead) + Time(u%uint64(5*w.lookahead))
+		} else {
+			at = now + Time(u%uint64(2*w.lookahead))
+		}
+		w.schedule(part, at, dst, childID, uint64(c)+1, fuel-1)
+	}
+}
+
+func (w *windowWorld) reset(parts int) {
+	w.parts = parts
+	w.traces = make([][]wtrace, parts)
+}
+
+// replayWindowSerial runs the workload on one serial Scheduler.
+func replayWindowSerial(seed uint64, parts, roots, fuel int, lookahead time.Duration) [][]wtrace {
+	w := &windowWorld{seed: seed, lookahead: lookahead}
+	w.reset(parts)
+	s := NewScheduler()
+	w.schedule = func(_ int32, at Time, dst int32, id uint64, _ uint64, fuel int) {
+		f := fuel
+		d, i := dst, id
+		s.AtCall(at, func(any) { w.fire(d, i, f, s.Now()) }, nil)
+	}
+	for r := 0; r < roots; r++ {
+		rootID := MixKey2(seed, uint64(r)+0x1000)
+		w.schedule(0, Time(r), int32(r%parts), rootID, 0, fuel)
+	}
+	if err := s.RunUntilCtx(context.Background(), 1<<50); err != nil {
+		panic(err)
+	}
+	return w.traces
+}
+
+// replayWindowParallel runs the same workload on a WindowScheduler.
+func replayWindowParallel(seed uint64, parts, roots, fuel, workers int, lookahead time.Duration) ([][]wtrace, error) {
+	w := &windowWorld{seed: seed, lookahead: lookahead}
+	w.reset(parts)
+	ws, err := NewWindowScheduler(parts, workers, lookahead)
+	if err != nil {
+		return nil, err
+	}
+	defer ws.Close()
+	w.schedule = func(src int32, at Time, dst int32, id uint64, seq uint64, fuel int) {
+		f := fuel
+		d, i := dst, id
+		call := func(any) { w.fire(d, i, f, ws.Part(int(d)).Now()) }
+		if src == dst {
+			ws.Part(int(src)).AtCall(at, call, nil)
+		} else {
+			ws.Stage(src, at, dst, id, seq, call, nil)
+		}
+	}
+	for r := 0; r < roots; r++ {
+		rootID := MixKey2(seed, uint64(r)+0x1000)
+		// Roots land in their own partitions before the run: schedule
+		// directly on the destination heap (src == dst).
+		dst := int32(r % parts)
+		w.schedule(dst, Time(r), dst, rootID, 0, fuel)
+	}
+	if err := ws.RunUntilCtx(context.Background(), 1<<50); err != nil {
+		return nil, err
+	}
+	return w.traces, nil
+}
+
+// hasAtCollision reports whether any partition dispatched two events at
+// the same timestamp. Equal-time dispatches within one partition may
+// legally order differently between the serial and window kernels when
+// one of them arrived cross-partition (commit order vs schedule order),
+// so differential runs skip those inputs; with delays drawn from a ~10µs
+// range collisions are rare.
+func hasAtCollision(traces [][]wtrace) bool {
+	for _, tr := range traces {
+		seen := make(map[Time]bool, len(tr))
+		for _, e := range tr {
+			if seen[e.at] {
+				return true
+			}
+			seen[e.at] = true
+		}
+	}
+	return false
+}
+
+func diffWindowTraces(t *testing.T, want, got [][]wtrace, workers int) {
+	t.Helper()
+	for p := range want {
+		if len(got[p]) != len(want[p]) {
+			t.Fatalf("workers=%d partition %d dispatched %d events, serial %d",
+				workers, p, len(got[p]), len(want[p]))
+		}
+		for i := range want[p] {
+			if got[p][i] != want[p][i] {
+				t.Fatalf("workers=%d partition %d dispatch %d = %+v, serial %+v",
+					workers, p, i, got[p][i], want[p][i])
+			}
+		}
+	}
+}
+
+// TestWindowMatchesSerial replays randomized keyed workloads on the
+// window scheduler at several worker counts and requires every
+// partition's dispatch sequence to be bit-identical to the serial
+// kernel's projection.
+func TestWindowMatchesSerial(t *testing.T) {
+	const lookahead = 2 * time.Microsecond
+	for round := 0; round < 40; round++ {
+		seed := Mix64(uint64(round) + 7)
+		parts := 2 + int(seed%5)
+		roots := 2 + int((seed>>8)%6)
+		fuel := 4 + int((seed>>16)%4)
+		want := replayWindowSerial(seed, parts, roots, fuel, lookahead)
+		if hasAtCollision(want) {
+			continue
+		}
+		for _, workers := range []int{1, 2, 4} {
+			got, err := replayWindowParallel(seed, parts, roots, fuel, workers, lookahead)
+			if err != nil {
+				t.Fatalf("round %d workers %d: %v", round, workers, err)
+			}
+			diffWindowTraces(t, want, got, workers)
+		}
+	}
+}
+
+// FuzzParallelMatchesSerial is the same differential check driven by the
+// fuzzer: the input seeds the workload shape.
+func FuzzParallelMatchesSerial(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(2), uint8(5), uint8(2))
+	f.Add(uint64(99), uint8(6), uint8(4), uint8(6), uint8(4))
+	f.Fuzz(func(t *testing.T, seed uint64, parts, roots, fuel, workers uint8) {
+		p := 1 + int(parts%8)
+		r := 1 + int(roots%8)
+		fl := int(fuel % 8)
+		wk := 1 + int(workers%8)
+		const lookahead = 2 * time.Microsecond
+		want := replayWindowSerial(seed, p, r, fl, lookahead)
+		if hasAtCollision(want) {
+			t.Skip("equal-time dispatch in one partition: cross-kernel order is unspecified")
+		}
+		got, err := replayWindowParallel(seed, p, r, fl, wk, lookahead)
+		if err != nil {
+			t.Fatalf("parallel replay: %v", err)
+		}
+		diffWindowTraces(t, want, got, wk)
+	})
+}
+
+// --- window-scheduler behaviour ---
+
+// TestWindowRunUntilCtxCancelMidRun is the regression test for per-window
+// context polling: a workload whose events arrive one per window never
+// crosses the serial kernel's per-1024-events poll threshold inside any
+// single partition run, so cancellation must be observed at the window
+// boundary — not after the whole horizon drains.
+func TestWindowRunUntilCtxCancelMidRun(t *testing.T) {
+	const lookahead = time.Millisecond
+	ws, err := NewWindowScheduler(2, 2, lookahead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	fired := 0
+	var chain func(any)
+	chain = func(any) {
+		fired++
+		if fired == 3 {
+			cancel()
+		}
+		// One event per window: the next link sits beyond the horizon.
+		p := ws.Part(0)
+		p.AtCall(p.Now()+Time(2*lookahead), chain, nil)
+	}
+	ws.Part(0).AtCall(0, chain, nil)
+
+	err = ws.RunUntilCtx(ctx, Time(1000*lookahead))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunUntilCtx = %v, want context.Canceled", err)
+	}
+	if fired > 5 {
+		t.Fatalf("dispatched %d events after cancellation; want the run cut at the next window", fired)
+	}
+	if ws.Len() == 0 {
+		t.Fatal("cancellation drained the queue; pending chain link should remain")
+	}
+}
+
+// TestWindowStopReturnsErrStoppedAndResumes mirrors the serial kernel's
+// stop-then-drain idiom: Stop from inside an event returns ErrStopped at
+// the next barrier with pending events retained, and a second run drains
+// them.
+func TestWindowStopReturnsErrStoppedAndResumes(t *testing.T) {
+	const lookahead = time.Millisecond
+	ws, err := NewWindowScheduler(2, 2, lookahead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+
+	var order []int
+	ws.Part(0).AtCall(0, func(any) {
+		order = append(order, 1)
+		ws.Stop()
+	}, nil)
+	ws.Part(1).AtCall(Time(5*lookahead), func(any) { order = append(order, 2) }, nil)
+
+	if err := ws.RunUntilCtx(context.Background(), Time(10*lookahead)); !errors.Is(err, ErrStopped) {
+		t.Fatalf("first run = %v, want ErrStopped", err)
+	}
+	if len(order) != 1 || ws.Len() != 1 {
+		t.Fatalf("after stop: order=%v len=%d, want one dispatched and one retained", order, ws.Len())
+	}
+	if err := ws.RunUntilCtx(context.Background(), Time(10*lookahead)); err != nil {
+		t.Fatalf("resume run: %v", err)
+	}
+	if len(order) != 2 || order[1] != 2 {
+		t.Fatalf("resume dispatched %v, want [1 2]", order)
+	}
+	if now := ws.Now(); now != Time(10*lookahead) {
+		t.Fatalf("clock after drain = %v, want %v", now, Time(10*lookahead))
+	}
+}
+
+// TestWindowCommitPanicsOnLookaheadViolation pins the violation detector:
+// staging an event below the destination partition's clock is a
+// programming error (the certified lookahead bound was broken) and must
+// fail loudly, not corrupt the timeline.
+func TestWindowCommitPanicsOnLookaheadViolation(t *testing.T) {
+	const lookahead = time.Millisecond
+	ws, err := NewWindowScheduler(2, 1, lookahead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+
+	// Advance partition 1's clock past the staged timestamp.
+	if err := ws.Part(1).RunUntilCtx(context.Background(), Time(5*lookahead)); err != nil {
+		t.Fatal(err)
+	}
+	ws.Stage(0, Time(lookahead), 1, 1, 1, func(any) {}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("commit of an event below the partition clock did not panic")
+		}
+	}()
+	_ = ws.RunUntilCtx(context.Background(), Time(10*lookahead))
+}
+
+// TestWindowSchedulerClampsWorkers pins the constructor contract: worker
+// counts are clamped to [1, parts] and bad partition/lookahead arguments
+// are loud errors.
+func TestWindowSchedulerClampsWorkers(t *testing.T) {
+	ws, err := NewWindowScheduler(3, 64, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Workers() != 3 {
+		t.Fatalf("workers = %d, want clamped to 3", ws.Workers())
+	}
+	ws.Close()
+	if _, err := NewWindowScheduler(0, 1, time.Millisecond); err == nil {
+		t.Fatal("0 partitions accepted")
+	}
+	if _, err := NewWindowScheduler(2, 1, 0); err == nil {
+		t.Fatal("zero lookahead accepted")
+	}
+}
