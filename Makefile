@@ -15,7 +15,7 @@ GOVULNCHECK_VERSION ?= v1.1.3
 # follow everywhere (test fixtures, generated tables).
 STATICCHECK_CHECKS ?= all,-ST1000,-ST1003
 
-.PHONY: build test race bench fmt vet lint lint-tools fuzz-smoke fleet-smoke ci
+.PHONY: build test race bench fmt vet lint lint-tools fuzz-smoke fleet-smoke trace-smoke ci
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,13 @@ fuzz-smoke:
 # single-process engine. See scripts/fleetsmoke.sh.
 fleet-smoke:
 	sh scripts/fleetsmoke.sh
+
+# Observability smoke: a figure3 run traced (serial and parallel kernels)
+# must produce a CDF CSV byte-identical to the untraced run, and both
+# trace exports (Perfetto JSON + binary spool) must validate. See
+# scripts/tracesmoke.sh.
+trace-smoke:
+	sh scripts/tracesmoke.sh
 
 # Bench smoke: the Figure 3 benchmarks, the serial-vs-sharded Build pair,
 # the arena-vs-reference scheduler pair, and the 2000-node flood, one
@@ -94,4 +101,4 @@ lint:
 		echo "lint: govulncheck not installed; skipping (make lint-tools)"; \
 	fi
 
-ci: build fmt vet lint test race fuzz-smoke fleet-smoke bench
+ci: build fmt vet lint test race fuzz-smoke fleet-smoke trace-smoke bench

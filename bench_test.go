@@ -27,6 +27,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/geo"
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/sim"
 )
@@ -287,6 +288,48 @@ func BenchmarkFlood2000(b *testing.B) {
 		if len(res.Deltas) == 0 {
 			b.Fatal("flood reached no connections")
 		}
+	}
+}
+
+// BenchmarkFlood2000Traced is BenchmarkFlood2000 with an event tracer
+// attached: every send/deliver/first-seen lands in the ring buffer. The
+// record path is a branch plus a fixed-slot store into preallocated
+// shards, so allocs/op must stay byte-for-byte at BenchmarkFlood2000's
+// budget — benchdiff.sh's zero-tolerance flood gate (^BenchmarkFlood)
+// holds tracing to that.
+func BenchmarkFlood2000Traced(b *testing.B) {
+	built, err := experiment.Build(context.Background(), experiment.Spec{
+		Nodes:    2000,
+		Seed:     1,
+		Protocol: experiment.ProtoBitcoin,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer built.Close()
+	tracer := obs.NewTracer(obs.DefaultShardEvents, 1)
+	built.Net.EnableTrace(tracer)
+	built.Measurer.Trace = tracer.Shard(0)
+	key, err := chain.GenerateKey(rand.New(rand.NewSource(99)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		built.Net.ResetInventory()
+		tx := chain.Coinbase(uint64(i)+1, 1000, key.Address())
+		res, err := built.Measurer.MeasureOnce(context.Background(), tx, 2*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Deltas) == 0 {
+			b.Fatal("flood reached no connections")
+		}
+	}
+	b.StopTimer()
+	if tracer.Len() == 0 {
+		b.Fatal("tracer recorded nothing — the bench is not exercising the traced path")
 	}
 }
 

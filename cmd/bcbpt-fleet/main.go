@@ -28,9 +28,11 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -debug-addr serves the default mux's profiles
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -188,10 +190,14 @@ func cmdServe(ctx context.Context, args []string) error {
 	spoolDir := fs.String("spool-dir", "", "spool committed shards to this directory instead of coordinator memory")
 	csvPath := fs.String("csv", "", "write the merged figure's CDF data to this CSV file")
 	linger := fs.Duration("linger", 10*time.Second, "keep serving this long after completion so workers observe \"done\" and exit cleanly")
+	debugAddr := addDebugFlag(fs)
 	fs.Parse(args)
 
 	campaigns, title, err := sf.campaigns()
 	if err != nil {
+		return err
+	}
+	if err := startDebug(*debugAddr); err != nil {
 		return err
 	}
 	coord, err := fleet.NewCoordinator(campaigns, fleet.CoordinatorConfig{
@@ -231,9 +237,13 @@ func cmdWork(ctx context.Context, args []string) error {
 	name := fs.String("name", defaultWorkerName(), "worker name in coordinator diagnostics")
 	parallelism := fs.Int("parallelism", 0, "units run concurrently (0 = GOMAXPROCS)")
 	token := addTokenFlag(fs)
+	debugAddr := addDebugFlag(fs)
 	fs.Parse(args)
 	if *coordinator == "" {
 		return errors.New("work: -coordinator is required")
+	}
+	if err := startDebug(*debugAddr); err != nil {
+		return err
 	}
 	w := &fleet.Worker{CoordinatorURL: *coordinator, Name: *name, Parallelism: *parallelism, Token: resolveToken(fs, *token)}
 	fmt.Printf("worker %s pulling from %s\n", *name, *coordinator)
@@ -250,6 +260,7 @@ func cmdRun(ctx context.Context, args []string) error {
 	spoolDir := fs.String("spool-dir", "", "spool committed shards to this directory instead of coordinator memory")
 	induceFailure := fs.Bool("induce-failure", false, "lease one unit to a worker that dies without committing, forcing an expiry reassignment")
 	csvPath := fs.String("csv", "", "write the merged figure's CDF data to this CSV file")
+	debugAddr := addDebugFlag(fs)
 	fs.Parse(args)
 
 	campaigns, title, err := sf.campaigns()
@@ -258,6 +269,9 @@ func cmdRun(ctx context.Context, args []string) error {
 	}
 	if *fleetWorkers < 1 {
 		return errors.New("run: need at least one worker")
+	}
+	if err := startDebug(*debugAddr); err != nil {
+		return err
 	}
 	tok := resolveToken(fs, *token)
 	coord, err := fleet.NewCoordinator(campaigns, fleet.CoordinatorConfig{
@@ -338,6 +352,28 @@ func cmdRun(ctx context.Context, args []string) error {
 	return err
 }
 
+// addDebugFlag declares -debug-addr on a subcommand's flag set.
+func addDebugFlag(fs *flag.FlagSet) *string {
+	return fs.String("debug-addr", "",
+		"serve net/http/pprof (and expvar) on this address, e.g. localhost:6060; empty disables")
+}
+
+// startDebug serves the default mux — where net/http/pprof registers —
+// on addr. Diagnostics only, kept off the coordinator's own listener so
+// profiling endpoints are never exposed on the fleet port.
+func startDebug(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("debug-addr: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "(debug server on http://%s/debug/pprof/)\n", l.Addr())
+	go http.Serve(l, nil) //nolint — diagnostics listener lives for the process
+	return nil
+}
+
 // serveCoordinator serves the coordinator's HTTP endpoints on l.
 func serveCoordinator(coord *fleet.Coordinator, l net.Listener) (*http.Server, <-chan error) {
 	srv := &http.Server{Handler: coord}
@@ -353,9 +389,28 @@ const progressInterval = 15 * time.Second
 // deadline nobody has reclaimed) and Reassigned (survived worker
 // failures) get their own numbers: a stalled queue shows up as Expired
 // climbing while Done stands still, which a lumped "leased" count hides.
+// Throughput and ETA (sliding-window, see StatusResponse) appear once
+// the coordinator has seen enough commits to extrapolate, and a second
+// line breaks progress down per campaign.
 func logProgress(s fleet.StatusResponse) {
-	fmt.Printf("progress: %d/%d units done, %d leased, %d expired, %d pending, %d reassigned, %d renewals\n",
+	var b strings.Builder
+	fmt.Fprintf(&b, "progress: %d/%d units done, %d leased, %d expired, %d pending, %d reassigned, %d renewals",
 		s.Done, s.Units, s.Leased, s.Expired, s.Pending, s.Reassigned, s.Renewed)
+	if s.CommitsPerMinute > 0 {
+		fmt.Fprintf(&b, ", %.1f commits/min", s.CommitsPerMinute)
+	}
+	if s.EtaMillis > 0 {
+		fmt.Fprintf(&b, ", ETA %v", (time.Duration(s.EtaMillis) * time.Millisecond).Round(time.Second))
+	}
+	fmt.Println(b.String())
+	if len(s.Campaigns) > 0 {
+		b.Reset()
+		b.WriteString("  campaigns:")
+		for _, cs := range s.Campaigns {
+			fmt.Fprintf(&b, " %s %d/%d", cs.Name, cs.Done, cs.Units)
+		}
+		fmt.Println(b.String())
+	}
 }
 
 // waitAndReport blocks until the sweep completes (or ctx cancels, or the
@@ -396,8 +451,12 @@ wait:
 	}
 	fmt.Println(fig)
 	status := coord.Status()
-	fmt.Printf("(%d units, %d lease reassignments, %d lease renewals, wall time %v)\n",
+	summary := fmt.Sprintf("(%d units, %d lease reassignments, %d lease renewals, wall time %v",
 		status.Units, status.Reassigned, status.Renewed, time.Since(start).Round(time.Millisecond))
+	if status.CommitsPerMinute > 0 {
+		summary += fmt.Sprintf(", %.1f commits/min over the last window", status.CommitsPerMinute)
+	}
+	fmt.Println(summary + ")")
 	if csvPath != "" {
 		if err := writeCSV(csvPath, fig); err != nil {
 			return err

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/measure"
+	"repro/internal/obs"
 )
 
 // Options tune experiment scale. Zero values take paper-faithful defaults
@@ -46,6 +47,16 @@ type Options struct {
 	// ~1% value error on quantiles/std but a sweep's memory no longer
 	// grows with Runs × Replications.
 	Streaming bool
+	// Trace, when non-empty, exports a sim-time event trace of the
+	// figure's first campaign (replication 0) as Chrome trace_event JSON
+	// at this path plus a binary spool at path+".bin" (see
+	// CampaignSpec.Trace). Purely observational: figure output is
+	// byte-identical with it on or off.
+	Trace string
+	// Metrics and Clock configure the campaign engine's telemetry (see
+	// Runner.Metrics and Runner.Clock). Both optional and observational.
+	Metrics *obs.Registry
+	Clock   func() int64
 }
 
 func (o Options) withDefaults() Options {
@@ -68,7 +79,12 @@ func (o Options) withDefaults() Options {
 }
 
 // runner returns the campaign engine configured by the options.
-func (o Options) runner() *Runner { return NewRunner(o.Workers) }
+func (o Options) runner() *Runner {
+	r := NewRunner(o.Workers)
+	r.Metrics = o.Metrics
+	r.Clock = o.Clock
+	return r
+}
 
 // campaign assembles a CampaignSpec for one series under the shared
 // options.
@@ -154,6 +170,11 @@ func buildSpec(o Options, proto ProtocolKind, bcbpt core.Config) Spec {
 // partial figure together with the ErrPartialResult-wrapping error, so
 // callers can render what completed.
 func sweepFigure(ctx context.Context, o Options, title string, campaigns []CampaignSpec) (FigureResult, error) {
+	if o.Trace != "" && len(campaigns) > 0 {
+		// One canonical trace per figure: the first campaign's
+		// replication 0 — tracing every series would race for the file.
+		campaigns[0].Trace = o.Trace
+	}
 	outcomes, err := o.runner().Sweep(ctx, campaigns)
 	if err != nil && !errors.Is(err, ErrPartialResult) {
 		return FigureResult{}, err

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // TestFigure3CSVGolden pins the figure3 smoke sweep (the fleetsmoke.sh
@@ -42,6 +44,59 @@ func TestFigure3CSVGolden(t *testing.T) {
 	if !bytes.Equal(got.Bytes(), want) {
 		t.Fatalf("figure3 CSV diverged from golden (%d bytes vs %d): first differing region:\n%s",
 			got.Len(), len(want), firstDiff(got.Bytes(), want))
+	}
+}
+
+// TestFigure3CSVGoldenTraced re-runs the golden sweep with tracing
+// enabled and demands the same bytes: tracing hooks observe the
+// simulation, they may never perturb it. The exported trace pair is then
+// sanity-checked (JSON non-empty, spool round-trips with events) so the
+// test also pins that a traced sweep actually produces a trace.
+func TestFigure3CSVGoldenTraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-replication sweep; skipped in -short")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "figure3_smoke_golden.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	fig, err := Figure3Ctx(context.Background(), Options{
+		Nodes:        120,
+		Runs:         5,
+		Replications: 2,
+		Seed:         1,
+		Trace:        trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := fig.WriteCSV(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("traced figure3 CSV diverged from golden — tracing perturbed the simulation:\n%s",
+			firstDiff(got.Bytes(), want))
+	}
+	jf, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("trace JSON not exported: %v", err)
+	}
+	if !bytes.Contains(jf, []byte(`"traceEvents":[{`)) {
+		t.Fatal("trace JSON has no events")
+	}
+	sf, err := os.Open(trace + ".bin")
+	if err != nil {
+		t.Fatalf("trace spool not exported: %v", err)
+	}
+	defer sf.Close()
+	events, err := obs.ReadSpool(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace spool has no events")
 	}
 }
 

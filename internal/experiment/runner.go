@@ -20,11 +20,14 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"os"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/measure"
+	"repro/internal/obs"
+	"repro/internal/p2p"
 	"repro/internal/sim"
 )
 
@@ -55,6 +58,14 @@ type CampaignSpec struct {
 	// and StreamingDistribution). Shard results and their merge stay
 	// deterministic and order-independent; per-run results are dropped.
 	Streaming bool `json:"streaming,omitempty"`
+	// Trace, when non-empty, exports a sim-time event trace of this
+	// campaign's replication 0 — one canonical trace per campaign, not
+	// one per replication racing for the same file — as Chrome
+	// trace_event JSON at this path plus a compact binary spool at
+	// path+".bin". Tracing is purely observational (the golden-CSV tests
+	// pin byte-identical results with it on), so like Name it is excluded
+	// from Fingerprint.
+	Trace string `json:"trace,omitempty"`
 }
 
 // WithDefaults returns the spec with the engine's defaults filled in —
@@ -90,10 +101,10 @@ func (c CampaignSpec) ReplicationSeed(i int) int64 {
 // Fingerprint returns a stable hash identifying the experiment this
 // campaign defines: an FNV-64a of the canonical JSON of the defaulted
 // spec, with the fields that cannot influence results excluded — Name (a
-// display label) and the host-parallelism knobs Spec.BuildWorkers and
-// Spec.SimWorkers, both bit-identical for every value. Spec.BaseUTXO is
-// excluded too (it does not serialize); fleet sweeps reject it via
-// CheckShippable.
+// display label), Trace (an observational export path), and the
+// host-parallelism knobs Spec.BuildWorkers and Spec.SimWorkers, both
+// bit-identical for every value. Spec.BaseUTXO is excluded too (it does
+// not serialize); fleet sweeps reject it via CheckShippable.
 //
 // The campaign engine stamps every shard result with this fingerprint and
 // measure.MergeCampaignResults refuses to blend shards whose fingerprints
@@ -102,6 +113,7 @@ func (c CampaignSpec) ReplicationSeed(i int) int64 {
 func (c CampaignSpec) Fingerprint() uint64 {
 	c = c.withDefaults()
 	c.Name = ""
+	c.Trace = ""
 	c.Spec.BuildWorkers = 0
 	c.Spec.SimWorkers = 0
 	data, err := json.Marshal(c)
@@ -145,6 +157,25 @@ type CampaignOutcome struct {
 type Runner struct {
 	// Workers bounds concurrency; <= 0 means GOMAXPROCS.
 	Workers int
+	// Metrics, when non-nil, receives per-unit telemetry as the sweep
+	// runs: completed-unit counters, build/run duration histograms (when
+	// Clock is set), and the p2p traffic counters folded post-run via
+	// Stats.AddToRegistry. Construct it with NewMetricsRegistry so
+	// histograms have a sketch backend. Purely observational: the merged
+	// campaign results are bit-identical with or without it.
+	Metrics *obs.Registry
+	// Clock supplies wall-clock nanoseconds for unit timings. It is
+	// injected because experiment is a deterministic package (bcbpt-lint
+	// detrand bans time.Now here); non-deterministic frontends pass e.g.
+	// a time.Now().UnixNano wrapper. nil leaves timings zero.
+	Clock func() int64
+}
+
+// NewMetricsRegistry returns a registry whose histograms are backed by
+// measure.StreamingDistribution sketches — the standard backend for
+// Runner.Metrics and the fleet coordinator.
+func NewMetricsRegistry() *obs.Registry {
+	return obs.NewRegistry(func() obs.Sketch { return measure.NewStreamingDistribution() })
 }
 
 // NewRunner returns a Runner with the given worker bound (<= 0 for
@@ -216,6 +247,22 @@ type unitRef struct {
 	replication int
 }
 
+// UnitObservation is the non-result telemetry of one unit run: wall
+// timings (zero unless a clock was supplied) and the unit network's
+// cumulative traffic counters, snapshotted before the network closes.
+type UnitObservation struct {
+	// BuildNanos is the wall time of the network build; RunNanos the
+	// wall time of the measurement campaign.
+	BuildNanos int64
+	RunNanos   int64
+	// Stats is the unit's total p2p traffic (bootstrap + measurement).
+	Stats p2p.Stats
+	// Profile carries the unit's PDES window timings when the unit ran
+	// parallel dispatch (Spec.SimWorkers > 1) and a clock was supplied;
+	// nil otherwise.
+	Profile *sim.WindowProfile
+}
+
 // RunUnit executes one self-contained unit of a sweep — replication rep
 // of campaign cs — and returns its shard result, stamped with the
 // campaign's fingerprint. This is the single execution path shared by the
@@ -224,23 +271,119 @@ type unitRef struct {
 // different machines — produces bit-identical results, which is what
 // makes lease reassignment after a worker failure idempotent.
 func RunUnit(ctx context.Context, cs CampaignSpec, rep int) (measure.CampaignResult, error) {
+	res, _, err := RunUnitObserved(ctx, cs, rep, nil)
+	return res, err
+}
+
+// RunUnitObserved is RunUnit plus telemetry: wall timings via the
+// injected clock (nil leaves them zero — experiment itself may not read
+// the wall clock), the unit's traffic counters, and — when the campaign
+// names a Trace path and rep is 0 — a sim-time event trace exported as
+// trace_event JSON at cs.Trace and a binary spool at cs.Trace+".bin".
+// The observation is returned even on error so callers can count the
+// wall time a failed unit burned.
+func RunUnitObserved(ctx context.Context, cs CampaignSpec, rep int, clock func() int64) (measure.CampaignResult, UnitObservation, error) {
+	var uo UnitObservation
 	cs = cs.withDefaults()
 	if rep < 0 || rep >= cs.Replications {
-		return measure.CampaignResult{}, fmt.Errorf("experiment: replication %d outside [0, %d)", rep, cs.Replications)
+		return measure.CampaignResult{}, uo, fmt.Errorf("experiment: replication %d outside [0, %d)", rep, cs.Replications)
 	}
 	spec := cs.Spec
 	spec.Seed = cs.ReplicationSeed(rep)
+	var t0 int64
+	if clock != nil {
+		t0 = clock()
+	}
 	b, err := Build(ctx, spec)
+	if clock != nil {
+		uo.BuildNanos = clock() - t0
+	}
 	if err != nil {
-		return measure.CampaignResult{}, fmt.Errorf("experiment: build %s replication %d: %w", cs.Name, rep, err)
+		return measure.CampaignResult{}, uo, fmt.Errorf("experiment: build %s replication %d: %w", cs.Name, rep, err)
 	}
 	defer b.Close()
+	var tracer *obs.Tracer
+	if cs.Trace != "" && rep == 0 {
+		tracer = obs.NewTracer(obs.DefaultShardEvents, 1)
+		b.Net.EnableTrace(tracer)
+		b.Measurer.Trace = tracer.Shard(0)
+	}
+	if clock != nil {
+		// Profiling costs two clock reads per window and nothing when the
+		// unit dispatches serially (EnableWindowProfile returns nil).
+		uo.Profile = b.Net.EnableWindowProfile(clock)
+	}
+	if clock != nil {
+		t0 = clock()
+	}
 	res, err := b.campaignContext(ctx, cs.Runs, cs.Deadline, cs.Streaming)
+	if clock != nil {
+		uo.RunNanos = clock() - t0
+	}
+	uo.Stats = b.Net.Stats()
 	if err != nil {
-		return measure.CampaignResult{}, fmt.Errorf("experiment: campaign %s replication %d: %w", cs.Name, rep, err)
+		return measure.CampaignResult{}, uo, fmt.Errorf("experiment: campaign %s replication %d: %w", cs.Name, rep, err)
+	}
+	if tracer != nil {
+		if err := exportTrace(tracer, cs.Trace); err != nil {
+			return measure.CampaignResult{}, uo, fmt.Errorf("experiment: campaign %s: %w", cs.Name, err)
+		}
 	}
 	res.Fingerprint = cs.Fingerprint()
-	return res, nil
+	return res, uo, nil
+}
+
+// exportTrace writes the tracer's merged stream as trace_event JSON at
+// path and as a binary spool at path+".bin".
+func exportTrace(tr *obs.Tracer, path string) error {
+	jf, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace export: %w", err)
+	}
+	if err := tr.WriteTraceJSON(jf); err != nil {
+		jf.Close()
+		return fmt.Errorf("trace export %s: %w", path, err)
+	}
+	if err := jf.Close(); err != nil {
+		return fmt.Errorf("trace export %s: %w", path, err)
+	}
+	sf, err := os.Create(path + ".bin")
+	if err != nil {
+		return fmt.Errorf("trace export: %w", err)
+	}
+	if err := tr.WriteSpool(sf); err != nil {
+		sf.Close()
+		return fmt.Errorf("trace export %s.bin: %w", path, err)
+	}
+	return sf.Close()
+}
+
+// observeUnit folds one unit's telemetry into the runner's registry.
+// Counter and histogram handles are concurrency-safe, so sweep workers
+// fold directly.
+func (r *Runner) observeUnit(uo UnitObservation, failed bool) {
+	if r == nil || r.Metrics == nil {
+		return
+	}
+	if failed {
+		r.Metrics.Counter("bcbpt_sweep_units_failed_total").Inc()
+	} else {
+		r.Metrics.Counter("bcbpt_sweep_units_completed_total").Inc()
+	}
+	uo.Stats.AddToRegistry(r.Metrics)
+	if r.Clock != nil {
+		r.Metrics.Histogram("bcbpt_sweep_unit_build_seconds").Observe(time.Duration(uo.BuildNanos))
+		r.Metrics.Histogram("bcbpt_sweep_unit_run_seconds").Observe(time.Duration(uo.RunNanos))
+	}
+	if p := uo.Profile; p != nil {
+		r.Metrics.Counter("bcbpt_pdes_windows_total").Add(p.Windows)
+		r.Metrics.Counter("bcbpt_pdes_staged_events_total").Add(p.StagedEvents)
+		r.Metrics.Counter("bcbpt_pdes_busy_nanos_total").Add(uint64(p.BusyNanos()))
+		r.Metrics.Counter("bcbpt_pdes_barrier_wait_nanos_total").Add(uint64(p.BarrierWaitNanos()))
+		for i, busy := range p.PartBusyNanos {
+			r.Metrics.Counter(fmt.Sprintf(`bcbpt_pdes_partition_busy_nanos_total{partition="%d"}`, i)).Add(uint64(busy))
+		}
+	}
 }
 
 // isCancellation reports whether err is a context cancellation rather
@@ -322,7 +465,8 @@ func (r *Runner) Sweep(ctx context.Context, campaigns []CampaignSpec) ([]Campaig
 	results := make([]measure.CampaignResult, len(units))
 	completed, unitErr := r.runUnits(ctx, len(units), func(ctx context.Context, i int) error {
 		u := units[i]
-		res, err := RunUnit(ctx, specs[u.campaign], u.replication)
+		res, uo, err := RunUnitObserved(ctx, specs[u.campaign], u.replication, r.Clock)
+		r.observeUnit(uo, err != nil)
 		if err != nil {
 			return err
 		}

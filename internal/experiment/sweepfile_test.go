@@ -69,6 +69,32 @@ func TestParseSweepDurationKeysCaseInsensitive(t *testing.T) {
 	}
 }
 
+// TestParseSweepTraceKey: a sweep file can request a trace export for a
+// campaign via the "trace" key, and — like Name — the path must not
+// move the campaign's fingerprint: a traced worker and an untraced
+// coordinator still agree on what experiment they are running.
+func TestParseSweepTraceKey(t *testing.T) {
+	sf, err := ParseSweep([]byte(`{
+		"campaigns": [{
+			"name": "traced",
+			"spec": {"nodes": 40, "seed": 1, "protocol": "bitcoin"},
+			"trace": "out/trace.json"
+		}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := sf.Campaigns[0]
+	if traced.Trace != "out/trace.json" {
+		t.Fatalf("trace key parsed as %q", traced.Trace)
+	}
+	bare := traced
+	bare.Trace = ""
+	if traced.Fingerprint() != bare.Fingerprint() {
+		t.Error("Trace path changed the campaign fingerprint; it must be excluded like Name")
+	}
+}
+
 func TestParseSweepErrors(t *testing.T) {
 	cases := []struct {
 		name string

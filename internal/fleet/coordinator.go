@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/measure"
+	"repro/internal/obs"
 )
 
 // CoordinatorConfig tunes the work queue.
@@ -43,6 +44,13 @@ type CoordinatorConfig struct {
 	// stays flat however deep the sweep; an exact paper-scale sweep is
 	// gigabytes of samples. The directory is created if missing.
 	SpoolDir string
+	// Trace, when non-nil, records the queue's lease lifecycle — grant,
+	// renew, expiry reassignment, commit — onto the tracer's shard 0,
+	// stamped with wall time (the fleet runs in real time; there is no
+	// simulation clock here). Every record happens under the queue mutex,
+	// which is what makes the single-writer shard discipline hold across
+	// concurrent HTTP handlers.
+	Trace *obs.Tracer
 	// now stubs the clock in tests.
 	now func() time.Time
 }
@@ -93,6 +101,8 @@ type Coordinator struct {
 	prints    []uint64
 	offsets   []int // unit index of each campaign's replication 0
 	mux       *http.ServeMux
+	metrics   *obs.Registry
+	trace     *obs.Shard // nil unless cfg.Trace; written only under mu
 
 	mu         sync.Mutex
 	units      []unit
@@ -102,6 +112,9 @@ type Coordinator struct {
 	nextLease  uint64
 	failure    error
 	done       chan struct{}
+	// commits holds recent commit times (pruned to statusRateWindow) for
+	// the sliding-window throughput and ETA in Status.
+	commits []time.Time
 }
 
 // NewCoordinator builds the work queue for a sweep: every replication of
@@ -117,7 +130,11 @@ func NewCoordinator(campaigns []experiment.CampaignSpec, cfg CoordinatorConfig) 
 		campaigns: make([]experiment.CampaignSpec, len(campaigns)),
 		prints:    make([]uint64, len(campaigns)),
 		offsets:   make([]int, len(campaigns)),
+		metrics:   experiment.NewMetricsRegistry(),
 		done:      make(chan struct{}),
+	}
+	if c.cfg.Trace != nil {
+		c.trace = c.cfg.Trace.Shard(0)
 	}
 	for i, cs := range campaigns {
 		if err := cs.CheckShippable(); err != nil {
@@ -146,7 +163,28 @@ func NewCoordinator(campaigns []experiment.CampaignSpec, cfg CoordinatorConfig) 
 	c.mux.HandleFunc("POST "+PathRenew, c.requireAuth(c.handleRenew))
 	c.mux.HandleFunc("POST "+PathCommit, c.requireAuth(c.handleCommit))
 	c.mux.HandleFunc("GET "+PathStatus, c.handleStatus)
+	c.mux.HandleFunc("GET "+PathMetrics, c.handleMetrics)
 	return c, nil
+}
+
+// Metrics returns the coordinator's registry — the same one PathMetrics
+// serves — so frontends can fold their own counters in or print a final
+// summary from it.
+func (c *Coordinator) Metrics() *obs.Registry { return c.metrics }
+
+// traceLease records one lease lifecycle event. Callers hold c.mu (the
+// shard's writer serialization); a nil trace costs one branch.
+func (c *Coordinator) traceLease(kind obs.Kind, campaign, rep int, leaseID uint64) {
+	if c.trace == nil {
+		return
+	}
+	c.trace.Record(obs.Event{
+		Wall: c.cfg.now().UnixNano(),
+		Kind: kind,
+		P1:   uint64(campaign),
+		P2:   uint64(rep),
+		P3:   leaseID,
+	})
 }
 
 // requireAuth gates a mutating endpoint behind the shared bearer token.
@@ -210,6 +248,8 @@ func (c *Coordinator) leaseUnit(worker string) LeaseResponse {
 			}
 			if !now.Before(u.expires) {
 				c.reassigned++
+				c.metrics.Counter("bcbpt_fleet_leases_reassigned_total").Inc()
+				c.traceLease(obs.KindLeaseExpire, u.campaign, u.replication, u.leaseID)
 				grant = i
 				break
 			}
@@ -227,6 +267,7 @@ func (c *Coordinator) leaseUnit(worker string) LeaseResponse {
 			if retry < 10*time.Millisecond {
 				retry = 10 * time.Millisecond
 			}
+			c.metrics.Counter("bcbpt_fleet_lease_waits_total").Inc()
 			return LeaseResponse{Status: LeaseWait, RetryMillis: retry.Milliseconds()}
 		}
 	}
@@ -236,6 +277,8 @@ func (c *Coordinator) leaseUnit(worker string) LeaseResponse {
 	u.leaseID = c.nextLease
 	u.worker = worker
 	u.expires = now.Add(c.cfg.LeaseTTL)
+	c.metrics.Counter("bcbpt_fleet_leases_granted_total").Inc()
+	c.traceLease(obs.KindLeaseGrant, u.campaign, u.replication, u.leaseID)
 	return LeaseResponse{Status: LeaseGranted, Lease: &Lease{
 		ID:          u.leaseID,
 		Campaign:    u.campaign,
@@ -271,6 +314,8 @@ func (c *Coordinator) renewLease(req RenewRequest) RenewResponse {
 	}
 	u.expires = c.cfg.now().Add(c.cfg.LeaseTTL)
 	c.renewed++
+	c.metrics.Counter("bcbpt_fleet_leases_renewed_total").Inc()
+	c.traceLease(obs.KindLeaseRenew, u.campaign, u.replication, u.leaseID)
 	return RenewResponse{Renewed: true, TTLMillis: c.cfg.LeaseTTL.Milliseconds()}
 }
 
@@ -338,12 +383,15 @@ func (c *Coordinator) finishCommit(req CommitRequest, cs experiment.CampaignSpec
 	defer c.mu.Unlock()
 	u := &c.units[c.offsets[req.Campaign]+req.Replication]
 	if u.phase == unitDone {
+		c.metrics.Counter("bcbpt_fleet_commits_stale_total").Inc()
 		return CommitResponse{Reason: "unit already committed", Stale: true}
 	}
 	if u.phase != unitLeased || u.leaseID != req.LeaseID {
+		c.metrics.Counter("bcbpt_fleet_commits_stale_total").Inc()
 		return CommitResponse{Reason: "lease superseded", Stale: true}
 	}
 	if req.Error != "" {
+		c.metrics.Counter("bcbpt_fleet_units_failed_total").Inc()
 		// A deterministic unit failure fails the sweep fast: retrying the
 		// unit elsewhere would reproduce it bit for bit.
 		if c.failure == nil {
@@ -364,12 +412,50 @@ func (c *Coordinator) finishCommit(req CommitRequest, cs experiment.CampaignSpec
 	}
 	u.phase = unitDone
 	c.remaining--
+	c.metrics.Counter("bcbpt_fleet_commits_accepted_total").Inc()
+	c.observeUnitTimings(req)
+	c.traceLease(obs.KindLeaseCommit, req.Campaign, req.Replication, req.LeaseID)
+	c.commits = append(c.commits, c.cfg.now())
+	c.pruneCommits(c.cfg.now())
 	if c.remaining == 0 && c.failure == nil {
 		// A failed sweep already closed done; in-flight commits after the
 		// failure are still recorded, just not re-signalled.
 		close(c.done)
 	}
 	return CommitResponse{Accepted: true}
+}
+
+// observeUnitTimings folds a commit's worker-reported wall timings into
+// the registry. The fields are optional (additive protocol): an old
+// worker omits them and nothing is recorded. Histogram handles carry
+// their own locks; holding c.mu here is cheap and order-safe.
+func (c *Coordinator) observeUnitTimings(req CommitRequest) {
+	if req.BuildMillis > 0 {
+		c.metrics.Histogram("bcbpt_fleet_unit_build_seconds").Observe(time.Duration(req.BuildMillis) * time.Millisecond)
+	}
+	if req.RunMillis > 0 {
+		c.metrics.Histogram("bcbpt_fleet_unit_run_seconds").Observe(time.Duration(req.RunMillis) * time.Millisecond)
+	}
+	if req.ShipMillis > 0 {
+		c.metrics.Histogram("bcbpt_fleet_unit_ship_seconds").Observe(time.Duration(req.ShipMillis) * time.Millisecond)
+	}
+}
+
+// statusRateWindow is the sliding window for commit throughput: long
+// enough to smooth bursty commits from parallel workers, short enough
+// that the ETA tracks a fleet scaling up or down.
+const statusRateWindow = 5 * time.Minute
+
+// pruneCommits drops commit timestamps older than the rate window.
+// Called with c.mu held.
+func (c *Coordinator) pruneCommits(now time.Time) {
+	cut := 0
+	for cut < len(c.commits) && now.Sub(c.commits[cut]) > statusRateWindow {
+		cut++
+	}
+	if cut > 0 {
+		c.commits = append(c.commits[:0], c.commits[cut:]...)
+	}
 }
 
 // spoolPath is the final on-disk name of a committed shard — one file
@@ -499,21 +585,45 @@ func (c *Coordinator) Status() StatusResponse {
 	defer c.mu.Unlock()
 	now := c.cfg.now()
 	s := StatusResponse{Units: len(c.units), Reassigned: c.reassigned, Renewed: c.renewed}
+	s.Campaigns = make([]CampaignStatus, len(c.campaigns))
+	for ci, cs := range c.campaigns {
+		s.Campaigns[ci] = CampaignStatus{Name: cs.Name, Units: cs.Replications}
+	}
 	for i := range c.units {
-		switch u := &c.units[i]; {
+		u := &c.units[i]
+		cs := &s.Campaigns[u.campaign]
+		switch {
 		case u.phase == unitDone:
 			s.Done++
+			cs.Done++
 		case u.phase == unitLeased && now.Before(u.expires):
 			s.Leased++
+			cs.Leased++
 		case u.phase == unitLeased:
 			s.Expired++
+			cs.Expired++
 		default:
 			s.Pending++
+			cs.Pending++
 		}
 	}
 	s.Complete = c.remaining == 0 || c.failure != nil
 	if c.failure != nil {
 		s.Failed = c.failure.Error()
+	}
+	// Sliding-window throughput and ETA: rate over the span from the
+	// oldest in-window commit to now. Needs at least two commits so one
+	// early commit does not extrapolate a wild rate from a tiny span.
+	c.pruneCommits(now)
+	if len(c.commits) >= 2 {
+		span := now.Sub(c.commits[0])
+		if span > 0 {
+			perMin := float64(len(c.commits)) / span.Minutes()
+			s.CommitsPerMinute = perMin
+			if left := s.Units - s.Done; left > 0 && perMin > 0 {
+				s.EtaMillis = int64(float64(left) / perMin * float64(time.Minute/time.Millisecond))
+			}
+		}
 	}
 	return s
 }
@@ -654,4 +764,25 @@ func (c *Coordinator) handleCommit(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, c.Status())
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+// Queue progress is refreshed from Status() into gauges first, so a
+// scrape always sees the current partition of units — Status locks
+// internally and the registry write never holds c.mu.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := c.Status()
+	c.metrics.Gauge("bcbpt_fleet_units").Set(int64(st.Units))
+	c.metrics.Gauge("bcbpt_fleet_units_done").Set(int64(st.Done))
+	c.metrics.Gauge("bcbpt_fleet_units_leased").Set(int64(st.Leased))
+	c.metrics.Gauge("bcbpt_fleet_units_expired").Set(int64(st.Expired))
+	c.metrics.Gauge("bcbpt_fleet_units_pending").Set(int64(st.Pending))
+	c.metrics.Gauge("bcbpt_fleet_commits_per_minute_x1000").Set(int64(st.CommitsPerMinute * 1000))
+	c.metrics.Gauge("bcbpt_fleet_eta_seconds").Set(st.EtaMillis / 1000)
+	for _, cs := range st.Campaigns {
+		c.metrics.Gauge(`bcbpt_fleet_campaign_units_done{campaign="` + cs.Name + `"}`).Set(int64(cs.Done))
+		c.metrics.Gauge(`bcbpt_fleet_campaign_units{campaign="` + cs.Name + `"}`).Set(int64(cs.Units))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.metrics.WritePrometheus(w)
 }

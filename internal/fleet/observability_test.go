@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// commitFake drives one lease through a fake commit, optionally with
+// worker-reported wall timings (the additive protocol fields).
+func commitFake(t *testing.T, c *Coordinator, worker string, buildMS, runMS, shipMS int64) {
+	t.Helper()
+	r := c.leaseUnit(worker)
+	if r.Status != LeaseGranted {
+		t.Fatalf("lease status %q, want granted", r.Status)
+	}
+	l := r.Lease
+	ack := c.commitUnit(CommitRequest{
+		Worker: worker, LeaseID: l.ID,
+		Campaign: l.Campaign, Replication: l.Replication,
+		Result:      fakeShard(t, c, l.Campaign),
+		BuildMillis: buildMS, RunMillis: runMS, ShipMillis: shipMS,
+	})
+	if !ack.Accepted {
+		t.Fatalf("commit rejected: %+v", ack)
+	}
+}
+
+// TestStatusProgressAndETA pins the dashboard arithmetic on a fake
+// clock: per-campaign unit partitions, the sliding-window commit rate,
+// and the ETA derived from it.
+func TestStatusProgressAndETA(t *testing.T) {
+	c, clock := stubbedCoordinator(t, testSweep(), time.Minute)
+
+	// One commit alone must not extrapolate a rate from a tiny span.
+	commitFake(t, c, "w", 0, 0, 0)
+	if st := c.Status(); st.CommitsPerMinute != 0 || st.EtaMillis != 0 {
+		t.Errorf("rate from a single commit: %+v", st)
+	}
+
+	// Three more commits, one per simulated minute: 4 commits over a
+	// 3-minute span → 4/3 commits per minute, 3 units left.
+	for i := 0; i < 3; i++ {
+		*clock = clock.Add(time.Minute)
+		commitFake(t, c, "w", 0, 0, 0)
+	}
+	st := c.Status()
+	if st.Done != 4 || st.Pending != 3 {
+		t.Fatalf("queue partition: %+v", st)
+	}
+	wantRate := 4.0 / 3.0
+	if diff := st.CommitsPerMinute - wantRate; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("CommitsPerMinute = %v, want %v", st.CommitsPerMinute, wantRate)
+	}
+	// 3 units left at 4/3 per minute = 2.25 minutes.
+	if want := int64(2.25 * 60 * 1000); st.EtaMillis != want {
+		t.Errorf("EtaMillis = %d, want %d", st.EtaMillis, want)
+	}
+
+	// Per-campaign partition: testSweep is bitcoin=3, lbc=2,
+	// bitcoin-stream=2 replications; queue order hands out bitcoin first.
+	if len(st.Campaigns) != 3 {
+		t.Fatalf("campaign breakdown: %+v", st.Campaigns)
+	}
+	bc := st.Campaigns[0]
+	if bc.Name != "bitcoin" || bc.Units != 3 || bc.Done != 3 || bc.Pending != 0 {
+		t.Errorf("campaign 0 status: %+v", bc)
+	}
+	if lbc := st.Campaigns[1]; lbc.Name != "lbc" || lbc.Done != 1 || lbc.Pending != 1 {
+		t.Errorf("campaign 1 status: %+v", lbc)
+	}
+
+	// Commits beyond the rate window fall out of the rate; with the
+	// queue idle for over statusRateWindow the oldest commits are
+	// pruned and the remaining single commit yields no rate.
+	*clock = clock.Add(statusRateWindow + time.Minute)
+	if st := c.Status(); st.CommitsPerMinute != 0 {
+		t.Errorf("rate survived the sliding window: %+v", st)
+	}
+}
+
+// TestMetricsEndpoint scrapes GET /v1/metrics after a few fake commits
+// and checks the Prometheus text exposition: queue gauges refreshed from
+// Status, lease lifecycle counters, per-campaign labelled gauges, and
+// the worker-reported timing summaries.
+func TestMetricsEndpoint(t *testing.T) {
+	c, ts := startCoordinator(t, testSweep(), CoordinatorConfig{})
+	commitFake(t, c, "w", 1200, 3400, 50)
+	commitFake(t, c, "w", 800, 2600, 40)
+
+	resp, err := http.Get(ts.URL + PathMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", PathMetrics, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	for _, want := range []string{
+		"# TYPE bcbpt_fleet_units gauge",
+		"bcbpt_fleet_units 7",
+		"bcbpt_fleet_units_done 2",
+		"bcbpt_fleet_units_pending 5",
+		"# TYPE bcbpt_fleet_leases_granted_total counter",
+		"bcbpt_fleet_leases_granted_total 2",
+		"bcbpt_fleet_commits_accepted_total 2",
+		`bcbpt_fleet_campaign_units{campaign="bitcoin"} 3`,
+		`bcbpt_fleet_campaign_units_done{campaign="bitcoin"} 2`,
+		`bcbpt_fleet_campaign_units_done{campaign="lbc"} 0`,
+		"# TYPE bcbpt_fleet_unit_build_seconds summary",
+		`bcbpt_fleet_unit_build_seconds{quantile="0.5"}`,
+		"bcbpt_fleet_unit_build_seconds_count 2",
+		"bcbpt_fleet_unit_run_seconds_count 2",
+		"bcbpt_fleet_unit_ship_seconds_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+
+	// The run-seconds sum is worker wall time folded in seconds:
+	// 3400ms + 2600ms = 6 seconds.
+	if !strings.Contains(text, "bcbpt_fleet_unit_run_seconds_sum 6") {
+		t.Errorf("run seconds sum not folded; exposition:\n%s", text)
+	}
+}

@@ -67,6 +67,11 @@ const (
 	PathCommit = "/v1/commit"
 	// PathStatus (GET) returns queue progress for dashboards and tests.
 	PathStatus = "/v1/status"
+	// PathMetrics (GET) returns the coordinator's metrics registry in
+	// Prometheus text exposition format: unit progress by state and
+	// campaign, lease lifecycle counters, per-unit build/run/ship timing
+	// summaries, and traffic counters folded from worker shards.
+	PathMetrics = "/v1/metrics"
 )
 
 // SweepResponse describes the sweep being distributed. Workers fetch it
@@ -174,6 +179,14 @@ type CommitRequest struct {
 	Replication int             `json:"replication"`
 	Result      json.RawMessage `json:"result,omitempty"`
 	Error       string          `json:"error,omitempty"`
+	// BuildMillis, RunMillis and ShipMillis report the unit's wall
+	// timings — network build, measurement campaign, and shard encoding —
+	// for the coordinator's timing histograms. Additive and optional:
+	// an old worker that omits them commits fine, the coordinator just
+	// records nothing.
+	BuildMillis int64 `json:"build_ms,omitempty"`
+	RunMillis   int64 `json:"run_ms,omitempty"`
+	ShipMillis  int64 `json:"ship_ms,omitempty"`
 }
 
 // CommitResponse acknowledges a commit. A *stale* rejection is not a
@@ -213,4 +226,23 @@ type StatusResponse struct {
 	Complete bool `json:"complete"`
 	// Failed carries the sweep-fatal error, if any.
 	Failed string `json:"failed,omitempty"`
+	// Campaigns breaks unit progress down per campaign, in sweep order.
+	// Additive (omitempty): old clients decode statuses without it.
+	Campaigns []CampaignStatus `json:"campaigns,omitempty"`
+	// CommitsPerMinute is the commit throughput over the coordinator's
+	// sliding window (statusRateWindow); zero until two commits land.
+	CommitsPerMinute float64 `json:"commits_per_minute,omitempty"`
+	// EtaMillis extrapolates time-to-completion from CommitsPerMinute
+	// and the uncommitted unit count; zero when the rate is unknown.
+	EtaMillis int64 `json:"eta_ms,omitempty"`
+}
+
+// CampaignStatus is one campaign's slice of the unit partition.
+type CampaignStatus struct {
+	Name    string `json:"name"`
+	Units   int    `json:"units"`
+	Done    int    `json:"done"`
+	Leased  int    `json:"leased"`
+	Expired int    `json:"expired"`
+	Pending int    `json:"pending"`
 }

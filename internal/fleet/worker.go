@@ -50,6 +50,12 @@ func (w *Worker) retryInterval() time.Duration {
 	return w.RetryInterval
 }
 
+// wallClock is the wall-time source handed to RunUnitObserved for the
+// per-unit build/run timings reported in commits. Workers are outside
+// the deterministic core, so reading the real clock here is fine — the
+// timings never feed the simulation.
+func wallClock() int64 { return time.Now().UnixNano() }
+
 // sleep waits d respecting ctx.
 func sleep(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)
@@ -269,12 +275,16 @@ func (w *Worker) runLease(ctx context.Context, client *Client, campaigns []exper
 		cancelUnit()
 	}()
 
-	res, err := experiment.RunUnit(unitCtx, cs, l.Replication)
+	res, uo, err := experiment.RunUnitObserved(unitCtx, cs, l.Replication, wallClock)
+	commit.BuildMillis = uo.BuildNanos / int64(time.Millisecond)
+	commit.RunMillis = uo.RunNanos / int64(time.Millisecond)
 	switch {
 	case err == nil:
+		shipStart := time.Now()
 		if commit.Result, err = measure.EncodeCampaignResult(res); err != nil {
 			return err
 		}
+		commit.ShipMillis = time.Since(shipStart).Milliseconds()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		if ctx.Err() != nil {
 			// Our own shutdown, not the unit's fault: walk away and let

@@ -37,6 +37,12 @@ var deterministicPkgs = map[string]bool{
 	modulePath + "/internal/latency":    true,
 	modulePath + "/internal/churn":      true,
 	modulePath + "/internal/attack":     true,
+	// obs records events stamped with simulation time: the tracer and
+	// registry live inside deterministic packages' hot paths, so any
+	// wall-clock read here would leak into trace output ordering. Wall
+	// timestamps enter only through caller-supplied values (fleet) or
+	// injected clocks.
+	modulePath + "/internal/obs": true,
 }
 
 // hotPathPkgs lists the packages whose steady state is benchmarked at a

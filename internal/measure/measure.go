@@ -2,6 +2,7 @@ package measure
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/chain"
+	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/sim"
 )
@@ -52,6 +54,17 @@ type MeasuringNode struct {
 	missingPool [][]p2p.NodeID
 	// idScratch is the reusable sort buffer for streaming folds.
 	idScratch []p2p.NodeID
+
+	// Trace, when non-nil, records one KindInject event per measurement
+	// run (the injected transaction's hash prefix and run index, stamped
+	// at the injection's simulation time). Point it at the driving
+	// goroutine's shard — obs shard 0 by convention — alongside
+	// Network.EnableTrace; nil keeps measurement byte-for-byte free of
+	// observability work.
+	Trace *obs.Shard
+
+	// runIndex counts MeasureOnce calls for the inject event's P3.
+	runIndex uint64
 }
 
 // NewMeasuringNode wraps an existing, already-wired node as the measuring
@@ -186,6 +199,11 @@ func (m *MeasuringNode) MeasureOnce(ctx context.Context, tx *chain.Tx, deadline 
 	if !ok {
 		return RunResult{}, fmt.Errorf("measure: connection %d vanished", first)
 	}
+	if m.Trace != nil {
+		m.Trace.Record(obs.Event{At: start, Kind: obs.KindInject,
+			P1: uint64(first), P2: binary.LittleEndian.Uint64(txID[:8]), P3: m.runIndex})
+	}
+	m.runIndex++
 	_ = firstNode.SubmitTx(tx)
 
 	err := m.net.RunUntil(ctx, start+sim.Time(deadline))

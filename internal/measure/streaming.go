@@ -154,6 +154,11 @@ func (s *StreamingDistribution) Max() time.Duration {
 	return s.max
 }
 
+// Sum returns the exact integer sum of all samples. Together with N it
+// lets the sketch back an obs.Sketch histogram, whose exposition needs
+// the running total.
+func (s *StreamingDistribution) Sum() time.Duration { return time.Duration(s.sum) }
+
 // Mean returns the exact arithmetic mean (integer sum over count).
 func (s *StreamingDistribution) Mean() time.Duration {
 	if s.n == 0 {

@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sketch is the quantile backend a Histogram records into. It is
+// satisfied by *measure.StreamingDistribution; obs declares the
+// interface instead of importing measure so packages below measure in
+// the dependency graph (p2p, sim) can still import obs.
+type Sketch interface {
+	AddN(v time.Duration, count uint64)
+	N() int
+	Sum() time.Duration
+	Min() time.Duration
+	Max() time.Duration
+	Percentile(p float64) time.Duration
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram records durations into a Sketch under a mutex. It is meant
+// for control-plane rates (per-unit timings, per-window profiles), not
+// per-message hot paths — those use the Tracer or flat counters.
+type Histogram struct {
+	mu sync.Mutex
+	s  Sketch
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(v time.Duration) { h.ObserveN(v, 1) }
+
+// ObserveN records a duration count times.
+func (h *Histogram) ObserveN(v time.Duration, count uint64) {
+	h.mu.Lock()
+	h.s.AddN(v, count)
+	h.mu.Unlock()
+}
+
+// quantiles exposed per histogram, ascending.
+var histQuantiles = []float64{0.5, 0.9, 0.99}
+
+// Registry holds named metrics and renders them in Prometheus text
+// exposition format. Metric names follow Prometheus conventions and may
+// carry inline labels: `bcbpt_messages_total{command="inv"}`. Lookup is
+// mutex-guarded; the returned handles are lock-free atomics, so callers
+// resolve them once at setup and update them freely after.
+type Registry struct {
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	newSketch func() Sketch
+}
+
+// NewRegistry returns an empty registry. newSketch constructs the
+// backend for each histogram (pass nil for a registry that uses no
+// histograms; Histogram then panics, loudly, at registration).
+func NewRegistry(newSketch func() Sketch) *Registry {
+	return &Registry{
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		newSketch: newSketch,
+	}
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, registering it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if r.newSketch == nil {
+			panic(fmt.Sprintf("obs: registry has no sketch constructor for histogram %q", name))
+		}
+		h = &Histogram{s: r.newSketch()}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValue is one (name, value) pair from CounterValues.
+type CounterValue struct {
+	Name  string
+	Value uint64
+}
+
+// CounterValues snapshots every registered counter, sorted by name — for
+// frontends that render human summaries without scraping the Prometheus
+// text format.
+func (r *Registry) CounterValues() []CounterValue {
+	r.mu.Lock()
+	out := make([]CounterValue, 0, len(r.counters))
+	for name, c := range r.counters {
+		out = append(out, CounterValue{Name: name, Value: c.Value()})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// baseName strips an inline label set: `foo{bar="x"}` → `foo`.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// withLabel merges an extra label into a possibly-labeled name:
+// withLabel(`foo{a="1"}`, `quantile`, `0.5`) → `foo{a="1",quantile="0.5"}`.
+func withLabel(name, key, val string) string {
+	label := key + `="` + val + `"`
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + label + "}"
+	}
+	return name + "{" + label + "}"
+}
+
+// withSuffix inserts a suffix before an inline label set:
+// withSuffix(`foo{a="1"}`, `_sum`) → `foo_sum{a="1"}`.
+func withSuffix(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4), sorted by name so output is
+// deterministic. Histograms render as summaries: quantile series plus
+// _sum (seconds) and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	type line struct {
+		name  string
+		value string
+	}
+	type block struct {
+		base  string
+		typ   string
+		lines []line
+	}
+	blocks := make(map[string]*block)
+	get := func(base, typ string) *block {
+		b, ok := blocks[base]
+		if !ok {
+			b = &block{base: base, typ: typ}
+			blocks[base] = b
+		}
+		return b
+	}
+
+	r.mu.Lock()
+	for name, c := range r.counters {
+		b := get(baseName(name), "counter")
+		b.lines = append(b.lines, line{name, strconv.FormatUint(c.Value(), 10)})
+	}
+	for name, g := range r.gauges {
+		b := get(baseName(name), "gauge")
+		b.lines = append(b.lines, line{name, strconv.FormatInt(g.Value(), 10)})
+	}
+	for name, h := range r.hists {
+		b := get(baseName(name), "summary")
+		h.mu.Lock()
+		for _, q := range histQuantiles {
+			b.lines = append(b.lines, line{
+				withLabel(name, "quantile", strconv.FormatFloat(q, 'g', -1, 64)),
+				formatSeconds(h.s.Percentile(q)),
+			})
+		}
+		b.lines = append(b.lines, line{withSuffix(name, "_sum"), formatSeconds(h.s.Sum())})
+		b.lines = append(b.lines, line{withSuffix(name, "_count"), strconv.Itoa(h.s.N())})
+		h.mu.Unlock()
+	}
+	r.mu.Unlock()
+
+	ordered := make([]*block, 0, len(blocks))
+	for _, b := range blocks {
+		ordered = append(ordered, b)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].base < ordered[j].base })
+	for _, b := range ordered {
+		sort.Slice(b.lines, func(i, j int) bool { return b.lines[i].name < b.lines[j].name })
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", b.base, b.typ); err != nil {
+			return err
+		}
+		for _, l := range b.lines {
+			if _, err := fmt.Fprintf(w, "%s %s\n", l.name, l.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatSeconds renders a duration as decimal seconds, Prometheus's
+// base unit for time series.
+func formatSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}

@@ -2,6 +2,7 @@ package p2p
 
 import (
 	"repro/internal/chain"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -40,6 +41,9 @@ func (nd *Node) acceptBlock(b *chain.Block, from NodeID) error {
 	e.seenAt = nd.now()
 	nd.storeBlock(hi, b)
 	e.reqGen = 0
+	if tr := nd.dctx.trace; tr != nil {
+		tr.Record(obs.Event{At: nd.now(), Kind: obs.KindFirstSeen, P1: uint64(nd.id), P2: hashPrefix(h)})
+	}
 	if nd.net.OnBlockFirstSeen != nil {
 		nd.net.OnBlockFirstSeen(nd.id, h, nd.now())
 	}

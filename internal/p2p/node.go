@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"encoding/binary"
 	"slices"
 	"sort"
 	"time"
@@ -8,9 +9,14 @@ import (
 	"repro/internal/chain"
 	"repro/internal/geo"
 	"repro/internal/latency"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
+
+// hashPrefix condenses a content hash into the 8-byte payload word a
+// trace event carries — enough to correlate events of one flood.
+func hashPrefix(h chain.Hash) uint64 { return binary.LittleEndian.Uint64(h[:8]) }
 
 // peerEntry is one stable adjacency slot on one side of an edge. Slots
 // are positions in Node.peerTab: a peer keeps its position for the life
@@ -506,6 +512,9 @@ func (nd *Node) acceptTx(tx *chain.Tx, from NodeID) error {
 	e.seenAt = nd.now()
 	nd.storeTx(hi, tx)
 	e.reqGen = 0
+	if tr := nd.dctx.trace; tr != nil {
+		tr.Record(obs.Event{At: nd.now(), Kind: obs.KindFirstSeen, P1: uint64(nd.id), P2: hashPrefix(id)})
+	}
 	if nd.net.OnTxFirstSeen != nil {
 		// In parallel mode this fires concurrently from partition
 		// workers; the hook must be safe for concurrent use.

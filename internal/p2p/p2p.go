@@ -33,6 +33,7 @@ import (
 	"repro/internal/chain"
 	"repro/internal/geo"
 	"repro/internal/latency"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -182,6 +183,10 @@ type Network struct {
 
 	// par is non-nil while conservative parallel dispatch is enabled.
 	par *parallelState
+	// tracer is non-nil while event tracing is enabled (EnableTrace).
+	// Dispatch contexts hold their own shard pointers; this reference
+	// exists so enabling parallel dispatch mid-trace re-shards correctly.
+	tracer *obs.Tracer
 	// hashMu guards hashIdx/hashN in parallel mode only (serial dispatch
 	// is single-threaded and skips it). Index assignment order does not
 	// affect observables — indices only key flat arrays.
@@ -276,6 +281,44 @@ func (n *Network) Stats() Stats {
 		}
 	}
 	return s
+}
+
+// EnableTrace attaches an event tracer: message send/loss/deliver/drop
+// and inventory first-sight events are recorded into per-context ring
+// shards, stamped with simulation time. Shard 0 belongs to the driving
+// goroutine (serial dispatch, window control, measurement hooks);
+// partition i of an enabled parallel dispatch records on shard 1+i, so
+// recording is lock-free under any worker count. Tracing is purely
+// observational: enabling it changes no schedule, no RNG draw, and no
+// output byte — the golden-CSV tests pin that.
+//
+// Enable between runs, not mid-flood. Passing nil disables.
+func (n *Network) EnableTrace(t *obs.Tracer) {
+	if t == nil {
+		n.DisableTrace()
+		return
+	}
+	n.tracer = t
+	n.serial.trace = t.Shard(0)
+	if n.par != nil {
+		for i, dc := range n.par.parts {
+			dc.trace = t.Shard(1 + i)
+		}
+	}
+	n.wireWindowTrace()
+}
+
+// DisableTrace detaches the tracer. Recorded events remain readable on
+// the tracer itself.
+func (n *Network) DisableTrace() {
+	n.tracer = nil
+	n.serial.trace = nil
+	if n.par != nil {
+		for _, dc := range n.par.parts {
+			dc.trace = nil
+		}
+	}
+	n.wireWindowTrace()
 }
 
 // ResetStats zeroes the message counters (used between measurement runs).
@@ -537,9 +580,17 @@ func runDelivery(a any) {
 	}
 	dc.deliveryPool = append(dc.deliveryPool, d)
 	if node != nil {
+		if dc.trace != nil {
+			dc.trace.Record(obs.Event{At: dc.sched.Now(), Kind: obs.KindDeliver, Code: uint8(msg.Command()),
+				P1: uint64(src), P2: uint64(dstID)})
+		}
 		node.handleMessage(src, msg)
 	} else {
 		dc.stats.Dropped++
+		if dc.trace != nil {
+			dc.trace.Record(obs.Event{At: dc.sched.Now(), Kind: obs.KindDrop, Code: uint8(msg.Command()),
+				P1: uint64(src), P2: uint64(dstID)})
+		}
 	}
 	dc.recycleMessage(msg)
 }
@@ -563,10 +614,18 @@ func (n *Network) deliver(src, dst *Node, msg wire.Message) {
 	dc := src.dctx
 	size := wire.EncodedSize(msg)
 	dc.stats.count(msg.Command(), size)
+	if dc.trace != nil {
+		dc.trace.Record(obs.Event{At: dc.sched.Now(), Kind: obs.KindSend, Code: uint8(msg.Command()),
+			P1: uint64(src.id), P2: uint64(dst.id), P3: uint64(size)})
+	}
 	src.sendSeq++
 	dc.ksrc.SeedKey(sim.MixKey3(uint64(n.cfg.Seed)^sendKeyTag, uint64(src.id), src.sendSeq))
 	if n.cfg.LossProb > 0 && dc.krand.Float64() < n.cfg.LossProb {
 		dc.stats.Lost++
+		if dc.trace != nil {
+			dc.trace.Record(obs.Event{At: dc.sched.Now(), Kind: obs.KindLoss, Code: uint8(msg.Command()),
+				P1: uint64(src.id), P2: uint64(dst.id), P3: uint64(size)})
+		}
 		return
 	}
 	txTime := time.Duration(float64(size) / n.cfg.Latency.RateBytesPerSec * float64(time.Second))
@@ -881,4 +940,5 @@ func (n *Network) Close() {
 	n.OnTxFirstSeen = nil
 	n.OnBlockFirstSeen = nil
 	n.OnDisconnect = nil
+	n.DisableTrace()
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/chain"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -82,6 +83,12 @@ type dispatchCtx struct {
 	// pingPad is the shared ping padding buffer (write-never data); one
 	// per context so concurrent partitions never share a grow race.
 	pingPad []byte
+
+	// trace is the context's event-trace shard, nil unless tracing is
+	// enabled (Network.EnableTrace). Each context owns its shard —
+	// single-writer by construction, like stats — so the enabled path
+	// records without locks and the disabled path costs one nil check.
+	trace *obs.Shard
 }
 
 // init wires the context to its scheduler. The krand wrapper points at
@@ -417,6 +424,11 @@ func (n *Network) EnableParallelDispatch(plan PartitionPlan, workers int) error 
 		}
 		dc := &dispatchCtx{}
 		dc.init(ps, int32(i))
+		if n.tracer != nil {
+			// Shard 0 is the driving goroutine's (serial context, window
+			// control, measurement); partition i records on shard 1+i.
+			dc.trace = n.tracer.Shard(1 + i)
+		}
 		parts[i] = dc
 	}
 	for _, nd := range n.slots {
@@ -425,7 +437,47 @@ func (n *Network) EnableParallelDispatch(plan PartitionPlan, workers int) error 
 		}
 	}
 	n.par = &parallelState{ws: ws, plan: plan, parts: parts, lookahead: lookahead}
+	n.wireWindowTrace()
 	return nil
+}
+
+// wireWindowTrace points the window scheduler's observability hooks at
+// the tracer, or clears them. The hooks fire on the driving goroutine —
+// the same goroutine that owns shard 0 — so recording there preserves
+// the single-writer-per-shard discipline.
+func (n *Network) wireWindowTrace() {
+	if n.par == nil {
+		return
+	}
+	ws := n.par.ws
+	if n.tracer == nil {
+		ws.OnWindowOpen, ws.OnWindowBarrier, ws.OnWindowCommit = nil, nil, nil
+		return
+	}
+	tr := n.tracer.Shard(0)
+	ws.OnWindowOpen = func(open, horizon sim.Time, index uint64) {
+		// P2 is the window span in nanos: the JSON export renders the
+		// open event as a complete slice with that duration.
+		tr.Record(obs.Event{At: open, Kind: obs.KindWindowOpen, P1: index, P2: uint64(horizon - open + 1)})
+	}
+	ws.OnWindowBarrier = func(horizon sim.Time, index uint64, spanNanos int64) {
+		tr.Record(obs.Event{At: horizon, Kind: obs.KindWindowBarrier, P1: index, P2: uint64(spanNanos)})
+	}
+	ws.OnWindowCommit = func(now sim.Time, index uint64, staged int) {
+		tr.Record(obs.Event{At: now, Kind: obs.KindWindowCommit, P1: index, P2: uint64(staged)})
+	}
+}
+
+// EnableWindowProfile installs a PDES window profile on the parallel
+// dispatcher, accumulating per-partition busy time and window spans via
+// the injected nanosecond clock (p2p is a deterministic package: it
+// never reads the wall clock itself). Returns nil when the network is
+// in serial mode — profiling is a parallel-dispatch diagnostic.
+func (n *Network) EnableWindowProfile(clock func() int64) *sim.WindowProfile {
+	if n.par == nil {
+		return nil
+	}
+	return n.par.ws.EnableProfile(clock)
 }
 
 // DisableParallelDispatch returns the network to serial dispatch,

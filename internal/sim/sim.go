@@ -116,7 +116,20 @@ type Scheduler struct {
 	stopped bool
 
 	executed uint64 // total events dispatched, for stats and loop guards
+
+	// probe, when non-nil, fires at every context-poll interval of
+	// RunUntilCtx with the current clock and cumulative dispatch count —
+	// a coarse, nil-checked progress hook for observability (the obs
+	// tracer and long-run progress displays). It is deliberately not
+	// per-event: ctxCheckInterval spacing keeps the instrumented hot
+	// loop indistinguishable from the bare one.
+	probe func(now Time, executed uint64)
 }
+
+// SetProbe installs (or with nil, removes) the coarse progress probe.
+// The probe must only observe: scheduling or stopping from inside it
+// would perturb the simulation it is watching.
+func (s *Scheduler) SetProbe(probe func(now Time, executed uint64)) { s.probe = probe }
 
 // NewScheduler returns an empty scheduler with the clock at zero.
 func NewScheduler() *Scheduler { return &Scheduler{} }
@@ -387,6 +400,9 @@ func (s *Scheduler) RunUntilCtx(ctx context.Context, limit Time) error {
 		if n%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
+			}
+			if s.probe != nil {
+				s.probe(s.now, s.executed)
 			}
 		}
 		s.step()

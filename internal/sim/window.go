@@ -104,6 +104,110 @@ type WindowScheduler struct {
 	wg      sync.WaitGroup
 	start   chan struct{} // one token wakes one worker for one window
 	closed  bool
+
+	// Observability hooks, all nil by default so the uninstrumented
+	// path costs one branch. They fire on the driving goroutine only:
+	// OnWindowOpen before the window's worker tokens are sent,
+	// OnWindowBarrier after every worker has reached the barrier
+	// (spanNanos is the window's wall-clock span when a profile clock is
+	// installed, else zero), and OnWindowCommit when staged
+	// cross-partition events merge into destination heaps. Tracing must
+	// never perturb the simulation: hooks may observe, not schedule.
+	OnWindowOpen    func(open, horizon Time, index uint64)
+	OnWindowBarrier func(horizon Time, index uint64, spanNanos int64)
+	OnWindowCommit  func(now Time, index uint64, staged int)
+
+	windowIndex uint64
+	prof        *WindowProfile
+}
+
+// WindowProfile accumulates per-partition PDES timings across a run:
+// how much wall time each partition spent dispatching inside windows,
+// how many windows it had work in, and how long the driver spent per
+// window overall. Barrier wait — the parallelism lost to imbalance —
+// is derived, not measured: workers × total window span − Σ busy.
+//
+// The wall clock is injected, never read directly: sim is a
+// deterministic package (bcbpt-lint detrand bans time.Now here), so
+// non-deterministic callers pass their own nanosecond clock and
+// deterministic callers simply never enable profiling.
+type WindowProfile struct {
+	clock func() int64
+
+	// Windows counts dispatched windows; SpanNanos sums their
+	// wall-clock spans as seen by the driving goroutine.
+	Windows   uint64
+	SpanNanos int64
+	// PartBusyNanos[i] is partition i's in-window dispatch time;
+	// PartWindows[i] counts windows where it had work. Each cell is
+	// written only by the worker that claimed the partition for that
+	// window and read by the driver after the barrier.
+	PartBusyNanos []int64
+	PartWindows   []uint64
+	// StagedEvents counts cross-partition deliveries committed.
+	StagedEvents uint64
+
+	workers int
+}
+
+// EnableProfile installs a profile collecting per-window timings with
+// the given wall clock (nanoseconds; e.g. time.Now().UnixNano wrapped
+// by a non-deterministic caller). Returns the profile, which the caller
+// reads after the run. Enabling replaces any previous profile.
+func (w *WindowScheduler) EnableProfile(clock func() int64) *WindowProfile {
+	p := &WindowProfile{
+		clock:         clock,
+		PartBusyNanos: make([]int64, len(w.parts)),
+		PartWindows:   make([]uint64, len(w.parts)),
+		workers:       w.workers,
+	}
+	w.prof = p
+	return p
+}
+
+// DisableProfile detaches the profile; the returned snapshot stays
+// readable.
+func (w *WindowScheduler) DisableProfile() { w.prof = nil }
+
+// BusyNanos sums partition dispatch time across the run.
+func (p *WindowProfile) BusyNanos() int64 {
+	var t int64
+	for _, b := range p.PartBusyNanos {
+		t += b
+	}
+	return t
+}
+
+// BarrierWaitNanos estimates worker idle time at window barriers:
+// the worker pool's total in-window capacity minus the time actually
+// spent dispatching, clamped at zero.
+func (p *WindowProfile) BarrierWaitNanos() int64 {
+	wait := int64(p.workers)*p.SpanNanos - p.BusyNanos()
+	if wait < 0 {
+		return 0
+	}
+	return wait
+}
+
+// ImbalanceRatio is max partition busy time over the mean — 1.0 is a
+// perfectly balanced partitioning, and the ratio bounds the speedup
+// lost to the slowest partition each window.
+func (p *WindowProfile) ImbalanceRatio() float64 {
+	if len(p.PartBusyNanos) == 0 {
+		return 1
+	}
+	var sum, max int64
+	for _, b := range p.PartBusyNanos {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(p.PartBusyNanos))
+	return float64(max) / mean
 }
 
 // NewWindowScheduler creates P fresh partition Schedulers (clocks at zero)
@@ -220,6 +324,12 @@ func (w *WindowScheduler) commit() {
 	if total == 0 {
 		return
 	}
+	if w.OnWindowCommit != nil {
+		w.OnWindowCommit(w.Now(), w.windowIndex, total)
+	}
+	if w.prof != nil {
+		w.prof.StagedEvents += uint64(total)
+	}
 	w.merge = w.merge[:0]
 	for i, ob := range w.outbox {
 		w.merge = append(w.merge, ob...)
@@ -266,8 +376,17 @@ func (w *WindowScheduler) worker() {
 			}
 			p := w.parts[i]
 			if w.horizon >= p.Now() {
+				pr := w.prof
+				var t0 int64
+				if pr != nil && pr.clock != nil {
+					t0 = pr.clock()
+				}
 				if err := p.RunUntilCtx(w.runCtx, w.horizon); err != nil {
 					w.errs[i] = err
+				}
+				if pr != nil && pr.clock != nil {
+					pr.PartBusyNanos[i] += pr.clock() - t0
+					pr.PartWindows[i]++
 				}
 			}
 		}
@@ -308,6 +427,13 @@ func (w *WindowScheduler) RunUntilCtx(ctx context.Context, limit Time) error {
 		if horizon < t || horizon > limit {
 			horizon = limit
 		}
+		if w.OnWindowOpen != nil {
+			w.OnWindowOpen(t, horizon, w.windowIndex)
+		}
+		var w0 int64
+		if w.prof != nil && w.prof.clock != nil {
+			w0 = w.prof.clock()
+		}
 		w.horizon = horizon
 		w.runCtx = ctx
 		w.next.Store(0)
@@ -316,6 +442,18 @@ func (w *WindowScheduler) RunUntilCtx(ctx context.Context, limit Time) error {
 			w.start <- struct{}{}
 		}
 		w.wg.Wait()
+		var span int64
+		if w.prof != nil {
+			w.prof.Windows++
+			if w.prof.clock != nil {
+				span = w.prof.clock() - w0
+				w.prof.SpanNanos += span
+			}
+		}
+		if w.OnWindowBarrier != nil {
+			w.OnWindowBarrier(horizon, w.windowIndex, span)
+		}
+		w.windowIndex++
 		var ferr error
 		for i := range w.errs {
 			if w.errs[i] != nil && ferr == nil {

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestWindowHooksAndProfile pins the observability contract of the
+// window scheduler: hooks fire per window on the driving goroutine in
+// open → barrier order with matching indices, the commit hook sees the
+// staged event count, and the injected-clock profile accounts busy time
+// per partition without changing dispatch results.
+func TestWindowHooksAndProfile(t *testing.T) {
+	w, err := NewWindowScheduler(2, 2, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	var fake int64
+	prof := w.EnableProfile(func() int64 { fake += 1000; return fake })
+
+	var opens, barriers, commits, staged int
+	lastOpen := uint64(0)
+	w.OnWindowOpen = func(open, horizon Time, index uint64) {
+		opens++
+		lastOpen = index
+		if horizon < open {
+			t.Errorf("window %d: horizon %v before open %v", index, horizon, open)
+		}
+	}
+	w.OnWindowBarrier = func(horizon Time, index uint64, spanNanos int64) {
+		barriers++
+		if index != lastOpen {
+			t.Errorf("barrier index %d after open index %d", index, lastOpen)
+		}
+		if spanNanos <= 0 {
+			t.Errorf("window %d: spanNanos = %d with profile clock installed", index, spanNanos)
+		}
+	}
+	w.OnWindowCommit = func(now Time, index uint64, n int) {
+		commits++
+		staged += n
+	}
+
+	var order []int
+	// Partition 0 stages into partition 1 beyond the lookahead bound;
+	// partition 1 has local work in two separate windows.
+	w.Part(0).AtCall(1*time.Millisecond, func(any) {
+		order = append(order, 0)
+		w.Stage(0, 15*time.Millisecond, 1, 1, 1, func(any) { order = append(order, 2) }, nil)
+	}, nil)
+	w.Part(1).AtCall(2*time.Millisecond, func(any) { order = append(order, 1) }, nil)
+
+	if err := w.RunUntilCtx(context.Background(), 30*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if opens == 0 || opens != barriers {
+		t.Fatalf("opens = %d, barriers = %d; want equal and > 0", opens, barriers)
+	}
+	if commits != 1 || staged != 1 {
+		t.Fatalf("commits = %d (staged %d), want 1 commit of 1 event", commits, staged)
+	}
+	if len(order) != 3 || order[0] != 0 || order[2] != 2 {
+		t.Fatalf("dispatch order %v perturbed by hooks", order)
+	}
+	if prof.Windows != uint64(opens) {
+		t.Fatalf("profile windows = %d, hook saw %d", prof.Windows, opens)
+	}
+	if prof.BusyNanos() <= 0 || prof.SpanNanos <= 0 {
+		t.Fatalf("profile busy=%d span=%d, want both > 0", prof.BusyNanos(), prof.SpanNanos)
+	}
+	if prof.StagedEvents != 1 {
+		t.Fatalf("profile staged = %d, want 1", prof.StagedEvents)
+	}
+	if r := prof.ImbalanceRatio(); r < 1 {
+		t.Fatalf("imbalance ratio %v < 1", r)
+	}
+	if prof.BarrierWaitNanos() < 0 {
+		t.Fatalf("barrier wait negative")
+	}
+}
+
+// TestSchedulerProbe pins that the coarse probe fires at poll intervals
+// and observes monotonic progress.
+func TestSchedulerProbe(t *testing.T) {
+	s := NewScheduler()
+	var calls int
+	var lastExec uint64
+	s.SetProbe(func(now Time, executed uint64) {
+		calls++
+		if executed < lastExec {
+			t.Errorf("probe saw executed go backwards: %d then %d", lastExec, executed)
+		}
+		lastExec = executed
+	})
+	for i := 0; i < 3000; i++ {
+		s.At(Time(i), func() {})
+	}
+	if err := s.RunUntil(Time(5000)); err != nil {
+		t.Fatal(err)
+	}
+	if calls < 2 {
+		t.Fatalf("probe fired %d times over 3000 events, want >= 2", calls)
+	}
+	s.SetProbe(nil)
+	s.At(Time(6000), func() {})
+	if err := s.RunUntil(Time(7000)); err != nil {
+		t.Fatal(err)
+	}
+}
