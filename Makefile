@@ -15,7 +15,7 @@ GOVULNCHECK_VERSION ?= v1.1.3
 # follow everywhere (test fixtures, generated tables).
 STATICCHECK_CHECKS ?= all,-ST1000,-ST1003
 
-.PHONY: build test race bench fmt vet lint lint-tools fuzz-smoke fleet-smoke trace-smoke ci
+.PHONY: build test race bench fmt vet lint lint-tools fuzz-smoke fleet-smoke trace-smoke escapecheck ci
 
 build:
 	$(GO) build ./...
@@ -24,20 +24,23 @@ test:
 	$(GO) test ./...
 
 # The engine fans campaigns across goroutines, the build shards its
-# placement/candidate phases, and the fleet coordinator serves concurrent
-# HTTP workers; keep the concurrent packages honest under the race
-# detector.
+# placement/candidate phases, the fleet coordinator serves concurrent
+# HTTP workers, and the obs tracer is written into by every partition
+# worker; keep the concurrent packages honest under the race detector.
 race:
-	$(GO) test -race ./internal/sim ./internal/experiment ./internal/core ./internal/measure ./internal/netnode ./internal/fleet ./internal/p2p ./internal/wire
+	$(GO) test -race ./internal/sim ./internal/experiment ./internal/core ./internal/measure ./internal/netnode ./internal/fleet ./internal/p2p ./internal/wire ./internal/obs
 
-# Short fuzz passes over the two differential fuzz targets that guard
-# the flat-node and arena-scheduler kernels against their reference
+# Short fuzz passes over the differential fuzz targets that guard the
+# flat-node and arena-scheduler kernels against their reference
 # implementations. 30s each: enough to shake out shallow divergence
-# regressions on every CI run without burning runner minutes.
+# regressions on every CI run without burning runner minutes. Set
+# FUZZ_RACE=-race to also run the fuzz executions under the race
+# detector (the stable CI leg does; slower, so off by default locally).
+FUZZ_RACE ?=
 fuzz-smoke:
-	$(GO) test -run='^$$' -fuzz=FuzzFlatNodeMatchesReference -fuzztime=30s ./internal/p2p
-	$(GO) test -run='^$$' -fuzz=FuzzArenaMatchesReference -fuzztime=30s ./internal/sim
-	$(GO) test -run='^$$' -fuzz=FuzzParallelMatchesSerial -fuzztime=30s ./internal/sim
+	$(GO) test $(FUZZ_RACE) -run='^$$' -fuzz=FuzzFlatNodeMatchesReference -fuzztime=30s ./internal/p2p
+	$(GO) test $(FUZZ_RACE) -run='^$$' -fuzz=FuzzArenaMatchesReference -fuzztime=30s ./internal/sim
+	$(GO) test $(FUZZ_RACE) -run='^$$' -fuzz=FuzzParallelMatchesSerial -fuzztime=30s ./internal/sim
 
 # Distributed-campaign smoke: a coordinator + 2 local workers (one
 # induced worker failure) must merge a tiny sweep byte-identical to the
@@ -66,6 +69,12 @@ trace-smoke:
 bench:
 	$(GO) test -bench='Figure3|^BenchmarkBuild|^BenchmarkFlood' -benchmem -benchtime=1x -timeout=20m .
 	$(GO) test -bench='^BenchmarkScheduler' -benchmem -benchtime=100000x .
+
+# Escape-budget gate: the compiler's escape analysis over the kernel
+# packages, diffed per hot function against the pinned manifest. See
+# scripts/escapecheck.sh.
+escapecheck:
+	sh scripts/escapecheck.sh
 
 fmt:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
@@ -101,4 +110,4 @@ lint:
 		echo "lint: govulncheck not installed; skipping (make lint-tools)"; \
 	fi
 
-ci: build fmt vet lint test race fuzz-smoke fleet-smoke trace-smoke bench
+ci: build fmt vet lint escapecheck test race fuzz-smoke fleet-smoke trace-smoke bench

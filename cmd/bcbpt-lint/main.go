@@ -69,8 +69,11 @@ func printVersion() {
 // build cache and runs the suite.
 func standalone(args []string) int {
 	fs := flag.NewFlagSet("bcbpt-lint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0 instead of text")
+	ghOut := fs.Bool("github", false, "emit findings as GitHub workflow-command annotations instead of text")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: bcbpt-lint [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(fs.Output(), "usage: bcbpt-lint [-json|-sarif|-github] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(fs.Output(), "  %-10s %s\n", a.Name, a.Doc)
 		}
@@ -88,20 +91,35 @@ func standalone(args []string) int {
 		fmt.Fprintf(os.Stderr, "bcbpt-lint: %v\n", err)
 		return 1
 	}
-	found := 0
+	var found []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		diags, err := lint.Check(pkg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bcbpt-lint: %v\n", err)
 			return 1
 		}
-		for _, d := range diags {
+		found = append(found, diags...)
+	}
+	switch {
+	case *jsonOut:
+		if err := writeJSON(os.Stdout, found); err != nil {
+			fmt.Fprintf(os.Stderr, "bcbpt-lint: %v\n", err)
+			return 1
+		}
+	case *sarifOut:
+		if err := writeSARIF(os.Stdout, found); err != nil {
+			fmt.Fprintf(os.Stderr, "bcbpt-lint: %v\n", err)
+			return 1
+		}
+	case *ghOut:
+		writeGitHub(os.Stdout, found)
+	default:
+		for _, d := range found {
 			fmt.Println(d)
-			found++
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "bcbpt-lint: %d finding(s)\n", found)
+	if len(found) > 0 {
+		fmt.Fprintf(os.Stderr, "bcbpt-lint: %d finding(s)\n", len(found))
 		return 2
 	}
 	return 0

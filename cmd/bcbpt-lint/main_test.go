@@ -80,6 +80,54 @@ func TestVetToolSeededViolation(t *testing.T) {
 	}
 }
 
+// TestVetToolPartisoViolation seeds a partition-isolation violation the
+// same way: an overlaid file registers a dispatch handler that touches
+// Network.serial, and go vet must exit nonzero with the partiso message
+// — proving the interprocedural engine runs under the vet protocol too.
+func TestVetToolPartisoViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and vets packages")
+	}
+	bin, root := buildTool(t)
+
+	dir := t.TempDir()
+	seed := filepath.Join(dir, "zz_partiso_violation.go")
+	src := `package p2p
+
+func zzPartisoViolation(n *Network) {
+	n.sched.AfterCall(0, zzPartisoDeliver, n)
+}
+
+func zzPartisoDeliver(a any) {
+	n := a.(*Network)
+	n.serial.stats.Dropped++
+}
+`
+	if err := os.WriteFile(seed, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	overlay := filepath.Join(dir, "overlay.json")
+	data, err := json.Marshal(map[string]map[string]string{
+		"Replace": {filepath.Join(root, "internal/p2p/zz_partiso_violation.go"): seed},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(overlay, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command("go", "vet", "-overlay="+overlay, "-vettool="+bin, "./internal/p2p")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed despite seeded partiso violation:\n%s", out)
+	}
+	if !strings.Contains(string(out), "access to Network.serial in dispatch-reachable zzPartisoDeliver") {
+		t.Fatalf("vet failed but without the partiso diagnostic:\n%s", out)
+	}
+}
+
 // TestVersionHandshake checks the -V=full line cmd/go parses to
 // fingerprint the tool for result caching.
 func TestVersionHandshake(t *testing.T) {

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Conservative intra-procedural dataflow over go/types-resolved locals.
+// Analyzers define a small integer lattice (the meaning of each value is
+// theirs — seedflow uses unknown/derived/fresh/wall-clock), an Eval that
+// classifies one expression under an environment, and a monotone Join;
+// FlowLocals iterates the function body's bindings to a fixpoint so a
+// value's classification survives flowing through local variables:
+//
+//	seed := time.Now().UnixNano()  // env[seed] = wallclock
+//	s := seed + 3                  // env[s]    = wallclock (via Eval)
+//	rand.NewSource(s)              // sink reads env[s]
+//
+// The analysis is flow-insensitive per variable (one value per object,
+// joined over every binding in the body, loops included) which is sound
+// for "may be tainted" questions and terminates because Join is monotone
+// over a finite lattice. Closures are descended into: their locals are
+// distinct objects and their captures see the outer environment.
+
+// Env maps local objects to lattice values. Absent means "never bound in
+// this body" — Eval decides what that implies.
+type Env map[types.Object]int
+
+// FlowHooks parameterizes FlowLocals.
+type FlowHooks struct {
+	// Eval classifies expression e under env. It must be total (return
+	// the lattice bottom for anything it does not understand).
+	Eval func(env Env, e ast.Expr) int
+	// Join combines two lattice values; it must be monotone and
+	// commutative or the fixpoint may not converge.
+	Join func(a, b int) int
+	// Range, if non-nil, classifies a variable bound by `range x`
+	// (isKey selects the key/index position). When nil, range bindings
+	// are left unbound.
+	Range func(env Env, x ast.Expr, isKey bool) int
+}
+
+// maxFlowPasses bounds the fixpoint; the lattice height times nesting
+// depth stays far below this in practice, so hitting the cap means a
+// non-monotone Join, and stopping early is merely conservative.
+const maxFlowPasses = 32
+
+// FlowLocals computes the post-fixpoint environment of body's local
+// bindings: every assignment, var declaration, and (optionally) range
+// binding joins its evaluated value into the target object.
+func FlowLocals(info *types.Info, body *ast.BlockStmt, h FlowHooks) Env {
+	env := Env{}
+	for pass := 0; pass < maxFlowPasses; pass++ {
+		if !flowOnce(info, body, h, env) {
+			break
+		}
+	}
+	return env
+}
+
+func flowOnce(info *types.Info, body *ast.BlockStmt, h FlowHooks, env Env) bool {
+	changed := false
+	bind := func(id *ast.Ident, v int) {
+		obj := objOfIdent(info, id)
+		if obj == nil {
+			return
+		}
+		old, had := env[obj]
+		nv := v
+		if had {
+			nv = h.Join(old, v)
+		}
+		if !had || nv != old {
+			env[obj] = nv
+			changed = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					v := h.Eval(env, n.Rhs[i])
+					if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+						// Op-assign (+=, *=, ...): the result depends on
+						// both the prior value and the operand.
+						if old, had := env[objOfIdent(info, id)]; had {
+							v = h.Join(old, v)
+						}
+					}
+					bind(id, v)
+				}
+			}
+			// Multi-value from one call (x, y := f()): leave unbound;
+			// Eval classifies the identifiers' uses as it sees fit.
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i, id := range n.Names {
+					bind(id, h.Eval(env, n.Values[i]))
+				}
+			}
+		case *ast.RangeStmt:
+			if h.Range != nil {
+				if id, ok := n.Key.(*ast.Ident); ok {
+					bind(id, h.Range(env, n.X, true))
+				}
+				if id, ok := n.Value.(*ast.Ident); ok {
+					bind(id, h.Range(env, n.X, false))
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// objOfIdent resolves an identifier to the variable it defines or uses.
+func objOfIdent(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Ctxpoll keeps event/run loops cancelable: in any function of a
+// deterministic package that takes a context.Context, a for-loop whose
+// iteration count is not syntactically bounded (no condition, or a
+// condition that does not test a variable advanced by the loop header)
+// must mention the context somewhere in its header or body — the
+// RunUntil shape, which polls ctx.Err() on a bounded cadence
+// (sim.Scheduler.RunUntilCtx checks every ctxCheckInterval events).
+// Range loops are bounded by their operand and are exempt.
+//
+// Without the poll, a runaway campaign (an event loop fed by a ticker,
+// a drain that never empties) ignores cancellation until the process is
+// killed — exactly what PR 2 threaded contexts through the stack to
+// prevent.
+var Ctxpoll = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc: "require unbounded event loops in ctx-taking functions of deterministic packages to " +
+		"poll ctx on a bounded cadence (the RunUntil shape)",
+	Run: runCtxpoll,
+}
+
+func runCtxpoll(pass *analysis.Pass) error {
+	if !ctxPollScope(pass.Path()) {
+		return nil
+	}
+	info := pass.TypesInfo()
+	lintableFuncs(pass, func(fd *ast.FuncDecl) {
+		ctxObj := ctxParam(info, fd)
+		if ctxObj == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // a literal's loops run under its own contract
+			}
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			if boundedLoop(info, loop) {
+				return true
+			}
+			if loopMentions(info, loop, ctxObj) {
+				return true
+			}
+			pass.Reportf(loop.Pos(),
+				"unbounded loop in %s never polls ctx: check ctx.Err() on a bounded cadence (see sim.Scheduler.RunUntilCtx)",
+				fd.Name.Name)
+			return true
+		})
+	})
+	return nil
+}
+
+// ctxParam returns the function's context.Context parameter object, or
+// nil.
+func ctxParam(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			tn := named.Obj()
+			if tn.Pkg() != nil && tn.Pkg().Path() == "context" && tn.Name() == "Context" {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// boundedLoop reports whether the loop's condition tests a variable the
+// loop header itself initializes — the `for i := 0; i < n; i++` shape,
+// whose iteration count the surrounding code bounds.
+func boundedLoop(info *types.Info, loop *ast.ForStmt) bool {
+	if loop.Cond == nil {
+		return false
+	}
+	init, ok := loop.Init.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range init.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := objOf(info, id); obj != nil && mentionsObj(info, loop.Cond, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// loopMentions reports whether the loop's condition or body references
+// the context parameter (directly or via a derived local — any mention
+// counts: ctx.Err(), ctx.Done(), passing ctx to a callee that polls it).
+func loopMentions(info *types.Info, loop *ast.ForStmt, ctxObj types.Object) bool {
+	if loop.Cond != nil && mentionsObj(info, loop.Cond, ctxObj) {
+		return true
+	}
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objOf(info, id) == ctxObj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

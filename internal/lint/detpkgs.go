@@ -68,3 +68,29 @@ var lockIOPkgs = map[string]bool{
 func mapOrderScope(path string) bool {
 	return deterministicPkgs[path] || lockIOPkgs[path]
 }
+
+// partIsoPkgs scopes partiso: the packages carrying the PDES
+// parallel-dispatch surface, where the single-writer discipline (every
+// delivery touches only partition-local state through its dispatch
+// context) is what makes parallel output bit-identical to serial.
+var partIsoPkgs = map[string]bool{
+	modulePath + "/internal/p2p": true,
+}
+
+// hookCostPkgs scopes hookcost: the packages whose hot paths carry obs
+// hook call sites pinned non-perturbing by the PR 9 bench-parity and
+// traced-vs-untraced golden-CSV gates. A hook site here must stay
+// nil-guarded and allocation-free or tracing stops being zero-cost when
+// disabled and starts perturbing allocs/op when enabled.
+var hookCostPkgs = map[string]bool{
+	modulePath + "/internal/p2p":     true,
+	modulePath + "/internal/sim":     true,
+	modulePath + "/internal/measure": true,
+}
+
+// ctxPollPkgs scopes ctxpoll: packages whose event/run loops must stay
+// cancelable — the PR 2 contract that every long build/run loop polls
+// its context on a bounded cadence.
+func ctxPollScope(path string) bool {
+	return deterministicPkgs[path]
+}

@@ -17,12 +17,39 @@ var wallClockFuncs = map[string]bool{
 	"NewTicker": true, "NewTimer": true,
 }
 
-// globalRandExempt are the math/rand (and v2) package-level functions
+// seededConstructors are, per rand package, the package-level functions
 // that do NOT draw from the process-global source: constructors for
 // explicitly seeded generators, which are exactly the sanctioned idiom.
-var globalRandExempt = map[string]bool{
-	"New": true, "NewSource": true, "NewZipf": true,
-	"NewPCG": true, "NewChaCha8": true,
+// Matching is by full identity — defining package, name, and a first
+// result whose named type is declared by that same rand package — so a
+// look-alike helper that merely shares a constructor's name (or a
+// future rand function that returns something other than a generator)
+// cannot claim the exemption.
+var seededConstructors = map[string]map[string]bool{
+	"math/rand":    {"New": true, "NewSource": true, "NewZipf": true},
+	"math/rand/v2": {"New": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true},
+}
+
+// isSeededConstructor applies the seededConstructors identity check.
+func isSeededConstructor(fn *types.Func) bool {
+	names, ok := seededConstructors[funcPkgPath(fn)]
+	if !ok || !names[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil || sig.Results().Len() == 0 {
+		return false
+	}
+	t := sig.Results().At(0).Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == funcPkgPath(fn)
 }
 
 // Detrand bans wall-clock reads and the global math/rand source in the
@@ -66,7 +93,7 @@ func runDetrand(pass *analysis.Pass) error {
 						fn.Name(), pass.Path())
 				}
 			case "math/rand", "math/rand/v2":
-				if !globalRandExempt[fn.Name()] {
+				if !isSeededConstructor(fn) {
 					pass.Reportf(sel.Pos(),
 						"global %s.%s draws from the process-wide source in deterministic package %s: use a seed-chained stream (sim.Streams / rand.New(rand.NewSource(seed)))",
 						fn.Pkg().Path(), fn.Name(), pass.Path())

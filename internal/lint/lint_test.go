@@ -32,6 +32,26 @@ func TestLockio(t *testing.T) {
 		[]*analysis.Analyzer{lint.Lockio}, lint.Names())
 }
 
+func TestPartiso(t *testing.T) {
+	analysistest.Run(t, "testdata/partiso", "repro/internal/p2p",
+		[]*analysis.Analyzer{lint.Partiso}, lint.Names())
+}
+
+func TestSeedflow(t *testing.T) {
+	analysistest.Run(t, "testdata/seedflow", "repro/internal/experiment",
+		[]*analysis.Analyzer{lint.Seedflow}, lint.Names())
+}
+
+func TestHookcost(t *testing.T) {
+	analysistest.Run(t, "testdata/hookcost", "repro/internal/measure",
+		[]*analysis.Analyzer{lint.Hookcost}, lint.Names())
+}
+
+func TestCtxpoll(t *testing.T) {
+	analysistest.Run(t, "testdata/ctxpoll", "repro/internal/chain",
+		[]*analysis.Analyzer{lint.Ctxpoll}, lint.Names())
+}
+
 // TestOutOfScope runs the full suite over a fixture that breaks every
 // rule but claims an import path outside all analyzer scopes: the suite
 // must stay silent.

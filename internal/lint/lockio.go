@@ -3,7 +3,6 @@ package lint
 import (
 	"go/ast"
 	"go/types"
-	"sort"
 
 	"repro/internal/lint/analysis"
 )
@@ -15,14 +14,15 @@ import (
 // syscall — the bug class fixed by hand twice in PRs 4–5 (shard decode
 // under the commit lock, spool writes stalling lease traffic).
 //
-// Detection is package-local but transitive: a function that performs
-// I/O directly (or calls a same-package function that does) is treated
-// as an I/O call at its call sites. Lock regions are tracked lexically
-// within each function: from <expr>.Lock()/.RLock() to the matching
-// .Unlock()/.RUnlock(), with `defer <expr>.Unlock()` holding to the end
-// of the function. Calls inside `go` statements and non-invoked
-// function literals run outside the lexical region and are not charged
-// to it.
+// Detection is package-local but transitive, built on the shared
+// interprocedural engine: analysis.CallGraph.Reaches classifies a
+// function that performs I/O directly (or calls a same-package function
+// that does) so it counts as an I/O call at its call sites, and
+// analysis.WalkLockRegions tracks the lexical critical sections — from
+// <expr>.Lock()/.RLock() to the matching .Unlock()/.RUnlock(), with
+// `defer <expr>.Unlock()` holding to the end of the function. Calls
+// inside `go` statements and non-invoked function literals run outside
+// the lexical region and are not charged to it.
 //
 // The one sanctioned exception in-tree — os.Rename as an atomic publish
 // under the queue mutex, with the data written beforehand outside the
@@ -71,66 +71,40 @@ func runLockio(pass *analysis.Pass) error {
 	info := pass.TypesInfo()
 
 	// Pass 1: classify package functions that reach I/O, to a fixpoint.
-	type declFunc struct {
-		fn   *types.Func
-		decl *ast.FuncDecl
-	}
-	var decls []declFunc
-	byFunc := map[*types.Func]*ast.FuncDecl{}
-	lintableFuncs(pass, func(fd *ast.FuncDecl) {
-		if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
-			decls = append(decls, declFunc{fn, fd})
-			byFunc[fn] = fd
-		}
-	})
-	sort.Slice(decls, func(i, j int) bool { return decls[i].decl.Pos() < decls[j].decl.Pos() })
-
-	reaches := map[*types.Func]string{} // fn → description of the I/O it reaches
-	for changed := true; changed; {
-		changed = false
-		for _, d := range decls {
-			if _, done := reaches[d.fn]; done {
-				continue
-			}
-			what := firstIOCall(info, d.decl.Body, reaches, byFunc)
-			if what != "" {
-				reaches[d.fn] = what
-				changed = true
-			}
-		}
-	}
+	// sameStack: work inside `go` statements and non-invoked literals
+	// does not run inside the caller's critical section.
+	g := analysis.NewCallGraph(pass, true)
+	direct := func(call *ast.CallExpr) string { return directIOCall(info, call) }
+	reaches := g.Reaches(direct)
 
 	// Pass 2: walk lock regions and flag I/O-reaching calls inside them.
-	w := &lockWalker{pass: pass, info: info, reaches: reaches, byFunc: byFunc}
-	lintableFuncs(pass, func(fd *ast.FuncDecl) { w.walkBody(fd.Body) })
+	for _, fd := range g.Funcs() {
+		analysis.WalkLockRegions(pass.Fset(), info, fd.Body, func(n ast.Node, held []analysis.HeldLock) {
+			if len(held) == 0 {
+				return
+			}
+			ast.Inspect(n, func(node ast.Node) bool {
+				switch node := node.(type) {
+				case *ast.FuncLit, *ast.GoStmt:
+					return false
+				case *ast.CallExpr:
+					if what := g.Describe(node, direct, reaches); what != "" {
+						h := held[len(held)-1]
+						pass.Reportf(node.Pos(),
+							"I/O call %s while %s is held (locked at line %d): move it outside the critical section",
+							what, h.Key, h.Line)
+					}
+				}
+				return true
+			})
+		})
+	}
 	return nil
 }
 
-// firstIOCall returns a description of the first direct or transitive
-// I/O call in body (source order), or "". Function-literal bodies and
-// `go` statements are skipped: their work does not run on the caller's
-// stack inside the caller's critical section.
-func firstIOCall(info *types.Info, body *ast.BlockStmt, reaches map[*types.Func]string, byFunc map[*types.Func]*ast.FuncDecl) string {
-	what := ""
-	ast.Inspect(body, func(n ast.Node) bool {
-		if what != "" {
-			return false
-		}
-		switch n := n.(type) {
-		case *ast.FuncLit, *ast.GoStmt:
-			return false
-		case *ast.CallExpr:
-			if w := classifyIOCall(info, n, reaches, byFunc); w != "" {
-				what = w
-			}
-		}
-		return true
-	})
-	return what
-}
-
-// classifyIOCall describes the I/O performed or reached by call, or "".
-func classifyIOCall(info *types.Info, call *ast.CallExpr, reaches map[*types.Func]string, byFunc map[*types.Func]*ast.FuncDecl) string {
+// directIOCall describes the I/O performed by call itself (not through
+// same-package callees — the call graph layers that on), or "".
+func directIOCall(info *types.Info, call *ast.CallExpr) string {
 	fn := calleeFunc(info, call)
 	if fn == nil {
 		return ""
@@ -145,182 +119,5 @@ func classifyIOCall(info *types.Info, call *ast.CallExpr, reaches map[*types.Fun
 			return "(" + typeName + ")." + fn.Name()
 		}
 	}
-	if _, local := byFunc[fn]; local {
-		if what, ok := reaches[fn]; ok {
-			return fn.Name() + " (which reaches " + what + ")"
-		}
-	}
 	return ""
-}
-
-// heldLock is one lexically held mutex.
-type heldLock struct {
-	key  string // source text of the receiver expression, e.g. "c.mu"
-	line int
-}
-
-type lockWalker struct {
-	pass    *analysis.Pass
-	info    *types.Info
-	reaches map[*types.Func]string
-	byFunc  map[*types.Func]*ast.FuncDecl
-}
-
-func (w *lockWalker) walkBody(body *ast.BlockStmt) {
-	w.walkStmts(body.List, nil)
-}
-
-// walkStmts walks a statement list in source order, threading the held
-// set through lock/unlock transitions; nested control flow gets a copy
-// so branch-local releases don't leak out.
-func (w *lockWalker) walkStmts(stmts []ast.Stmt, held []heldLock) []heldLock {
-	for _, s := range stmts {
-		held = w.walkStmt(s, held)
-	}
-	return held
-}
-
-func (w *lockWalker) walkStmt(s ast.Stmt, held []heldLock) []heldLock {
-	switch s := s.(type) {
-	case *ast.ExprStmt:
-		if key, acquire, ok := w.lockTransition(s.X); ok {
-			if acquire {
-				return append(append([]heldLock{}, held...), heldLock{key: key, line: w.pass.Fset().Position(s.Pos()).Line})
-			}
-			return releaseLock(held, key)
-		}
-		w.checkCalls(s.X, held)
-	case *ast.DeferStmt:
-		// defer mu.Unlock() is the canonical release idiom: the lock
-		// stays held for the remainder of the walk, which matches the
-		// function's actual critical section. Any other deferred call
-		// runs before that unlock, so it is still charged to the region.
-		if _, acquire, ok := w.lockTransition(s.Call); ok && !acquire {
-			return held
-		}
-		w.checkCalls(s.Call, held)
-	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			w.checkCalls(e, held)
-		}
-	case *ast.DeclStmt:
-		w.checkCalls(s, held)
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			w.checkCalls(e, held)
-		}
-	case *ast.IfStmt:
-		if s.Init != nil {
-			held = w.walkStmt(s.Init, held)
-		}
-		w.checkCalls(s.Cond, held)
-		w.walkStmts(s.Body.List, held)
-		if s.Else != nil {
-			w.walkStmt(s.Else, held)
-		}
-	case *ast.BlockStmt:
-		held = w.walkStmts(s.List, held)
-	case *ast.ForStmt:
-		if s.Init != nil {
-			held = w.walkStmt(s.Init, held)
-		}
-		if s.Cond != nil {
-			w.checkCalls(s.Cond, held)
-		}
-		w.walkStmts(s.Body.List, held)
-	case *ast.RangeStmt:
-		w.checkCalls(s.X, held)
-		w.walkStmts(s.Body.List, held)
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			held = w.walkStmt(s.Init, held)
-		}
-		if s.Tag != nil {
-			w.checkCalls(s.Tag, held)
-		}
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				w.walkStmts(cc.Body, held)
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				w.walkStmts(cc.Body, held)
-			}
-		}
-	case *ast.SelectStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				w.walkStmts(cc.Body, held)
-			}
-		}
-	case *ast.LabeledStmt:
-		return w.walkStmt(s.Stmt, held)
-	case *ast.GoStmt:
-		// Runs on its own goroutine outside this critical section.
-	}
-	return held
-}
-
-// lockTransition recognizes <expr>.Lock/RLock/Unlock/RUnlock() on a
-// sync.Mutex or sync.RWMutex receiver, returning the receiver's source
-// text and whether the call acquires.
-func (w *lockWalker) lockTransition(e ast.Expr) (key string, acquire, ok bool) {
-	call, isCall := ast.Unparen(e).(*ast.CallExpr)
-	if !isCall {
-		return "", false, false
-	}
-	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !isSel {
-		return "", false, false
-	}
-	fn, isFn := w.info.Uses[sel.Sel].(*types.Func)
-	if !isFn {
-		return "", false, false
-	}
-	pkgPath, typeName, named := recvNamed(fn)
-	if !named || pkgPath != "sync" || (typeName != "Mutex" && typeName != "RWMutex") {
-		return "", false, false
-	}
-	switch fn.Name() {
-	case "Lock", "RLock":
-		return types.ExprString(sel.X), true, true
-	case "Unlock", "RUnlock":
-		return types.ExprString(sel.X), false, true
-	}
-	return "", false, false
-}
-
-func releaseLock(held []heldLock, key string) []heldLock {
-	out := make([]heldLock, 0, len(held))
-	for _, h := range held {
-		if h.key != key {
-			out = append(out, h)
-		}
-	}
-	return out
-}
-
-// checkCalls reports every I/O-reaching call lexically inside n while
-// any lock is held. Function literals and `go` statements are skipped —
-// they execute outside this critical section.
-func (w *lockWalker) checkCalls(n ast.Node, held []heldLock) {
-	if len(held) == 0 || n == nil {
-		return
-	}
-	ast.Inspect(n, func(node ast.Node) bool {
-		switch node := node.(type) {
-		case *ast.FuncLit, *ast.GoStmt:
-			return false
-		case *ast.CallExpr:
-			if what := classifyIOCall(w.info, node, w.reaches, w.byFunc); what != "" {
-				h := held[len(held)-1]
-				w.pass.Reportf(node.Pos(),
-					"I/O call %s while %s is held (locked at line %d): move it outside the critical section",
-					what, h.key, h.line)
-			}
-		}
-		return true
-	})
 }

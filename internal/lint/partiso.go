@@ -1,0 +1,445 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Partiso makes the PDES single-writer discipline static: any function
+// reachable from a parallel-dispatch entry point (a function registered
+// with sim.Scheduler.AtCall/AfterCall or sim.WindowScheduler.Stage) runs
+// concurrently on partition workers, so it must touch only state routed
+// through the owning node's dispatch context. In those functions the
+// analyzer flags:
+//
+//   - any access to Network.serial — the driving goroutine's dispatch
+//     context, which no partition owns;
+//   - access to the cross-partition registries (hashIdx/hashN under
+//     hashMu, links under linksMu) without holding the designated mutex;
+//   - writes to frozen topology state — Network.{nodes, links, slots,
+//     slotFree, invGen, peerWords, par, tracer, nextID} and the Node
+//     peer tables {peerTab, peerFree, nPeers, nOut, peerList,
+//     peersValid} — which parallel mode forbids mutating;
+//   - obs.Shard.Record through a receiver that is not the dispatch
+//     context's own trace shard (a non-owned shard write races).
+//
+// Two lexical exemptions encode the kernel's own mode discipline: code
+// inside `if <net>.par == nil { ... }` (the serial fast path) and code
+// after an `if <net>.par != nil { return/panic }` guard (functions the
+// kernel forbids during parallel dispatch) is exempt, and calls made
+// from exempt positions do not extend reachability — a function whose
+// parallel-mode entry is impossible is not charged with its callees.
+//
+// Type matching is by name against the package under analysis (Network,
+// Node, dispatchCtx): the analyzer is coupled to internal/p2p's layout
+// the same way the kernel's comments are, and the fixture mirrors those
+// declarations.
+var Partiso = &analysis.Analyzer{
+	Name: "partiso",
+	Doc: "flag dispatch-reachable access to Network-global mutable state that bypasses the " +
+		"node's dispatch context (dctx); the PDES single-writer discipline, statically",
+	Run: runPartiso,
+}
+
+// lockedNetFields maps each cross-partition registry field of Network to
+// the mutex that must be held to touch it during parallel dispatch.
+var lockedNetFields = map[string]string{
+	"hashIdx": "hashMu",
+	"hashN":   "hashMu",
+	"links":   "linksMu",
+}
+
+// frozenNetFields are Network fields that parallel mode freezes: reads
+// are fine from any partition, writes are not.
+var frozenNetFields = map[string]bool{
+	"nodes": true, "slots": true, "slotFree": true, "invGen": true,
+	"peerWords": true, "par": true, "tracer": true, "nextID": true,
+}
+
+// frozenNodeFields are the Node peer-table fields frozen while parallel
+// dispatch is enabled (topology mutation is serial-only).
+var frozenNodeFields = map[string]bool{
+	"peerTab": true, "peerFree": true, "nPeers": true, "nOut": true,
+	"peerList": true, "peersValid": true,
+}
+
+func runPartiso(pass *analysis.Pass) error {
+	if !partIsoPkgs[pass.Path()] {
+		return nil
+	}
+	info := pass.TypesInfo()
+	g := analysis.NewCallGraph(pass, false)
+
+	serialOf := map[*ast.FuncDecl][]span{}
+	for _, fd := range g.Funcs() {
+		serialOf[fd] = serialSpans(pass, info, fd.Body)
+	}
+
+	reach := dispatchReachable(pass, info, g, serialOf)
+	for _, fd := range g.Funcs() {
+		if reach[g.FuncOf(fd)] {
+			checkPartIso(pass, info, fd, serialOf[fd])
+		}
+	}
+	return nil
+}
+
+// span is a half-open source region [from, to).
+type span struct{ from, to token.Pos }
+
+func inSpans(spans []span, pos token.Pos) bool {
+	for _, s := range spans {
+		if s.from <= pos && pos < s.to {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatchReachable computes the functions reachable from the dispatch
+// roots, skipping call edges made from serial-exempt positions.
+func dispatchReachable(pass *analysis.Pass, info *types.Info, g *analysis.CallGraph, serialOf map[*ast.FuncDecl][]span) map[*types.Func]bool {
+	var roots []*types.Func
+	for _, fd := range g.Funcs() {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isDispatchRegistration(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if fn := funcValueOf(info, arg); fn != nil {
+					roots = append(roots, fn)
+				}
+			}
+			return true
+		})
+	}
+
+	reach := map[*types.Func]bool{}
+	var frontier []*types.Func
+	for _, r := range roots {
+		if _, ok := g.DeclOf[r]; ok && !reach[r] {
+			reach[r] = true
+			frontier = append(frontier, r)
+		}
+	}
+	for len(frontier) > 0 {
+		fn := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		fd := g.DeclOf[fn]
+		serial := serialOf[fd]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || inSpans(serial, call.Pos()) {
+				return true
+			}
+			callee := analysis.Callee(info, call)
+			if callee == nil {
+				return true
+			}
+			if _, local := g.DeclOf[callee]; local && !reach[callee] {
+				reach[callee] = true
+				frontier = append(frontier, callee)
+			}
+			return true
+		})
+	}
+	return reach
+}
+
+// isDispatchRegistration reports whether call registers a static
+// dispatch target: sim.Scheduler.AtCall/AfterCall or
+// sim.WindowScheduler.Stage.
+func isDispatchRegistration(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	simPath := modulePath + "/internal/sim"
+	return isMethodOn(fn, simPath, "Scheduler", "AtCall") ||
+		isMethodOn(fn, simPath, "Scheduler", "AfterCall") ||
+		isMethodOn(fn, simPath, "WindowScheduler", "Stage")
+}
+
+// funcValueOf resolves an argument expression to the package function it
+// names, or nil.
+func funcValueOf(info *types.Info, arg ast.Expr) *types.Func {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// serialSpans collects the regions of body that cannot execute during
+// parallel dispatch: then-blocks of `if <net>.par == nil`, else-blocks
+// of `if <net>.par != nil`, and block remainders after an
+// `if <net>.par != nil { ...return/panic }` guard.
+func serialSpans(pass *analysis.Pass, info *types.Info, body *ast.BlockStmt) []span {
+	var out []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, s := range list {
+			ifs, ok := s.(*ast.IfStmt)
+			if !ok {
+				continue
+			}
+			eq, ok := parNilCond(pass, info, ifs.Cond)
+			if !ok {
+				continue
+			}
+			if eq { // par == nil: the then-branch is the serial fast path
+				out = append(out, span{ifs.Body.Pos(), ifs.Body.End()})
+				continue
+			}
+			// par != nil
+			if ifs.Else != nil {
+				out = append(out, span{ifs.Else.Pos(), ifs.Else.End()})
+			}
+			if terminates(ifs.Body) && i < len(list)-1 {
+				out = append(out, span{ifs.End(), list[len(list)-1].End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// parNilCond recognizes `<net>.par == nil` / `<net>.par != nil` where
+// <net> is Network-typed, returning whether the comparison is ==.
+func parNilCond(pass *analysis.Pass, info *types.Info, cond ast.Expr) (eq, ok bool) {
+	b, isBin := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !isBin || (b.Op != token.EQL && b.Op != token.NEQ) {
+		return false, false
+	}
+	operand := b.X
+	if isNilIdent(info, b.X) {
+		operand = b.Y
+	} else if !isNilIdent(info, b.Y) {
+		return false, false
+	}
+	sel, isSel := ast.Unparen(operand).(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "par" || localNamed(pass, info, sel.X) != "Network" {
+		return false, false
+	}
+	return b.Op == token.EQL, true
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil || id.Name == "nil"
+}
+
+// terminates reports whether a block always transfers control out
+// (return, branch, or panic as its final statement).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// localNamed returns the name of e's named type when that type is
+// declared in the package under analysis (pointers dereferenced), or "".
+func localNamed(pass *analysis.Pass, info *types.Info, e ast.Expr) string {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg() != pass.TypesPkg() {
+		return ""
+	}
+	return obj.Name()
+}
+
+// checkPartIso flags isolation violations in one dispatch-reachable
+// function.
+func checkPartIso(pass *analysis.Pass, info *types.Info, fd *ast.FuncDecl, serial []span) {
+	fname := fd.Name.Name
+
+	// Lock regions: record which mutex keys are held over which spans.
+	type heldSpan struct {
+		span
+		keys []string
+	}
+	var held []heldSpan
+	analysis.WalkLockRegions(pass.Fset(), info, fd.Body, func(n ast.Node, hl []analysis.HeldLock) {
+		if len(hl) == 0 {
+			return
+		}
+		keys := make([]string, len(hl))
+		for i, h := range hl {
+			keys[i] = h.Key
+		}
+		held = append(held, heldSpan{span{n.Pos(), n.End()}, keys})
+	})
+	heldAt := func(pos token.Pos, key string) bool {
+		for _, h := range held {
+			if h.from <= pos && pos < h.to {
+				for _, k := range h.keys {
+					if k == key {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+
+	// Write targets: the field selector at the root of each assignment
+	// LHS or ++/-- operand.
+	writes := map[ast.Node]bool{}
+	markWrite := func(e ast.Expr) {
+		for {
+			switch t := ast.Unparen(e).(type) {
+			case *ast.IndexExpr:
+				e = t.X
+			case *ast.StarExpr:
+				e = t.X
+			case *ast.SelectorExpr:
+				writes[t] = true
+				return
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			markWrite(n.X)
+		}
+		return true
+	})
+
+	// Shard-receiver ownership: a receiver is owned when it is (or was
+	// assigned from) <dctx>.trace.
+	const ownedShardVal, otherShardVal = 1, 0
+	var evalShard func(env analysis.Env, e ast.Expr) int
+	evalShard = func(env analysis.Env, e ast.Expr) int {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if t.Sel.Name == "trace" && localNamed(pass, info, t.X) == "dispatchCtx" {
+				return ownedShardVal
+			}
+		case *ast.Ident:
+			if obj := objOf(info, t); obj != nil {
+				if v, ok := env[obj]; ok {
+					return v
+				}
+			}
+		}
+		return otherShardVal
+	}
+	shardEnv := analysis.FlowLocals(info, fd.Body, analysis.FlowHooks{
+		Eval: evalShard,
+		Join: func(a, b int) int { return min(a, b) },
+	})
+
+	reported := map[string]bool{}
+	reportf := func(pos token.Pos, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		key := fmt.Sprintf("%d:%s", pass.Fset().Position(pos).Line, msg)
+		if reported[key] {
+			return
+		}
+		reported[key] = true
+		pass.Reportf(pos, "%s", msg)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if inSpans(serial, n.Pos()) {
+				return true
+			}
+			field := n.Sel.Name
+			switch localNamed(pass, info, n.X) {
+			case "Network":
+				switch {
+				case field == "serial":
+					reportf(n.Pos(),
+						"access to Network.serial in dispatch-reachable %s: partition workers must route state through the node's dctx",
+						fname)
+				case lockedNetFields[field] != "":
+					mu := lockedNetFields[field]
+					if !heldAt(n.Pos(), types.ExprString(n.X)+"."+mu) {
+						reportf(n.Pos(),
+							"access to Network.%s in dispatch-reachable %s without holding %s (and outside any par==nil serial path)",
+							field, fname, mu)
+					}
+				case frozenNetFields[field] && writes[n]:
+					reportf(n.Pos(),
+						"write to Network.%s in dispatch-reachable %s: topology state is frozen during parallel dispatch",
+						field, fname)
+				}
+			case "Node":
+				if frozenNodeFields[field] && writes[n] {
+					reportf(n.Pos(),
+						"write to Node.%s in dispatch-reachable %s: peer tables are frozen during parallel dispatch",
+						field, fname)
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			if !isMethodOn(fn, modulePath+"/internal/obs", "Shard", "Record") {
+				return true
+			}
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if inSpans(serial, n.Pos()) {
+				return true
+			}
+			if evalShard(shardEnv, sel.X) != ownedShardVal {
+				reportf(n.Pos(),
+					"obs.Shard.Record on a shard that is not this dispatch context's trace in dispatch-reachable %s: only the owning partition may write a shard",
+					fname)
+			}
+		}
+		return true
+	})
+}

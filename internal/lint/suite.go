@@ -4,7 +4,10 @@ import "repro/internal/lint/analysis"
 
 // Analyzers returns the full bcbpt-lint suite in stable order.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Detrand, Maporder, Hotalloc, Lockio}
+	return []*analysis.Analyzer{
+		Detrand, Maporder, Hotalloc, Lockio,
+		Partiso, Seedflow, Hookcost, Ctxpoll,
+	}
 }
 
 // Names returns every analyzer name valid in a //bcbptlint:allow

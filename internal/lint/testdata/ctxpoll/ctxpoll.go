@@ -1,0 +1,70 @@
+// Fixture for the ctxpoll analyzer: checked as-if it were a
+// deterministic package (repro/internal/chain). Functions that take a
+// context must poll it from any loop whose iteration count is not
+// syntactically bounded.
+package fixture
+
+import "context"
+
+func flaggedSpin(ctx context.Context, work func() bool) {
+	for { // want `unbounded loop in flaggedSpin never polls ctx`
+		if !work() {
+			continue
+		}
+	}
+}
+
+func flaggedDrain(ctx context.Context, pop func() bool) {
+	for pop() { // want `unbounded loop in flaggedDrain never polls ctx`
+	}
+}
+
+func cleanPoll(ctx context.Context, work func() bool) error {
+	n := 0
+	for {
+		if !work() {
+			return nil
+		}
+		n++
+		if n%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func cleanBounded(ctx context.Context, steps int, work func() bool) {
+	for i := 0; i < steps; i++ {
+		work()
+	}
+}
+
+func cleanRange(ctx context.Context, xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// cleanNoCtx takes no context: there is nothing to poll.
+func cleanNoCtx(work func() bool) {
+	for work() {
+	}
+}
+
+// cleanFuncLit: a literal's loops run under its own contract.
+func cleanFuncLit(ctx context.Context, work func() bool) func() {
+	return func() {
+		for work() {
+		}
+	}
+}
+
+func allowedSpin(ctx context.Context, work func()) {
+	//bcbptlint:allow ctxpoll — fixture: deliberate unpolled loop to exercise the directive
+	for {
+		work()
+	}
+}

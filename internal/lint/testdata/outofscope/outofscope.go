@@ -5,11 +5,15 @@
 package fixture
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 var mu sync.Mutex
@@ -27,4 +31,38 @@ func everythingTheRulesBan(m map[int]int) []int {
 	_ = os.WriteFile("x", nil, 0o644)
 	mu.Unlock()
 	return keys
+}
+
+// The v2 rules would all fire on the shapes below were this package in
+// scope: a literal seed at an RNG sink (seedflow), an unguarded
+// allocating hook site (hookcost), an unbounded loop that never polls
+// ctx (ctxpoll), and dispatch-reachable access to Network.serial
+// (partiso — the types mirror the kernel's layout).
+type dispatchCtx struct{ drops int }
+
+type parState struct{}
+
+type Network struct {
+	sched  *sim.Scheduler
+	trace  *obs.Shard
+	serial dispatchCtx
+	par    *parState
+	OnDrop func(code uint8)
+}
+
+func (n *Network) schedule() {
+	n.sched.AfterCall(0, deliverOutOfScope, n)
+}
+
+func deliverOutOfScope(a any) {
+	n := a.(*Network)
+	n.serial.drops++
+	_ = rand.NewSource(42)
+	n.trace.Record(obs.Event{P1: uint64(len(fmt.Sprintf("d-%d", n.serial.drops)))})
+	n.OnDrop(1)
+}
+
+func spinOutOfScope(ctx context.Context, work func() bool) {
+	for work() {
+	}
 }

@@ -1,0 +1,128 @@
+// Fixture for the partiso analyzer: checked as-if it were the parallel
+// dispatch package (repro/internal/p2p). The local Network / Node /
+// dispatchCtx declarations mirror the kernel's layout — partiso matches
+// those type names in the package under analysis.
+package fixture
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+type NodeID int64
+
+type dispatchCtx struct {
+	sched *sim.Scheduler
+	trace *obs.Shard
+	pool  []*delivery
+	drops int
+}
+
+type parState struct {
+	ws *sim.WindowScheduler
+}
+
+type Network struct {
+	sched   *sim.Scheduler
+	nodes   map[NodeID]*Node
+	hashIdx map[uint64]int32
+	hashN   int32
+	serial  dispatchCtx
+	par     *parState
+	hashMu  sync.Mutex
+}
+
+type Node struct {
+	id         NodeID
+	dctx       *dispatchCtx
+	seq        uint64
+	peerList   []NodeID
+	peersValid bool
+}
+
+type delivery struct {
+	n   *Network
+	dst NodeID
+}
+
+// looseShard stands in for a shard nobody's dispatch context owns.
+var looseShard *obs.Shard
+
+// schedule registers runDeliver as a dispatch target: everything
+// runDeliver reaches is dispatch-reachable.
+func (n *Network) schedule(d *delivery) {
+	n.sched.AfterCall(0, runDeliver, d)
+}
+
+func runDeliver(a any) {
+	d := a.(*delivery)
+	n := d.n
+	dc := &n.serial // want `access to Network\.serial in dispatch-reachable runDeliver`
+	_ = dc
+	n.hashIdx[7] = 1                    // want `access to Network\.hashIdx in dispatch-reachable runDeliver without holding hashMu`
+	n.nodes[d.dst] = nil                // want `write to Network\.nodes in dispatch-reachable runDeliver`
+	node := n.nodes[d.dst]              // reads of frozen topology are fine
+	node.peersValid = false             // want `write to Node\.peersValid in dispatch-reachable runDeliver`
+	looseShard.Record(obs.Event{P1: 1}) // want `Record on a shard that is not this dispatch context's trace`
+	relay(node, d)
+	n.lockedRegistry()
+	n.serialFastPath()
+	n.topologyOnly()
+}
+
+// relay is transitively dispatch-reachable: dctx-routed state and the
+// owned trace shard are the sanctioned forms, and one deliberate
+// violation carries the allow directive.
+func relay(node *Node, d *delivery) {
+	dc := node.dctx
+	dc.pool = append(dc.pool, d)
+	dc.drops++
+	dc.trace.Record(obs.Event{P1: uint64(node.id)})
+	tr := node.dctx.trace
+	tr.Record(obs.Event{P2: 2}) // a local bound from <dctx>.trace stays owned
+	//bcbptlint:allow partiso — fixture: deliberate serial-context touch to exercise the directive
+	node.dctx.sched = d.n.serial.sched
+}
+
+// lockedRegistry touches the shared hash registry under its designated
+// mutex — the kernel's parallel-mode idiom.
+func (n *Network) lockedRegistry() {
+	n.hashMu.Lock()
+	n.hashIdx[9] = n.hashN
+	n.hashN++
+	n.hashMu.Unlock()
+}
+
+// serialFastPath touches shared state only inside the par == nil branch.
+func (n *Network) serialFastPath() {
+	if n.par == nil {
+		n.hashIdx[3] = 0
+		n.hashN++
+		n.serial.drops++
+		return
+	}
+}
+
+// topologyOnly cannot run during parallel dispatch: the guard panics
+// first, so the writes after it are exempt.
+func (n *Network) topologyOnly() {
+	if n.par != nil {
+		panic("fixture: topology mutation while parallel")
+	}
+	n.nodes[1] = nil
+	n.serial.drops++
+}
+
+// notReachable is never registered as a dispatch target: the same
+// accesses are fine here (the driving goroutine owns everything between
+// windows).
+func (n *Network) notReachable(node *Node) {
+	dc := &n.serial
+	dc.drops++
+	n.hashIdx[1] = 2
+	n.nodes[5] = nil
+	node.peersValid = false
+	looseShard.Record(obs.Event{})
+}

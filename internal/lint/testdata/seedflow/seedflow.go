@@ -1,0 +1,68 @@
+// Fixture for the seedflow analyzer: checked as-if it were a
+// deterministic package (repro/internal/experiment). Seeds at explicit
+// RNG sinks must come from the replication chain; literal,
+// loop-counter, and wall-clock seeds are flagged, while values of
+// unknown provenance (params, fields) pass.
+package fixture
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+
+	"repro/internal/sim"
+)
+
+type Spec struct {
+	Seed int64
+	Key  uint64
+}
+
+func flagged(spec *Spec, ks *sim.KeyedSource, peers []int, n int) {
+	_ = rand.NewSource(42)                    // want `rand\.NewSource seeded with a literal/arithmetic-fresh value`
+	_ = rand.NewSource(time.Now().UnixNano()) // want `rand\.NewSource seeded from the wall clock`
+	_ = randv2.NewPCG(1, 2)                   // want `rand\.NewPCG seeded with a literal` `rand\.NewPCG seeded with a literal`
+	ks.Seed(7)                                // want `KeyedSource\.Seed seeded with a literal`
+
+	// Taint flows through locals: the lattice tracks bindings, not just
+	// the sink argument's syntax.
+	s := int64(1) << 32
+	s |= 5
+	_ = rand.NewSource(s) // want `rand\.NewSource seeded with a literal/arithmetic-fresh value`
+	t0 := time.Now()
+	d := time.Since(t0)
+	_ = rand.NewSource(d.Nanoseconds()) // want `rand\.NewSource seeded from the wall clock`
+
+	// Loop counters are arithmetic-fresh: every replication would walk
+	// the same per-index streams regardless of the campaign seed.
+	for i := 0; i < n; i++ {
+		_ = rand.NewSource(int64(i) * 2654435761) // want `rand\.NewSource seeded with a literal/arithmetic-fresh value`
+	}
+	for i := range peers {
+		ks.SeedKey(uint64(i)<<1 | 1) // want `KeyedSource\.SeedKey seeded with a literal/arithmetic-fresh value`
+	}
+}
+
+func clean(spec *Spec, ks *sim.KeyedSource, root int64, cond bool) {
+	// Chain-derived and parameter-derived seeds are the sanctioned forms;
+	// a constant offset on an unknown base stays clean.
+	_ = rand.NewSource(spec.Seed + 999)
+	_ = rand.NewSource(sim.DeriveSeed(root, "topology"))
+	_ = randv2.NewPCG(uint64(spec.Seed), sim.Mix64(spec.Key))
+	ks.SeedKey(sim.MixKey2(spec.Key, 7))
+	ks.SeedKey(sim.MixKey3(spec.Key, 1, 2))
+	ks.Seed(sim.DeriveSeed(spec.Seed, "rep"))
+
+	// A variable bound both fresh and unknown joins to unknown: some
+	// binding carried real provenance.
+	seed := int64(0)
+	if cond {
+		seed = spec.Seed
+	}
+	_ = rand.NewSource(seed)
+}
+
+func allowed() {
+	//bcbptlint:allow seedflow — fixture: deliberate fixed seed to exercise the directive
+	_ = rand.NewSource(1)
+}

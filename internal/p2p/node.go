@@ -270,9 +270,15 @@ func (nd *Node) sortedPeers() []peerRef {
 	if nd.peersValid {
 		return nd.peerList
 	}
+	// The cache rebuild below mutates Node state from dispatch-reachable
+	// code, which partiso flags: it is safe because a node's handlers run
+	// only in its owning partition, so the cache has a single writer, and
+	// topology (what the cache reflects) cannot change mid-window.
+	//bcbptlint:allow partiso — per-node cache rebuilt only by the owning partition's handlers
 	nd.peerList = nd.peerList[:0]
 	for i := range nd.peerTab {
 		if nd.peerTab[i].id != 0 {
+			//bcbptlint:allow partiso — per-node cache rebuilt only by the owning partition's handlers
 			nd.peerList = append(nd.peerList, peerRef{id: nd.peerTab[i].id, pos: int32(i), node: nd.peerTab[i].node})
 		}
 	}
@@ -286,6 +292,7 @@ func (nd *Node) sortedPeers() []peerRef {
 			return 0
 		}
 	})
+	//bcbptlint:allow partiso — per-node cache rebuilt only by the owning partition's handlers
 	nd.peersValid = true
 	return nd.peerList
 }
